@@ -1,0 +1,259 @@
+// Package aos is a from-scratch reproduction of "Hardware-based Always-On
+// Heap Memory Safety" (Kim, Lee, Kim — MICRO 2020): the AOS bounds-checking
+// mechanism built on Arm pointer-authentication primitives, together with
+// every substrate its evaluation depends on — a QARMA-64 cipher, a
+// glibc-style heap allocator, the hashed bounds table with gradual
+// resizing, the memory check unit (MCQ + BWB), an out-of-order timing
+// model with the paper's Table IV platform, and the Watchdog and PA
+// baselines.
+//
+// The package is a facade over the internal packages. Typical use:
+//
+//	sys, _ := aos.NewSystem(aos.Options{Scheme: aos.AOS})
+//	p, _ := sys.Malloc(64)
+//	err := sys.Load(p, 128, aos.AccessOpts{}) // out of bounds -> detected
+//
+// or run a full benchmark profile through the timing simulator:
+//
+//	res, _ := aos.Run(aos.SPECWorkloads()[0], aos.Options{Scheme: aos.AOS})
+//	fmt.Println(res.Cycles, res.IPC())
+package aos
+
+import (
+	"fmt"
+
+	"aos/internal/core"
+	"aos/internal/cpu"
+	"aos/internal/heap"
+	"aos/internal/instrument"
+	"aos/internal/isa"
+	"aos/internal/kernel"
+	"aos/internal/workload"
+)
+
+// Scheme selects the protection mechanism (§VIII system configurations).
+type Scheme = instrument.Scheme
+
+// The evaluated schemes.
+const (
+	// Baseline has no security features.
+	Baseline = instrument.Baseline
+	// Watchdog is the hardware bounds+UAF-checking baseline.
+	Watchdog = instrument.Watchdog
+	// PA is PA-based code- and data-pointer integrity.
+	PA = instrument.PA
+	// AOS is the paper's mechanism.
+	AOS = instrument.AOS
+	// PAAOS is AOS integrated with PA pointer integrity.
+	PAAOS = instrument.PAAOS
+)
+
+// Schemes returns all schemes in the paper's order.
+func Schemes() []Scheme { return instrument.Schemes() }
+
+// Ptr is a program pointer value (signed under AOS).
+type Ptr = core.Ptr
+
+// AccessOpts qualifies a memory access.
+type AccessOpts = core.AccessOpts
+
+// Dependency shapes for synthetic instruction streams.
+const (
+	// DepFree marks an operand with no interesting producer.
+	DepFree = core.DepFree
+	// DepChain marks a dependency on the latest ALU result.
+	DepChain = core.DepChain
+	// DepChase marks a dependency on the latest loaded value.
+	DepChase = core.DepChase
+)
+
+// Exception is a recorded memory-safety violation.
+type Exception = kernel.Exception
+
+// Violation kinds.
+const (
+	// ExcBoundsCheck is an out-of-bounds or use-after-free access.
+	ExcBoundsCheck = kernel.ExcBoundsCheck
+	// ExcBoundsClear is a double free or invalid free.
+	ExcBoundsClear = kernel.ExcBoundsClear
+	// ExcPAAuth is a pointer-authentication failure.
+	ExcPAAuth = kernel.ExcPAAuth
+)
+
+// Workload is a benchmark profile.
+type Workload = workload.Profile
+
+// SPECWorkloads returns the 16 SPEC CPU 2006 profiles (§VIII).
+func SPECWorkloads() []*Workload { return workload.SPEC() }
+
+// RealWorldWorkloads returns the Table III profiles.
+func RealWorldWorkloads() []*Workload { return workload.RealWorld() }
+
+// WorkloadByName finds a profile by benchmark name.
+func WorkloadByName(name string) (*Workload, bool) { return workload.ByName(name) }
+
+// Options configures a System or a Run.
+type Options struct {
+	// Scheme is the protection configuration (default Baseline).
+	Scheme Scheme
+	// Seed makes synthetic workloads deterministic (default 1).
+	Seed int64
+	// Instructions overrides the profile's program-instruction budget
+	// (0 keeps the profile default).
+	Instructions uint64
+
+	// AOS optimization ablations (§V-F, Fig 15). All optimizations are on
+	// by default, matching the paper's headline configuration.
+	DisableL1B         bool
+	DisableCompression bool
+	DisableBWB         bool
+	DisableForwarding  bool
+
+	// InitialHBTAssoc overrides the initial bounds-table associativity
+	// (default 1, per Table IV).
+	InitialHBTAssoc int
+
+	// NoWarmup disables the default warmup-then-measure methodology in
+	// Run (half the instruction budget warms caches, predictor and BWB
+	// before statistics start — mirroring the paper's measurement of a
+	// window within 3B-instruction executions).
+	NoWarmup bool
+}
+
+// System couples a functional AOS machine with a timing core. Every
+// operation performed on the machine streams into the timing model.
+type System struct {
+	machine *core.Machine
+	core    *cpu.Core
+	opts    Options
+}
+
+// NewSystem builds a machine+core pair for the given options.
+func NewSystem(opts Options) (*System, error) {
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	m, err := core.New(core.Config{
+		Scheme:             opts.Scheme,
+		InitialHBTAssoc:    opts.InitialHBTAssoc,
+		UncompressedBounds: opts.DisableCompression,
+	})
+	if err != nil {
+		return nil, err
+	}
+	cfg := cpu.DefaultConfig()
+	if opts.DisableL1B {
+		cfg.Caches.L1B = nil
+	}
+	cfg.MCU.UseBWB = !opts.DisableBWB
+	cfg.MCU.Forwarding = !opts.DisableForwarding
+	c := cpu.New(cfg)
+	m.SetSink(c)
+	return &System{machine: m, core: c, opts: opts}, nil
+}
+
+// Machine-facing operations (see internal/core for semantics).
+
+// Malloc allocates heap memory through the instrumented allocator; under
+// AOS the returned pointer is signed and its bounds stored in the HBT.
+func (s *System) Malloc(size uint64) (Ptr, error) { return s.machine.Malloc(size) }
+
+// Calloc allocates zeroed memory.
+func (s *System) Calloc(n, size uint64) (Ptr, error) { return s.machine.Calloc(n, size) }
+
+// Free releases an allocation with the scheme's instrumentation; under AOS
+// a double free or invalid free is detected here (bndclr failure).
+func (s *System) Free(p Ptr) error { return s.machine.Free(p) }
+
+// Load performs a checked load through p at the given byte offset.
+func (s *System) Load(p Ptr, off uint64, o AccessOpts) error { return s.machine.Load(p, off, o) }
+
+// Store performs a checked store.
+func (s *System) Store(p Ptr, off uint64, o AccessOpts) error { return s.machine.Store(p, off, o) }
+
+// LoadU64 is Load plus the actual data read (suppressed on violations).
+func (s *System) LoadU64(p Ptr, off uint64) (uint64, error) { return s.machine.LoadU64(p, off) }
+
+// StoreU64 is Store plus the actual data write (suppressed on violations).
+func (s *System) StoreU64(p Ptr, off uint64, v uint64) error { return s.machine.StoreU64(p, off, v) }
+
+// PointerArith derives a new pointer at a byte delta; PAC and AHC ride
+// along for free (the paper's key propagation property).
+func (s *System) PointerArith(p Ptr, delta int64) Ptr { return s.machine.PointerArith(p, delta) }
+
+// Compute emits n ALU operations.
+func (s *System) Compute(n int, dep core.Dep) { s.machine.Compute(n, dep) }
+
+// Branch emits a conditional branch outcome.
+func (s *System) Branch(site uint32, taken bool) { s.machine.Branch(site, taken) }
+
+// Call and Ret emit an instrumented call/return pair's halves.
+func (s *System) Call() { s.machine.Call() }
+
+// Ret emits the return half.
+func (s *System) Ret() { s.machine.Ret() }
+
+// Exceptions returns every detected memory-safety violation so far.
+func (s *System) Exceptions() []Exception { return s.machine.Exceptions() }
+
+// Machine exposes the functional machine for advanced scenarios (attack
+// construction, direct heap inspection).
+func (s *System) Machine() *core.Machine { return s.machine }
+
+// Core exposes the timing model (observers, advanced inspection).
+func (s *System) Core() *cpu.Core { return s.core }
+
+// TeeSink duplicates the instruction stream to an additional sink (e.g. a
+// trace recorder) alongside the timing core.
+func (s *System) TeeSink(extra isa.Sink) {
+	s.machine.SetSink(isa.MultiSink{s.core, extra})
+}
+
+// Result summarizes a finished run.
+type Result struct {
+	cpu.Result
+	// Counts is the dynamic instruction breakdown (Fig 16 classes).
+	Counts isa.Counts
+	// Heap is the allocator's trace-malloc statistics (Table II classes).
+	Heap heap.Stats
+	// Exceptions are the detected violations.
+	Exceptions []Exception
+	// HBTAssoc is the final bounds-table associativity.
+	HBTAssoc int
+	// HBTResizes counts OS-handled table resizes (§IX-A.1).
+	HBTResizes int
+}
+
+// Finalize stops the system and returns its results.
+func (s *System) Finalize() Result {
+	return Result{
+		Result:     s.core.Finalize(),
+		Counts:     s.machine.Counts(),
+		Heap:       s.machine.Heap.Stats(),
+		Exceptions: s.machine.Exceptions(),
+		HBTAssoc:   s.machine.Table().Assoc(),
+		HBTResizes: len(s.machine.OS.Resizes()),
+	}
+}
+
+// Run executes one workload profile under the given options and returns
+// the timing result.
+func Run(w *Workload, opts Options) (Result, error) {
+	sys, err := NewSystem(opts)
+	if err != nil {
+		return Result{}, err
+	}
+	p := *w // copy so an Instructions override does not mutate the profile
+	if opts.Instructions != 0 {
+		p.Instructions = opts.Instructions
+	}
+	warmup := p.Instructions / 2
+	onWarm := func() { sys.core.ResetStats() }
+	if opts.NoWarmup {
+		warmup, onWarm = 0, nil
+	}
+	if err := p.RunWarm(sys.machine, opts.Seed, warmup, onWarm); err != nil {
+		return Result{}, fmt.Errorf("aos: workload %s under %v: %w", p.Name, opts.Scheme, err)
+	}
+	return sys.Finalize(), nil
+}

@@ -1,0 +1,143 @@
+// Command aosbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	aosbench -exp all                 # everything
+//	aosbench -exp fig14               # one experiment
+//	aosbench -exp fig14 -insts 200000 # quicker, scaled run
+//
+// Experiments: fig11 fig14 fig15 fig16 fig17 fig18 table1 table2 table3
+// resize ablate all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"aos/internal/experiments"
+	"aos/internal/workload"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run (fig11, fig14..fig18, table1..table3, resize, ablate, security, all)")
+	insts := flag.Uint64("insts", 0, "override per-benchmark instruction budget (0 = profile defaults)")
+	seed := flag.Int64("seed", 1, "workload generator seed")
+	scale := flag.Uint64("scale", 20, "allocation-count divisor for table2/table3")
+	mallocs := flag.Int("mallocs", 1_000_000, "malloc count for fig11")
+	quiet := flag.Bool("q", false, "suppress progress output")
+	csv := flag.Bool("csv", false, "emit fig14/fig18 as CSV for plotting")
+	flag.Parse()
+
+	o := experiments.Options{Instructions: *insts, Seed: *seed}
+	if !*quiet {
+		o.Progress = func(format string, args ...interface{}) {
+			fmt.Fprintf(os.Stderr, "\r\033[K"+format, args...)
+		}
+	}
+	done := func() {
+		if !*quiet {
+			fmt.Fprint(os.Stderr, "\r\033[K")
+		}
+	}
+
+	needMatrix := map[string]bool{"fig14": true, "fig16": true, "fig17": true, "fig18": true, "all": true}
+	var matrix *experiments.Matrix
+	if needMatrix[*exp] {
+		var err error
+		matrix, err = experiments.RunMatrix(o)
+		if err != nil {
+			fatal(err)
+		}
+		done()
+	}
+
+	runExp := func(name string) {
+		switch name {
+		case "fig11":
+			r, err := experiments.Fig11(*mallocs)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(r)
+		case "fig14":
+			if *csv {
+				fmt.Print(experiments.Fig14(matrix).CSV())
+			} else {
+				fmt.Println(experiments.Fig14(matrix))
+			}
+		case "fig15":
+			r, err := experiments.Fig15(o)
+			if err != nil {
+				fatal(err)
+			}
+			done()
+			fmt.Println(r)
+		case "fig16":
+			fmt.Println(experiments.Fig16String(experiments.Fig16(matrix)))
+		case "fig17":
+			fmt.Println(experiments.Fig17String(experiments.Fig17(matrix)))
+		case "fig18":
+			if *csv {
+				fmt.Print(experiments.Fig18(matrix).CSV())
+			} else {
+				fmt.Println(experiments.Fig18(matrix))
+			}
+		case "table1":
+			fmt.Println(experiments.Table1String())
+		case "table2":
+			rows, err := experiments.MemProfiles("spec", *scale, o)
+			if err != nil {
+				fatal(err)
+			}
+			done()
+			fmt.Println(experiments.MemProfilesString(
+				"Table II: SPEC 2006 memory usage profiles", rows, workload.SPEC(), *scale))
+		case "table3":
+			rows, err := experiments.MemProfiles("realworld", *scale, o)
+			if err != nil {
+				fatal(err)
+			}
+			done()
+			fmt.Println(experiments.MemProfilesString(
+				"Table III: real-world benchmark memory usage profiles", rows, workload.RealWorld(), *scale))
+		case "resize":
+			r, err := experiments.ResizeStudy(o)
+			if err != nil {
+				fatal(err)
+			}
+			done()
+			fmt.Println(r)
+		case "ablate":
+			r, err := experiments.Ablations(o)
+			if err != nil {
+				fatal(err)
+			}
+			done()
+			fmt.Println(r)
+		case "security":
+			out, err := experiments.SecurityMatrix()
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(out)
+		default:
+			fatal(fmt.Errorf("unknown experiment %q", name))
+		}
+	}
+
+	if *exp == "all" {
+		for _, name := range []string{"table1", "fig11", "table2", "table3",
+			"fig14", "fig16", "fig17", "fig18", "fig15", "resize", "ablate", "security"} {
+			runExp(name)
+			fmt.Println()
+		}
+		return
+	}
+	runExp(*exp)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "aosbench:", err)
+	os.Exit(1)
+}

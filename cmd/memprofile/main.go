@@ -1,0 +1,36 @@
+// Command memprofile reproduces Tables II and III: the memory-usage
+// profiles (max active chunks, allocation and deallocation counts) of the
+// SPEC 2006 and real-world workloads, measured by replaying each profile's
+// full-scale allocation schedule through the simulated glibc-style
+// allocator with trace-malloc accounting.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"aos/internal/experiments"
+	"aos/internal/workload"
+)
+
+func main() {
+	set := flag.String("set", "spec", "profile set: spec (Table II) or realworld (Table III)")
+	scale := flag.Uint64("scale", 1, "divide published allocation counts by this factor (1 = full scale)")
+	flag.Parse()
+
+	rows, err := experiments.MemProfiles(*set, *scale, experiments.Options{})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "memprofile:", err)
+		os.Exit(1)
+	}
+	var profiles []*workload.Profile
+	title := "Table II: SPEC 2006 memory usage profiles"
+	if *set == "realworld" {
+		profiles = workload.RealWorld()
+		title = "Table III: real-world benchmark memory usage profiles"
+	} else {
+		profiles = workload.SPEC()
+	}
+	fmt.Println(experiments.MemProfilesString(title, rows, profiles, *scale))
+}

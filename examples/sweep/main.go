@@ -1,0 +1,49 @@
+// Sweep: a miniature version of the paper's Fig 14 — run a selection of
+// SPEC 2006 profiles under every protection scheme and print normalized
+// execution times, demonstrating the harness the evaluation is built on.
+//
+// Run with: go run ./examples/sweep [-insts N] [-benchmarks a,b,c]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"aos"
+)
+
+func main() {
+	insts := flag.Uint64("insts", 150_000, "program instructions per run")
+	list := flag.String("benchmarks", "bzip2,gcc,hmmer,omnetpp", "comma-separated benchmark names")
+	flag.Parse()
+
+	names := strings.Split(*list, ",")
+	fmt.Printf("%-12s", "benchmark")
+	for _, s := range aos.Schemes() {
+		fmt.Printf("  %-9v", s)
+	}
+	fmt.Println()
+
+	for _, name := range names {
+		w, okName := aos.WorkloadByName(strings.TrimSpace(name))
+		if !okName {
+			log.Fatalf("unknown benchmark %q", name)
+		}
+		var base float64
+		fmt.Printf("%-12s", w.Name)
+		for _, s := range aos.Schemes() {
+			r, err := aos.Run(w, aos.Options{Scheme: s, Instructions: *insts})
+			if err != nil {
+				log.Fatal(err)
+			}
+			if s == aos.Baseline {
+				base = float64(r.Cycles)
+			}
+			fmt.Printf("  %-9.3f", float64(r.Cycles)/base)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\n(normalized execution time; baseline = 1.0)")
+}

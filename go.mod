@@ -1,0 +1,3 @@
+module aos
+
+go 1.22

@@ -1,0 +1,239 @@
+// Package bpred implements a TAGE-style conditional branch predictor, the
+// class of predictor (L-TAGE, Seznec) configured in the paper's evaluation
+// platform (Table IV). The timing simulator consults it for every dynamic
+// branch; mispredictions cost a pipeline redirect.
+//
+// The implementation is a standard TAGE: a bimodal base predictor plus N
+// partially-tagged banks indexed by geometrically longer global-history
+// folds, with provider/alternate selection, useful counters, and
+// allocation on misprediction.
+package bpred
+
+// Predictor is the interface the core uses.
+type Predictor interface {
+	// Predict returns the predicted direction for the branch at pc.
+	Predict(pc uint32) bool
+	// Update trains the predictor with the resolved outcome.
+	Update(pc uint32, taken bool)
+}
+
+const (
+	numBanks   = 4
+	bankBits   = 10 // 1024 entries per bank
+	tagBits    = 11
+	baseBits   = 13 // 8192-entry bimodal
+	ctrMax     = 3  // 3-bit signed counter range [-4,3]
+	ctrMin     = -4
+	usefulMax  = 3
+	resetEvery = 1 << 18
+)
+
+// History lengths per bank (geometric, L-TAGE style).
+var histLens = [numBanks]uint{5, 15, 44, 130}
+
+type tagEntry struct {
+	tag    uint16
+	ctr    int8
+	useful uint8
+}
+
+// TAGE is a deterministic TAGE predictor. The zero value is not usable;
+// call NewTAGE.
+type TAGE struct {
+	base  []int8 // bimodal 2-bit counters [-2,1]
+	banks [numBanks][]tagEntry
+
+	ghist [4]uint64 // 256 bits of global history, bit 0 = most recent
+	rng   uint32    // LFSR for allocation tie-breaking
+	ticks uint64
+
+	stats Stats
+}
+
+// Stats counts prediction outcomes.
+type Stats struct {
+	Lookups     uint64
+	Mispredicts uint64
+}
+
+// Rate returns the misprediction rate.
+func (s Stats) Rate() float64 {
+	if s.Lookups == 0 {
+		return 0
+	}
+	return float64(s.Mispredicts) / float64(s.Lookups)
+}
+
+// NewTAGE returns a fresh predictor.
+func NewTAGE() *TAGE {
+	t := &TAGE{base: make([]int8, 1<<baseBits), rng: 0xACE1}
+	for i := range t.banks {
+		t.banks[i] = make([]tagEntry, 1<<bankBits)
+	}
+	return t
+}
+
+// Stats returns a copy of the counters.
+func (t *TAGE) Stats() Stats { return t.stats }
+
+// ResetStats clears the counters, keeping the trained predictor state.
+func (t *TAGE) ResetStats() { t.stats = Stats{} }
+
+// foldHistory folds the first n history bits into width bits.
+func (t *TAGE) foldHistory(n, width uint) uint32 {
+	var folded uint32
+	var acc uint32
+	var accBits uint
+	for i := uint(0); i < n; i++ {
+		bit := uint32(t.ghist[i/64]>>(i%64)) & 1
+		acc |= bit << accBits
+		accBits++
+		if accBits == width {
+			folded ^= acc
+			acc, accBits = 0, 0
+		}
+	}
+	folded ^= acc
+	return folded
+}
+
+func (t *TAGE) bankIndex(pc uint32, b int) uint32 {
+	h := t.foldHistory(histLens[b], bankBits)
+	return (pc ^ pc>>bankBits ^ h ^ uint32(b)<<3) & (1<<bankBits - 1)
+}
+
+func (t *TAGE) bankTag(pc uint32, b int) uint16 {
+	h := t.foldHistory(histLens[b], tagBits)
+	h2 := t.foldHistory(histLens[b], tagBits-1)
+	return uint16((pc ^ h ^ h2<<1) & (1<<tagBits - 1))
+}
+
+func (t *TAGE) baseIndex(pc uint32) uint32 { return pc & (1<<baseBits - 1) }
+
+// lookup finds the provider (longest matching bank) and the alternate.
+func (t *TAGE) lookup(pc uint32) (provider int, altPred, provPred bool) {
+	provider = -1
+	alt := -1
+	for b := numBanks - 1; b >= 0; b-- {
+		e := &t.banks[b][t.bankIndex(pc, b)]
+		if e.tag == t.bankTag(pc, b) {
+			if provider < 0 {
+				provider = b
+			} else {
+				alt = b
+				break
+			}
+		}
+	}
+	basePred := t.base[t.baseIndex(pc)] >= 0
+	altPred = basePred
+	if alt >= 0 {
+		altPred = t.banks[alt][t.bankIndex(pc, alt)].ctr >= 0
+	}
+	provPred = basePred
+	if provider >= 0 {
+		provPred = t.banks[provider][t.bankIndex(pc, provider)].ctr >= 0
+	}
+	return provider, altPred, provPred
+}
+
+// Predict implements Predictor.
+func (t *TAGE) Predict(pc uint32) bool {
+	_, _, pred := t.lookup(pc)
+	return pred
+}
+
+func (t *TAGE) nextRand() uint32 {
+	// 16-bit Galois LFSR: deterministic allocation tie-breaking.
+	lsb := t.rng & 1
+	t.rng >>= 1
+	if lsb != 0 {
+		t.rng ^= 0xB400
+	}
+	return t.rng
+}
+
+func bump(c int8, up bool, lo, hi int8) int8 {
+	if up && c < hi {
+		return c + 1
+	}
+	if !up && c > lo {
+		return c - 1
+	}
+	return c
+}
+
+// Update implements Predictor. It must be called once per Predict, with
+// the same pc, in program order.
+func (t *TAGE) Update(pc uint32, taken bool) {
+	provider, altPred, pred := t.lookup(pc)
+	t.stats.Lookups++
+	if pred != taken {
+		t.stats.Mispredicts++
+	}
+
+	// Update the provider (or the base predictor).
+	if provider >= 0 {
+		e := &t.banks[provider][t.bankIndex(pc, provider)]
+		e.ctr = bump(e.ctr, taken, ctrMin, ctrMax)
+		provCorrect := (e.ctr >= 0) == taken // after update; close enough
+		if provCorrect && altPred != taken && e.useful < usefulMax {
+			e.useful++
+		}
+		if !provCorrect && altPred == taken && e.useful > 0 {
+			e.useful--
+		}
+	} else {
+		i := t.baseIndex(pc)
+		t.base[i] = bump(t.base[i], taken, -2, 1)
+	}
+
+	// Allocate a new entry in a longer bank on misprediction.
+	if pred != taken && provider < numBanks-1 {
+		start := provider + 1
+		allocated := false
+		for b := start; b < numBanks; b++ {
+			e := &t.banks[b][t.bankIndex(pc, b)]
+			if e.useful == 0 {
+				e.tag = t.bankTag(pc, b)
+				e.useful = 0
+				if taken {
+					e.ctr = 0
+				} else {
+					e.ctr = -1
+				}
+				allocated = true
+				break
+			}
+		}
+		if !allocated {
+			// Decay a candidate so the future allocation can succeed.
+			b := start + int(t.nextRand())%(numBanks-start)
+			e := &t.banks[b][t.bankIndex(pc, b)]
+			if e.useful > 0 {
+				e.useful--
+			}
+		}
+	}
+
+	// Push the outcome into global history.
+	carry := uint64(0)
+	if taken {
+		carry = 1
+	}
+	for i := 0; i < len(t.ghist); i++ {
+		next := t.ghist[i] >> 63
+		t.ghist[i] = t.ghist[i]<<1 | carry
+		carry = next
+	}
+
+	// Graceful useful-bit aging.
+	t.ticks++
+	if t.ticks%resetEvery == 0 {
+		for b := range t.banks {
+			for i := range t.banks[b] {
+				t.banks[b][i].useful >>= 1
+			}
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package core_test
+
+import (
+	"testing"
+
+	"aos/internal/core"
+	"aos/internal/instrument"
+	"aos/internal/isa"
+	"aos/internal/mcu"
+	"aos/internal/workload"
+)
+
+// mcqChecker replays every signed access and bounds op through the
+// architecturally faithful MCQ finite state machines (internal/mcu),
+// against the same hashed bounds table the machine maintains, and verifies
+// the FSM reaches the same conclusion as the machine's annotations: the
+// bounds are found, in exactly the annotated home way.
+//
+// This cross-checks the functional fast path (table mirror, HomeWay
+// resolution) against the hardware-level FSM model — the two must never
+// disagree, or the timing model is being fed fiction.
+type mcqChecker struct {
+	t       *testing.T
+	m       *core.Machine
+	q       *mcu.Queue
+	checked int
+}
+
+func (c *mcqChecker) Emit(in *isa.Inst) {
+	switch {
+	case in.Op == isa.OpBndstr:
+		// The machine already inserted architecturally; replaying the
+		// bndstr FSM would double-insert. Instead verify occupancy: the
+		// annotated way must hold bounds covering the base address.
+		if !c.m.Table().FindCovering(in.PAC, int(in.HomeWay), in.Addr&((1<<46)-1)) {
+			c.t.Fatalf("bndstr way %d does not cover %#x", in.HomeWay, in.Addr)
+		}
+	case (in.Op == isa.OpLoad || in.Op == isa.OpStore) && in.Signed:
+		typ := mcu.TypeLoad
+		if in.Op == isa.OpStore {
+			typ = mcu.TypeStore
+		}
+		e, ok := c.q.Enqueue(typ, in.Addr, uint64(in.Size))
+		if !ok {
+			c.t.Fatal("MCQ full in lockstep replay")
+		}
+		state := c.q.Run(e)
+		if in.HomeWay >= 0 {
+			if state != mcu.StateDone {
+				c.t.Fatalf("FSM state %v for access the machine validated (%s)", state, in)
+			}
+			if e.Way != int(in.HomeWay) {
+				c.t.Fatalf("FSM found bounds in way %d, machine annotated way %d (%s)",
+					e.Way, in.HomeWay, in)
+			}
+		} else if state != mcu.StateFail {
+			c.t.Fatalf("FSM state %v for access the machine faulted (%s)", state, in)
+		}
+		c.q.MarkCommitted(e)
+		if _, ok := c.q.RetireHead(); !ok {
+			c.t.Fatal("retire failed in lockstep replay")
+		}
+		c.checked++
+	}
+}
+
+func TestMCQFSMAgreesWithFunctionalAnnotations(t *testing.T) {
+	for _, name := range []string{"astar", "hmmer", "omnetpp"} {
+		p, _ := workload.ByName(name)
+		prof := *p
+		prof.Instructions = 15_000
+		m, err := core.New(core.Config{Scheme: instrument.AOS})
+		if err != nil {
+			t.Fatal(err)
+		}
+		chk := &mcqChecker{t: t, m: m}
+		chk.q = mcu.NewQueue(48, m.Table(), nil, mcu.Options{UseBWB: true}, nil)
+		// Track table swaps across resizes.
+		m.SetSink(isa.MultiSink{chk, sinkFunc(func(in *isa.Inst) {
+			if in.Resize {
+				chk.q.SetTable(m.Table())
+			}
+		})})
+		if err := prof.Run(m, 9); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if chk.checked == 0 {
+			t.Fatalf("%s: lockstep replay checked nothing", name)
+		}
+		t.Logf("%s: FSM agreed on %d checked accesses", name, chk.checked)
+	}
+}
+
+// sinkFunc adapts a function to isa.Sink.
+type sinkFunc func(*isa.Inst)
+
+func (f sinkFunc) Emit(in *isa.Inst) { f(in) }
+
+// TestMCQFSMDetectsMachineViolations runs the violation scenarios and
+// confirms the FSM also fails them.
+func TestMCQFSMDetectsMachineViolations(t *testing.T) {
+	m, err := core.New(core.Config{Scheme: instrument.AOS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := mcu.NewQueue(48, m.Table(), nil, mcu.Options{}, nil)
+	p, err := m.Malloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// OOB through the FSM.
+	e, _ := q.Enqueue(mcu.TypeLoad, p.Raw+128, 8)
+	if q.Run(e) != mcu.StateFail {
+		t.Error("FSM passed an OOB access")
+	}
+	q.MarkCommitted(e)
+	q.RetireHead()
+
+	// In-bounds through the FSM.
+	e2, _ := q.Enqueue(mcu.TypeLoad, p.Raw+32, 8)
+	if q.Run(e2) != mcu.StateDone {
+		t.Error("FSM failed an in-bounds access")
+	}
+	q.MarkCommitted(e2)
+	q.RetireHead()
+
+	// After free, the FSM must fail the stale pointer too.
+	if err := m.Free(p); err != nil {
+		t.Fatal(err)
+	}
+	e3, _ := q.Enqueue(mcu.TypeLoad, p.Raw, 8)
+	if q.Run(e3) != mcu.StateFail {
+		t.Error("FSM passed a use-after-free")
+	}
+}

@@ -1,0 +1,639 @@
+// Package cpu is the timing simulator: an out-of-order core model with the
+// paper's Table IV configuration (8-wide, 192-entry ROB, 32-entry load and
+// store queues, 48-entry MCQ, L-TAGE-class branch prediction) attached to
+// the cache hierarchy of internal/cache and the MCU structures of
+// internal/mcu.
+//
+// The model is dependency-driven: it consumes the functional machine's
+// instruction stream in program order and computes, for every instruction,
+// its fetch, dispatch, issue, completion and commit cycles from data
+// dependencies, structural occupancy (ROB/LQ/SQ/MCQ back-pressure), cache
+// latencies, branch-misprediction redirects, and — for AOS — the MCU's
+// bounds-check latency, which delays retirement until validation finishes
+// (§III-C.4). This one-pass formulation reproduces the first-order
+// behaviour of a cycle-stepped OoO pipeline at simulation speeds that make
+// the paper's 80-run evaluation matrix practical in Go.
+package cpu
+
+import (
+	"aos/internal/bpred"
+	"aos/internal/cache"
+	"aos/internal/isa"
+	"aos/internal/mcu"
+	"aos/internal/pa"
+)
+
+// Config is the core configuration (defaults follow Table IV).
+type Config struct {
+	Width             int // fetch/commit width
+	ROBSize           int
+	LQSize, SQSize    int
+	MCQSize           int
+	FrontendDepth     int // fetch-to-dispatch stages
+	MispredictPenalty int // extra redirect cycles beyond resolution
+	Caches            cache.HierarchyConfig
+	MCU               mcu.Options
+	// BoundsPortWidth is how many HBT line accesses the MCU can start per
+	// cycle (the L1-B / lock-cache port bandwidth).
+	BoundsPortWidth int
+	// DataPortWidth is how many L1-D accesses can start per cycle.
+	DataPortWidth int
+	// DataMSHRs bounds outstanding L1-D misses (memory-level parallelism).
+	DataMSHRs int
+	// BoundsMSHRs bounds outstanding bounds-path misses.
+	BoundsMSHRs int
+}
+
+// DefaultConfig returns the paper's platform configuration with all AOS
+// optimizations (L1-B cache, BWB, bounds forwarding) enabled.
+func DefaultConfig() Config {
+	return Config{
+		Width:             8,
+		ROBSize:           192,
+		LQSize:            32,
+		SQSize:            32,
+		MCQSize:           48,
+		FrontendDepth:     6,
+		MispredictPenalty: 10,
+		Caches:            cache.DefaultConfig(),
+		MCU:               mcu.Options{Forwarding: true, UseBWB: true},
+		BoundsPortWidth:   1,
+		DataPortWidth:     2,
+		DataMSHRs:         10,
+		BoundsMSHRs:       6,
+	}
+}
+
+// Result is the timing outcome of one run.
+type Result struct {
+	Cycles uint64
+	Insts  uint64
+
+	Branch bpred.Stats
+
+	Traffic      cache.Traffic
+	L1I, L1D, L2 cache.Stats
+	L1B          *cache.Stats // nil when no bounds cache configured
+	DRAMAccesses uint64
+
+	// CheckedOps counts MCU bounds checks for loads/stores; BoundsAccesses
+	// counts the HBT line loads they and the bounds ops performed
+	// (Fig 17's metric is BoundsAccesses/CheckedOps).
+	CheckedOps     uint64
+	BoundsAccesses uint64
+	BWB            mcu.BWBStats
+	Forwards       uint64
+	Resizes        int
+
+	// RetireDelay accumulates cycles signed accesses spent waiting for
+	// validation after their data was ready (delayed-retirement cost).
+	RetireDelay uint64
+}
+
+// IPC returns instructions per cycle.
+func (r Result) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Insts) / float64(r.Cycles)
+}
+
+// Core is the timing model. It implements isa.Sink; feed it the functional
+// machine's stream and call Finalize.
+type Core struct {
+	cfg  Config
+	hier *cache.Hierarchy
+	bp   *bpred.TAGE
+	bwb  *mcu.BWB
+
+	// Front end.
+	fetchCycle uint64
+	fetchCount int
+	lastLine   uint64
+	redirect   uint64
+
+	// Register availability.
+	regReady [isa.NumRegs]uint64
+
+	// Structural occupancy rings (cycle when the slot frees).
+	robRing []uint64
+	robIdx  int
+	lqRing  []uint64
+	lqIdx   int
+	sqRing  []uint64
+	sqIdx   int
+	mcqRing []uint64
+	mcqIdx  int
+
+	// In-order commit bookkeeping.
+	lastCommit  uint64
+	commitCycle uint64
+	commitUsed  int
+
+	// Port schedulers: reservations tracked per cycle in pruned windows so
+	// out-of-order start times interleave correctly. The bounds port is the
+	// L1-B lookup port; the data ports are the L1-D read ports. Without an
+	// L1-B, bounds lookups contend for the data ports (§V-F1's motivation).
+	portUsed   map[uint64]int
+	portFloor  uint64
+	dPortUsed  map[uint64]int
+	dPortFloor uint64
+
+	// MSHR rings: completion times of the N most recent outstanding misses
+	// on each path; a new miss waits for the oldest slot.
+	dMSHR    []uint64
+	dMSHRIdx int
+	bMSHR    []uint64
+	bMSHRIdx int
+
+	// cryptoFree models the single non-pipelined QARMA unit shared by
+	// pacia/autia/pacma (4-cycle occupancy each).
+	cryptoFree uint64
+
+	bndstrDrain  map[uint16]uint64 // PAC -> in-flight bounds-store drain cycle
+	checked      uint64
+	boundsAccess uint64
+	forwards     uint64
+	resizes      int
+	retireDelay  uint64
+
+	insts uint64
+	// statsSince is the commit cycle at the last ResetStats (warmup end).
+	statsSince uint64
+
+	// observer, when set, receives per-instruction pipeline timestamps
+	// (debug/visualization; nil in normal runs).
+	observer func(in *isa.Inst, t Timestamps)
+}
+
+// Timestamps are one instruction's pipeline event cycles.
+type Timestamps struct {
+	Fetch, Dispatch, Issue, Complete, Commit uint64
+	// MCUDone is the bounds-validation completion (0 if unchecked).
+	MCUDone uint64
+}
+
+// SetObserver installs a per-instruction pipeline observer (nil disables).
+func (c *Core) SetObserver(f func(in *isa.Inst, t Timestamps)) { c.observer = f }
+
+// New builds a core; it panics on invalid cache geometry (configs are
+// literals).
+func New(cfg Config) *Core {
+	if cfg.Width == 0 {
+		cfg = DefaultConfig()
+	}
+	h, err := cache.NewHierarchy(cfg.Caches)
+	if err != nil {
+		panic(err)
+	}
+	var bwb *mcu.BWB
+	if cfg.MCU.UseBWB {
+		bwb = mcu.NewBWB()
+	}
+	return &Core{
+		cfg:         cfg,
+		hier:        h,
+		bp:          bpred.NewTAGE(),
+		bwb:         bwb,
+		robRing:     make([]uint64, cfg.ROBSize),
+		lqRing:      make([]uint64, cfg.LQSize),
+		sqRing:      make([]uint64, cfg.SQSize),
+		mcqRing:     make([]uint64, cfg.MCQSize),
+		dMSHR:       make([]uint64, cfg.DataMSHRs),
+		bMSHR:       make([]uint64, cfg.BoundsMSHRs),
+		portUsed:    make(map[uint64]int),
+		dPortUsed:   make(map[uint64]int),
+		bndstrDrain: make(map[uint16]uint64),
+		lastLine:    ^uint64(0),
+	}
+}
+
+// Hierarchy exposes the memory system (for inspection in tests).
+func (c *Core) Hierarchy() *cache.Hierarchy { return c.hier }
+
+// LastCommit returns the commit cycle of the most recent instruction.
+func (c *Core) LastCommit() uint64 { return c.lastCommit }
+
+// ResetStats starts the measurement window: all statistics are cleared
+// while the micro-architectural state (caches, predictor, BWB, clocks)
+// stays warm. Use after a warmup phase, mirroring the paper's methodology
+// of measuring a window of a much longer execution.
+func (c *Core) ResetStats() {
+	c.statsSince = c.lastCommit
+	c.insts = 0
+	c.checked = 0
+	c.boundsAccess = 0
+	c.forwards = 0
+	c.resizes = 0
+	c.retireDelay = 0
+	c.hier.ResetStats()
+	c.bp.ResetStats()
+	if c.bwb != nil {
+		c.bwb.ResetStats()
+	}
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// fetch assigns the instruction's fetch cycle, modeling width, I-cache
+// lines and misprediction redirects.
+func (c *Core) fetch(in *isa.Inst) uint64 {
+	if c.redirect > c.fetchCycle {
+		c.fetchCycle = c.redirect
+		c.fetchCount = 0
+	}
+	line := in.PC &^ 63
+	if line != c.lastLine {
+		lat := c.hier.FetchInst(in.PC)
+		if lat > 1 {
+			c.fetchCycle += uint64(lat - 1)
+			c.fetchCount = 0
+		}
+		c.lastLine = line
+	}
+	if c.fetchCount >= c.cfg.Width {
+		c.fetchCycle++
+		c.fetchCount = 0
+	}
+	c.fetchCount++
+	return c.fetchCycle
+}
+
+// execLatency returns the functional-unit latency for non-memory ops.
+func execLatency(op isa.Op) uint64 {
+	switch op {
+	case isa.OpMul:
+		return 3
+	case isa.OpFP:
+		return 4
+	case isa.OpPacma, isa.OpPacia, isa.OpAutia:
+		return pa.SignAuthLatency
+	case isa.OpXpacm, isa.OpAutm:
+		return pa.StripLatency
+	default:
+		return 1
+	}
+}
+
+// reserve finds the first cycle >= at with a free start slot in the given
+// per-cycle reservation map and reserves it.
+func reserve(used map[uint64]int, floor *uint64, width int, at uint64) uint64 {
+	if at < *floor {
+		at = *floor
+	}
+	for used[at] >= width {
+		at++
+	}
+	used[at]++
+	return at
+}
+
+// reservePort reserves a bounds-lookup port start slot. With an L1-B, the
+// MCU owns a dedicated lookup port. Without one, the LSU arbitrates: the
+// MCU still gets at most BoundsPortWidth grants per cycle, and each grant
+// also occupies one of the L1-D data ports (displacing loads).
+func (c *Core) reservePort(at uint64) uint64 {
+	if c.hier.HasBoundsCache() {
+		return reserve(c.portUsed, &c.portFloor, c.cfg.BoundsPortWidth, at)
+	}
+	grant := reserve(c.portUsed, &c.portFloor, c.cfg.BoundsPortWidth, at)
+	return reserve(c.dPortUsed, &c.dPortFloor, c.cfg.DataPortWidth, grant)
+}
+
+// reserveDataPort reserves an L1-D access start slot.
+func (c *Core) reserveDataPort(at uint64) uint64 {
+	return reserve(c.dPortUsed, &c.dPortFloor, c.cfg.DataPortWidth, at)
+}
+
+// prunePorts drops reservation bookkeeping for cycles that can no longer
+// receive starts (anything well behind the commit frontier).
+func (c *Core) prunePorts() {
+	below := uint64(0)
+	if c.lastCommit > 4096 {
+		below = c.lastCommit - 4096
+	}
+	if below > c.portFloor {
+		for cyc := range c.portUsed {
+			if cyc < below {
+				delete(c.portUsed, cyc)
+			}
+		}
+		c.portFloor = below
+	}
+	if below > c.dPortFloor {
+		for cyc := range c.dPortUsed {
+			if cyc < below {
+				delete(c.dPortUsed, cyc)
+			}
+		}
+		c.dPortFloor = below
+	}
+}
+
+// mcuAccess performs one bounds-line access starting no earlier than at,
+// subject to the bounds read-port start bandwidth, and returns its
+// completion cycle. Writes (bounds-store drains) go through the write
+// buffer and do not contend for the lookup port.
+func (c *Core) mcuAccess(at uint64, addr uint64, write bool) uint64 {
+	start := at
+	if !write {
+		start = c.reservePort(at)
+	}
+	lat := c.hier.AccessBounds(addr, write)
+	c.boundsAccess++
+	if lat > 1 && !write {
+		slot := &c.bMSHR[c.bMSHRIdx]
+		c.bMSHRIdx = (c.bMSHRIdx + 1) % len(c.bMSHR)
+		if *slot > start {
+			start = *slot
+		}
+		*slot = start + uint64(lat)
+	}
+	return start + uint64(lat)
+}
+
+// checkWays returns the sequence of HBT ways the MCQ FSM visits for a
+// load/store check, using the BWB exactly as §V-C describes: a hit starts
+// the search at the remembered way; a miss (or a stale hint) searches from
+// way 0.
+func (c *Core) checkWays(in *isa.Inst) []int {
+	home := int(in.HomeWay)
+	assoc := int(in.Assoc)
+	if home < 0 {
+		// Bounds-check failure: the search visits every way.
+		ways := make([]int, assoc)
+		for i := range ways {
+			ways[i] = i
+		}
+		return ways
+	}
+	if c.bwb != nil {
+		tag := mcu.BWBTag(pa.VA(in.Addr), in.AHC, in.PAC)
+		if w, ok := c.bwb.Lookup(tag); ok && w < assoc {
+			if w == home {
+				return []int{w}
+			}
+			// Stale hint: the FSM falls back to a way-0 search.
+			ways := make([]int, 0, home+2)
+			ways = append(ways, w)
+			for i := 0; i <= home; i++ {
+				ways = append(ways, i)
+			}
+			return ways
+		}
+	}
+	ways := make([]int, home+1)
+	for i := range ways {
+		ways[i] = i
+	}
+	return ways
+}
+
+// Emit processes one instruction; implements isa.Sink.
+func (c *Core) Emit(in *isa.Inst) {
+	c.insts++
+	if c.insts%8192 == 0 {
+		c.prunePorts()
+	}
+
+	fetch := c.fetch(in)
+	dispatch := fetch + uint64(c.cfg.FrontendDepth)
+
+	// Structural back-pressure: ROB, LQ/SQ, MCQ.
+	dispatch = max64(dispatch, c.robRing[c.robIdx])
+	isMem := in.Op.IsMem()
+	// The MCQ is an AOS structure: memory instructions and bounds ops
+	// occupy it. Watchdog's check micro-ops are ordinary pipeline ops.
+	usesMCQ := (isMem && in.Op != isa.OpWDCheck) || in.Op.IsBoundsOp()
+	switch {
+	case in.Op == isa.OpLoad:
+		dispatch = max64(dispatch, c.lqRing[c.lqIdx])
+	case in.Op == isa.OpStore:
+		dispatch = max64(dispatch, c.sqRing[c.sqIdx])
+	}
+	if usesMCQ {
+		dispatch = max64(dispatch, c.mcqRing[c.mcqIdx])
+	}
+	// Dispatch stalls back up the front end (this is how MCQ back-pressure
+	// throttles speculation).
+	if lag := dispatch - uint64(c.cfg.FrontendDepth); lag > c.fetchCycle {
+		c.fetchCycle = lag
+		c.fetchCount = 0
+	}
+
+	// Source operands.
+	ready := dispatch
+	if in.Src1 != isa.RegNone {
+		ready = max64(ready, c.regReady[in.Src1])
+	}
+	if in.Src2 != isa.RegNone {
+		ready = max64(ready, c.regReady[in.Src2])
+	}
+	issue := ready
+
+	// Execute.
+	var done uint64
+	va := pa.VA(in.Addr)
+	switch {
+	case in.Op == isa.OpLoad:
+		start := c.reserveDataPort(issue)
+		lat := c.hier.AccessData(va, false)
+		if lat > 1 {
+			// L1-D miss: allocate an MSHR; a full MSHR file stalls the miss.
+			slot := &c.dMSHR[c.dMSHRIdx]
+			c.dMSHRIdx = (c.dMSHRIdx + 1) % len(c.dMSHR)
+			start = max64(start, *slot)
+			*slot = start + uint64(lat)
+		}
+		done = start + uint64(lat)
+	case in.Op == isa.OpWDCheck && in.Addr != 0:
+		// Watchdog's check micro-op loads the lock location through its
+		// lock-location cache (the structure the paper likens the L1-B to).
+		done = c.mcuAccess(issue, va, false)
+	case in.Op == isa.OpStore:
+		done = issue + 1 // address generation; data drains at commit
+	case in.Op.IsBranch():
+		done = issue + 1
+	case in.Op == isa.OpPacma || in.Op == isa.OpPacia || in.Op == isa.OpAutia:
+		// One partially-pipelined crypto unit (4-cycle latency, one new
+		// QARMA operation every 2 cycles): sign/auth bursts queue.
+		start := max64(issue, c.cryptoFree)
+		done = start + execLatency(in.Op)
+		c.cryptoFree = start + 2
+	default:
+		done = issue + execLatency(in.Op)
+	}
+
+	// MCU validation (§V-A): signed accesses may not retire until their
+	// bounds check completes; bounds ops must finish their occupancy walk.
+	mcuDone := uint64(0)
+	switch {
+	case isMem && in.Signed && in.Op != isa.OpWDCheck:
+		c.checked++
+		fw := false
+		if c.cfg.MCU.Forwarding {
+			if drain, ok := c.bndstrDrain[in.PAC]; ok && drain > issue {
+				// An in-flight bndstr with this PAC: forward its bounds.
+				fw = true
+				c.forwards++
+				mcuDone = issue + 1
+			}
+		}
+		if !fw {
+			start := issue
+			if drain, ok := c.bndstrDrain[in.PAC]; ok && drain > start && !c.cfg.MCU.Forwarding {
+				// Without forwarding the check replays until the bounds
+				// store drains (§V-E).
+				start = drain
+			}
+			t := start
+			for _, w := range c.checkWays(in) {
+				t = c.mcuAccess(t, in.RowAddr+uint64(w)<<6, false)
+			}
+			mcuDone = t
+			if c.bwb != nil && in.HomeWay >= 0 {
+				c.bwb.Update(mcu.BWBTag(va, in.AHC, in.PAC), int(in.HomeWay))
+			}
+		}
+	case in.Op.IsBoundsOp():
+		if in.Resize {
+			// Gradual HBT resize: non-blocking for the program, but the
+			// migration traffic is real, and the BWB's remembered ways die.
+			c.resizes++
+			oldBytes := uint64(in.Assoc) / 2 * 4 << 20
+			c.hier.AddBulkTraffic(2 * oldBytes)
+			if c.bwb != nil {
+				c.bwb.Invalidate()
+			}
+		}
+		// Occupancy-check walk over ways 0..HomeWay.
+		t := issue
+		limit := int(in.HomeWay)
+		if limit < 0 {
+			limit = int(in.Assoc) - 1 // failing clear searches every way
+		}
+		for w := 0; w <= limit; w++ {
+			t = c.mcuAccess(t, in.RowAddr+uint64(w)<<6, false)
+		}
+		mcuDone = t
+	}
+	// Validation overlaps the commit stage: a check that completes within
+	// one cycle of the data does not delay retirement.
+	if mcuDone > 0 {
+		mcuDone--
+	}
+	complete := max64(done, mcuDone)
+	if mcuDone > done {
+		c.retireDelay += mcuDone - done
+	}
+
+	// Branch resolution and misprediction redirect.
+	if in.Op == isa.OpBranch {
+		pred := c.bp.Predict(in.BranchID)
+		c.bp.Update(in.BranchID, in.Taken)
+		if pred != in.Taken {
+			r := done + uint64(c.cfg.MispredictPenalty)
+			if r > c.redirect {
+				c.redirect = r
+			}
+		}
+	}
+
+	// In-order commit, width-limited.
+	commit := max64(complete+1, c.lastCommit)
+	if commit > c.commitCycle {
+		c.commitCycle = commit
+		c.commitUsed = 0
+	}
+	if c.commitUsed >= c.cfg.Width {
+		c.commitCycle++
+		c.commitUsed = 0
+	}
+	c.commitUsed++
+	commit = c.commitCycle
+	c.lastCommit = commit
+
+	// Post-commit effects.
+	release := commit
+	switch in.Op {
+	case isa.OpStore:
+		c.hier.AccessData(va, true) // drain the store buffer
+	case isa.OpBndstr:
+		// The FSM sends the bounds-store once committed and moves to Done;
+		// the MCQ slot frees at send, while the write completes in the
+		// background (tracked for the forwarding/replay window).
+		drain := c.mcuAccess(commit+1, in.RowAddr+uint64(maxInt8(in.HomeWay, 0))<<6, true)
+		c.bndstrDrain[in.PAC] = drain
+		release = commit + 1
+	case isa.OpBndclr:
+		if in.HomeWay >= 0 {
+			c.mcuAccess(commit+1, in.RowAddr+uint64(in.HomeWay)<<6, true)
+		}
+		release = commit + 1
+	}
+
+	if c.observer != nil {
+		c.observer(in, Timestamps{
+			Fetch: fetch, Dispatch: dispatch, Issue: issue,
+			Complete: complete, Commit: commit, MCUDone: mcuDone,
+		})
+	}
+
+	// Writeback / slot recycling.
+	if in.Dest != isa.RegNone {
+		c.regReady[in.Dest] = complete
+	}
+	c.robRing[c.robIdx] = commit
+	c.robIdx = (c.robIdx + 1) % c.cfg.ROBSize
+	switch {
+	case in.Op == isa.OpLoad:
+		c.lqRing[c.lqIdx] = commit
+		c.lqIdx = (c.lqIdx + 1) % c.cfg.LQSize
+	case in.Op == isa.OpStore:
+		c.sqRing[c.sqIdx] = commit
+		c.sqIdx = (c.sqIdx + 1) % c.cfg.SQSize
+	}
+	if usesMCQ {
+		c.mcqRing[c.mcqIdx] = release
+		c.mcqIdx = (c.mcqIdx + 1) % c.cfg.MCQSize
+	}
+}
+
+func maxInt8(v int8, lo int8) int8 {
+	if v > lo {
+		return v
+	}
+	return lo
+}
+
+// Finalize returns the run's timing result.
+func (c *Core) Finalize() Result {
+	r := Result{
+		Cycles:         c.lastCommit - c.statsSince,
+		Insts:          c.insts,
+		Branch:         c.bp.Stats(),
+		Traffic:        c.hier.Traffic(),
+		L1I:            c.hier.L1I.Stats(),
+		L1D:            c.hier.L1D.Stats(),
+		L2:             c.hier.L2.Stats(),
+		DRAMAccesses:   c.hier.DRAMAccesses,
+		CheckedOps:     c.checked,
+		BoundsAccesses: c.boundsAccess,
+		Forwards:       c.forwards,
+		Resizes:        c.resizes,
+		RetireDelay:    c.retireDelay,
+	}
+	if c.hier.L1B != nil {
+		s := c.hier.L1B.Stats()
+		r.L1B = &s
+	}
+	if c.bwb != nil {
+		r.BWB = c.bwb.Stats()
+	}
+	return r
+}

@@ -1,0 +1,424 @@
+package cpu
+
+import (
+	"testing"
+
+	"aos/internal/cache"
+	"aos/internal/core"
+	"aos/internal/instrument"
+	"aos/internal/isa"
+	"aos/internal/mcu"
+)
+
+func run(t testing.TB, insts []isa.Inst) Result {
+	t.Helper()
+	c := New(DefaultConfig())
+	for i := range insts {
+		c.Emit(&insts[i])
+	}
+	return c.Finalize()
+}
+
+func TestIndependentALUThroughput(t *testing.T) {
+	// 8-wide core, independent 1-cycle ALU ops in a tight loop: IPC must
+	// approach the width (long run amortizes the cold I-cache misses).
+	n := 100000
+	insts := make([]isa.Inst, n)
+	for i := range insts {
+		insts[i] = isa.Inst{Op: isa.OpALU, PC: uint64(0x400000 + 4*(i%256)),
+			Dest: uint8(1 + i%24), Src1: isa.RegNone, Src2: isa.RegNone}
+	}
+	r := run(t, insts)
+	if ipc := r.IPC(); ipc < 6.5 {
+		t.Errorf("independent ALU IPC = %.2f, want near 8", ipc)
+	}
+}
+
+func TestDependencyChainSerializes(t *testing.T) {
+	// A strict chain of 1-cycle ops: IPC must approach 1.
+	n := 4000
+	insts := make([]isa.Inst, n)
+	for i := range insts {
+		insts[i] = isa.Inst{Op: isa.OpALU, PC: uint64(0x400000 + 4*(i%256)),
+			Dest: 1, Src1: 1, Src2: isa.RegNone}
+	}
+	r := run(t, insts)
+	if ipc := r.IPC(); ipc > 1.3 || ipc < 0.7 {
+		t.Errorf("chained ALU IPC = %.2f, want ~1", ipc)
+	}
+}
+
+func TestCacheMissesSlowLoads(t *testing.T) {
+	// Dependent pointer-chasing loads over a huge footprint (every load a
+	// DRAM miss) versus the same chain hitting one line.
+	mk := func(stride uint64) []isa.Inst {
+		insts := make([]isa.Inst, 3000)
+		for i := range insts {
+			insts[i] = isa.Inst{Op: isa.OpLoad, PC: 0x400000 + uint64(4*(i%64)),
+				Addr: 0x2000_0000_0000 + uint64(i)*stride, Size: 8,
+				Dest: 1, Src1: 1, Src2: isa.RegNone}
+		}
+		return insts
+	}
+	hot := run(t, mk(0))
+	cold := run(t, mk(4096))
+	if cold.Cycles < hot.Cycles*10 {
+		t.Errorf("DRAM-missing chain (%d cyc) not ≫ L1-hitting chain (%d cyc)",
+			cold.Cycles, hot.Cycles)
+	}
+}
+
+func TestMispredictionCostsCycles(t *testing.T) {
+	mk := func(random bool) []isa.Inst {
+		insts := make([]isa.Inst, 6000)
+		for i := range insts {
+			taken := true
+			if random {
+				taken = (i*2654435761)>>13&1 == 0 // pseudo-random pattern
+			}
+			insts[i] = isa.Inst{Op: isa.OpBranch, PC: 0x400000 + uint64(4*(i%64)),
+				BranchID: uint32(i % 8), Taken: taken,
+				Dest: isa.RegNone, Src1: isa.RegNone, Src2: isa.RegNone}
+		}
+		return insts
+	}
+	good := run(t, mk(false))
+	bad := run(t, mk(true))
+	if bad.Branch.Mispredicts < good.Branch.Mispredicts*5 {
+		t.Skipf("predictor learned the pseudo-random pattern; mispredicts %d vs %d",
+			bad.Branch.Mispredicts, good.Branch.Mispredicts)
+	}
+	if bad.Cycles <= good.Cycles {
+		t.Errorf("mispredicting run (%d cyc) not slower than predictable run (%d cyc)",
+			bad.Cycles, good.Cycles)
+	}
+}
+
+func TestSignedAccessDelaysRetirement(t *testing.T) {
+	// Identical load streams, one signed (checked), one not. The checked
+	// one must accumulate retire delay and bounds accesses.
+	mk := func(signed bool) []isa.Inst {
+		insts := make([]isa.Inst, 2000)
+		for i := range insts {
+			// Model 48 chunks (within the 64-entry BWB reach), each
+			// accessed within its own 4 KiB frame so the BWB tag is stable
+			// per chunk. The unsigned run uses the same address stream.
+			pac := uint16(i % 48)
+			in := isa.Inst{Op: isa.OpLoad, PC: 0x400000 + uint64(4*(i%64)),
+				Addr: 0x2000_0000_0000 + uint64(pac)*4096 + uint64(i%8)*64, Size: 8,
+				Dest: uint8(1 + i%16), Src1: isa.RegNone, Src2: isa.RegNone}
+			if signed {
+				in.Signed = true
+				in.PAC = pac
+				in.AHC = 3
+				in.HomeWay = 0
+				in.Assoc = 1
+				in.RowAddr = 0x3000_0000_0000 + uint64(pac)*64
+			}
+			insts[i] = in
+		}
+		return insts
+	}
+	unchecked := run(t, mk(false))
+	checked := run(t, mk(true))
+	if checked.CheckedOps != 2000 {
+		t.Errorf("CheckedOps = %d", checked.CheckedOps)
+	}
+	if checked.BoundsAccesses == 0 {
+		t.Error("no bounds accesses recorded")
+	}
+	// With warm caches and a hitting BWB, validation hides behind the load
+	// latency — the always-on selling point — so only non-regression is
+	// required here.
+	if checked.Cycles < unchecked.Cycles {
+		t.Errorf("checked run (%d) faster than unchecked (%d)", checked.Cycles, unchecked.Cycles)
+	}
+	if checked.BWB.HitRate() < 0.5 {
+		t.Errorf("BWB hit rate = %.2f for a 48-chunk working set, want high", checked.BWB.HitRate())
+	}
+}
+
+func TestWayIterationDelaysRetirement(t *testing.T) {
+	// Without the BWB, bounds living in way 3 of a 4-way row cost four
+	// sequential line loads per check; the chain must be strictly slower
+	// than the unchecked equivalent and accumulate retire delay.
+	mk := func(signed bool) []isa.Inst {
+		insts := make([]isa.Inst, 2000)
+		for i := range insts {
+			in := isa.Inst{Op: isa.OpLoad, PC: 0x400000 + uint64(4*(i%64)),
+				Addr: 0x2000_0000_0000 + uint64(i%8)*64, Size: 8,
+				Dest: 1, Src1: 1, Src2: isa.RegNone} // dependent chain
+			if signed {
+				in.Signed = true
+				in.PAC = 5
+				in.AHC = 3
+				in.HomeWay = 3
+				in.Assoc = 4
+				in.RowAddr = 0x3000_0000_0000
+			}
+			insts[i] = in
+		}
+		return insts
+	}
+	cfg := DefaultConfig()
+	cfg.MCU.UseBWB = false
+	runWith := func(signed bool) Result {
+		c := New(cfg)
+		for _, in := range mk(signed) {
+			in := in
+			c.Emit(&in)
+		}
+		return c.Finalize()
+	}
+	unchecked := runWith(false)
+	checked := runWith(true)
+	if checked.Cycles <= unchecked.Cycles {
+		t.Errorf("way-iterating run (%d) not slower than unchecked (%d)",
+			checked.Cycles, unchecked.Cycles)
+	}
+	if checked.RetireDelay == 0 {
+		t.Error("no retire delay accumulated despite way iteration")
+	}
+	if perCheck := float64(checked.BoundsAccesses) / float64(checked.CheckedOps); perCheck < 3.9 {
+		t.Errorf("bounds accesses per check = %.2f, want 4 (no BWB, way 3)", perCheck)
+	}
+}
+
+func TestBoundsAccessesPolluteCachesWithoutL1B(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Caches.L1B = nil
+	noB := New(cfg)
+	withB := New(DefaultConfig())
+	insts := make([]isa.Inst, 4000)
+	for i := range insts {
+		insts[i] = isa.Inst{Op: isa.OpLoad, PC: 0x400000 + uint64(4*(i%64)),
+			Addr: 0x2000_0000_0000 + uint64(i%2048)*64, Size: 8, Signed: true,
+			PAC: uint16(i % 1024), AHC: 3, HomeWay: 0, Assoc: 1,
+			RowAddr: 0x3000_0000_0000 + uint64(i%1024)*64,
+			Dest:    uint8(1 + i%16), Src1: isa.RegNone, Src2: isa.RegNone}
+	}
+	for i := range insts {
+		noB.Emit(&insts[i])
+	}
+	for i := range insts {
+		withB.Emit(&insts[i])
+	}
+	rNo, rWith := noB.Finalize(), withB.Finalize()
+	// Without an L1-B the bounds lines contend with data in the L1-D.
+	if rNo.L1D.Misses <= rWith.L1D.Misses {
+		t.Errorf("L1D misses without L1-B (%d) not above with L1-B (%d)",
+			rNo.L1D.Misses, rWith.L1D.Misses)
+	}
+	if rWith.L1B == nil {
+		t.Fatal("L1B stats missing")
+	}
+}
+
+func TestBndstrChargesOccupancyWalkAndDrain(t *testing.T) {
+	c := New(DefaultConfig())
+	in := isa.Inst{Op: isa.OpBndstr, PC: 0x400000, Addr: 0x2000_0000_0000,
+		Signed: true, PAC: 7, AHC: 3, HomeWay: 2, Assoc: 4,
+		RowAddr: 0x3000_0000_0000, Dest: isa.RegNone, Src1: isa.RegNone, Src2: isa.RegNone}
+	c.Emit(&in)
+	r := c.Finalize()
+	// Ways 0,1,2 read + 1 drain write.
+	if r.BoundsAccesses != 4 {
+		t.Errorf("bndstr bounds accesses = %d, want 4", r.BoundsAccesses)
+	}
+}
+
+func TestResizeChargesMigrationTraffic(t *testing.T) {
+	c := New(DefaultConfig())
+	in := isa.Inst{Op: isa.OpBndstr, PC: 0x400000, Addr: 0x2000_0000_0000,
+		Signed: true, PAC: 7, AHC: 3, HomeWay: 0, Assoc: 2, Resize: true,
+		RowAddr: 0x3000_0000_0000, Dest: isa.RegNone, Src1: isa.RegNone, Src2: isa.RegNone}
+	c.Emit(&in)
+	r := c.Finalize()
+	if r.Resizes != 1 {
+		t.Errorf("resizes = %d", r.Resizes)
+	}
+	// Old table was 1-way = 4 MiB; migration reads+writes it all.
+	if r.Traffic.L2ToDRAM < 8<<20 {
+		t.Errorf("migration traffic = %d bytes, want >= 8 MiB", r.Traffic.L2ToDRAM)
+	}
+}
+
+func TestForwardingAvoidsBoundsAccesses(t *testing.T) {
+	mk := func() []isa.Inst {
+		var insts []isa.Inst
+		for i := 0; i < 500; i++ {
+			pac := uint16(i)
+			row := 0x3000_0000_0000 + uint64(pac)*64
+			addr := 0x2000_0000_0000 + uint64(i)*256
+			insts = append(insts,
+				isa.Inst{Op: isa.OpBndstr, PC: 0x400000, Addr: addr, Signed: true,
+					PAC: pac, AHC: 2, HomeWay: 0, Assoc: 1, RowAddr: row,
+					Dest: isa.RegNone, Src1: isa.RegNone, Src2: isa.RegNone},
+				// Dereference immediately after allocation: the classic
+				// forwarding win.
+				isa.Inst{Op: isa.OpStore, PC: 0x400004, Addr: addr, Size: 8, Signed: true,
+					PAC: pac, AHC: 2, HomeWay: 0, Assoc: 1, RowAddr: row,
+					Dest: isa.RegNone, Src1: isa.RegNone, Src2: isa.RegNone})
+		}
+		return insts
+	}
+	cfgNoFw := DefaultConfig()
+	cfgNoFw.MCU.Forwarding = false
+	cNo := New(cfgNoFw)
+	cYes := New(DefaultConfig())
+	for _, in := range mk() {
+		in := in
+		cNo.Emit(&in)
+	}
+	for _, in := range mk() {
+		in := in
+		cYes.Emit(&in)
+	}
+	rNo, rYes := cNo.Finalize(), cYes.Finalize()
+	if rYes.Forwards == 0 {
+		t.Fatal("no forwards recorded")
+	}
+	if rYes.BoundsAccesses >= rNo.BoundsAccesses {
+		t.Errorf("forwarding did not reduce bounds accesses: %d vs %d",
+			rYes.BoundsAccesses, rNo.BoundsAccesses)
+	}
+	if rYes.Cycles > rNo.Cycles {
+		t.Errorf("forwarding slowed the run: %d vs %d", rYes.Cycles, rNo.Cycles)
+	}
+}
+
+func TestMCQBackPressure(t *testing.T) {
+	// A burst of long-latency checked accesses must throttle a following
+	// burst through MCQ occupancy: with a tiny MCQ the run takes longer.
+	mk := func() []isa.Inst {
+		insts := make([]isa.Inst, 3000)
+		for i := range insts {
+			insts[i] = isa.Inst{Op: isa.OpLoad, PC: 0x400000 + uint64(4*(i%64)),
+				Addr: 0x2000_0000_0000 + uint64(i)*4096, Size: 8, Signed: true,
+				PAC: uint16(i), AHC: 3, HomeWay: 3, Assoc: 4,
+				RowAddr: 0x3000_0000_0000 + uint64(i%65536)*256,
+				Dest:    uint8(1 + i%16), Src1: isa.RegNone, Src2: isa.RegNone}
+		}
+		return insts
+	}
+	small := DefaultConfig()
+	small.MCQSize = 2
+	cS := New(small)
+	cL := New(DefaultConfig())
+	for _, in := range mk() {
+		in := in
+		cS.Emit(&in)
+	}
+	for _, in := range mk() {
+		in := in
+		cL.Emit(&in)
+	}
+	rS, rL := cS.Finalize(), cL.Finalize()
+	if rS.Cycles <= rL.Cycles {
+		t.Errorf("tiny MCQ (%d cyc) not slower than 48-entry MCQ (%d cyc)", rS.Cycles, rL.Cycles)
+	}
+}
+
+func TestEndToEndWithFunctionalMachine(t *testing.T) {
+	// Full pipeline: functional machine emits into the timing core.
+	for _, scheme := range instrument.Schemes() {
+		m, err := core.New(core.Config{Scheme: scheme})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := New(DefaultConfig())
+		m.SetSink(c)
+		var ptrs []core.Ptr
+		for i := 0; i < 200; i++ {
+			p, err := m.Malloc(uint64(64 + i%300))
+			if err != nil {
+				t.Fatal(err)
+			}
+			ptrs = append(ptrs, p)
+			for j := 0; j < 5; j++ {
+				if err := m.Load(p, uint64(j*8), core.AccessOpts{Pointer: j == 0}); err != nil {
+					t.Fatalf("%v: unexpected violation: %v", scheme, err)
+				}
+			}
+			m.Compute(10, core.DepChain)
+			m.Branch(uint32(i%7), i%3 != 0)
+		}
+		for _, p := range ptrs {
+			if err := m.Free(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		r := c.Finalize()
+		if r.Insts == 0 || r.Cycles == 0 {
+			t.Fatalf("%v: empty result %+v", scheme, r)
+		}
+		if r.IPC() <= 0 || r.IPC() > float64(DefaultConfig().Width) {
+			t.Errorf("%v: IPC %.2f out of range", scheme, r.IPC())
+		}
+		if scheme.SignsDataPointers() && r.CheckedOps == 0 {
+			t.Errorf("%v: no checked ops", scheme)
+		}
+		if !scheme.SignsDataPointers() && r.CheckedOps != 0 {
+			t.Errorf("%v: unexpected checked ops", scheme)
+		}
+	}
+}
+
+func TestSchemeOrderingOnHeapHeavyWorkload(t *testing.T) {
+	// The paper's headline ordering on a heap-access-heavy workload:
+	// Baseline fastest; AOS adds modest overhead; Watchdog adds more.
+	cycles := map[instrument.Scheme]uint64{}
+	for _, scheme := range []instrument.Scheme{instrument.Baseline, instrument.AOS, instrument.Watchdog} {
+		m, err := core.New(core.Config{Scheme: scheme})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := New(DefaultConfig())
+		m.SetSink(c)
+		var ptrs []core.Ptr
+		for i := 0; i < 64; i++ {
+			p, _ := m.Malloc(4096)
+			ptrs = append(ptrs, p)
+		}
+		for i := 0; i < 20000; i++ {
+			p := ptrs[i%len(ptrs)]
+			// ~30% of the accessed values are pointers, typical of
+			// pointer-linked heap structures.
+			opts := core.AccessOpts{Pointer: i%10 < 3}
+			if err := m.Load(p, uint64(i%512)*8, opts); err != nil {
+				t.Fatal(err)
+			}
+			m.Compute(2, core.DepFree)
+		}
+		cycles[scheme] = c.Finalize().Cycles
+	}
+	if cycles[instrument.AOS] <= cycles[instrument.Baseline] {
+		t.Errorf("AOS (%d) not slower than baseline (%d)", cycles[instrument.AOS], cycles[instrument.Baseline])
+	}
+	if cycles[instrument.Watchdog] <= cycles[instrument.AOS] {
+		t.Errorf("Watchdog (%d) not slower than AOS (%d) on this workload",
+			cycles[instrument.Watchdog], cycles[instrument.AOS])
+	}
+}
+
+func TestDefaultConfigMatchesTableIV(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.Width != 8 || cfg.ROBSize != 192 || cfg.LQSize != 32 || cfg.SQSize != 32 || cfg.MCQSize != 48 {
+		t.Errorf("core geometry diverges from Table IV: %+v", cfg)
+	}
+	cc := cfg.Caches
+	if cc.L1D.SizeBytes != 64<<10 || cc.L1D.Ways != 8 {
+		t.Error("L1-D diverges from Table IV")
+	}
+	if cc.L1B == nil || cc.L1B.SizeBytes != 32<<10 || cc.L1B.Ways != 4 {
+		t.Error("L1-B diverges from Table IV")
+	}
+	if cc.L2.SizeBytes != 8<<20 || cc.L2.Ways != 16 || cc.L2.Latency != 8 {
+		t.Error("L2 diverges from Table IV")
+	}
+	if cc.DRAMLatency != 100 { // 50 ns at 2 GHz
+		t.Error("DRAM latency diverges from Table IV")
+	}
+	_ = cache.LineBytes
+	_ = mcu.BWBEntries
+}

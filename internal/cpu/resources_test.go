@@ -1,0 +1,179 @@
+package cpu
+
+import (
+	"testing"
+
+	"aos/internal/isa"
+)
+
+func alu(i int) isa.Inst {
+	return isa.Inst{Op: isa.OpALU, PC: 0x400000 + uint64(4*(i%64)),
+		Dest: uint8(1 + i%16), Src1: isa.RegNone, Src2: isa.RegNone}
+}
+
+func TestCryptoUnitQueues(t *testing.T) {
+	// A dense burst of pacia ops must serialize on the half-pipelined
+	// QARMA unit (one new operation every 2 cycles), while the same count
+	// of ALU ops flows at width.
+	mk := func(op isa.Op) []isa.Inst {
+		insts := make([]isa.Inst, 2000)
+		for i := range insts {
+			insts[i] = isa.Inst{Op: op, PC: 0x400000 + uint64(4*(i%64)),
+				Dest: uint8(1 + i%16), Src1: isa.RegNone, Src2: isa.RegNone}
+		}
+		return insts
+	}
+	run := func(insts []isa.Inst) uint64 {
+		c := New(DefaultConfig())
+		for i := range insts {
+			c.Emit(&insts[i])
+		}
+		return c.Finalize().Cycles
+	}
+	aluCycles := run(mk(isa.OpALU))
+	pacCycles := run(mk(isa.OpPacia))
+	if pacCycles < 2*2000-100 {
+		t.Errorf("2000 pacia ops in %d cycles; the crypto unit admits one per 2 cycles", pacCycles)
+	}
+	if pacCycles < aluCycles*4 {
+		t.Errorf("crypto burst (%d) not markedly slower than ALU burst (%d)", pacCycles, aluCycles)
+	}
+}
+
+func TestDataMSHRsLimitMissParallelism(t *testing.T) {
+	// Independent DRAM-missing loads: with 2 MSHRs the run must be much
+	// slower than with the default 10.
+	mk := func() []isa.Inst {
+		insts := make([]isa.Inst, 2000)
+		for i := range insts {
+			insts[i] = isa.Inst{Op: isa.OpLoad, PC: 0x400000 + uint64(4*(i%64)),
+				Addr: 0x2000_0000_0000 + uint64(i)*4096, Size: 8,
+				Dest: uint8(1 + i%16), Src1: isa.RegNone, Src2: isa.RegNone}
+		}
+		return insts
+	}
+	run := func(mshrs int) uint64 {
+		cfg := DefaultConfig()
+		cfg.DataMSHRs = mshrs
+		c := New(cfg)
+		for _, in := range mk() {
+			in := in
+			c.Emit(&in)
+		}
+		return c.Finalize().Cycles
+	}
+	narrow, wide := run(2), run(10)
+	if narrow <= wide {
+		t.Errorf("2-MSHR run (%d) not slower than 10-MSHR run (%d)", narrow, wide)
+	}
+}
+
+func TestDataPortLimitsLoadThroughput(t *testing.T) {
+	// L1-hitting independent loads: throughput must cap near the data-port
+	// width (2/cycle), well below the 8-wide pipeline.
+	insts := make([]isa.Inst, 20000)
+	for i := range insts {
+		insts[i] = isa.Inst{Op: isa.OpLoad, PC: 0x400000 + uint64(4*(i%64)),
+			Addr: 0x2000_0000_0000 + uint64(i%64)*64, Size: 8,
+			Dest: uint8(1 + i%16), Src1: isa.RegNone, Src2: isa.RegNone}
+	}
+	c := New(DefaultConfig())
+	for i := range insts {
+		c.Emit(&insts[i])
+	}
+	r := c.Finalize()
+	perCycle := float64(r.Insts) / float64(r.Cycles)
+	if perCycle > 2.3 {
+		t.Errorf("load throughput %.2f/cycle exceeds the 2-port L1-D", perCycle)
+	}
+	if perCycle < 1.5 {
+		t.Errorf("load throughput %.2f/cycle far below the port limit", perCycle)
+	}
+}
+
+func TestNoL1BSharesDataPorts(t *testing.T) {
+	// Checked loads at high rate: without an L1-B, bounds lookups displace
+	// data-port slots, so the run must be at least as slow as with the
+	// dedicated bounds port.
+	mk := func() []isa.Inst {
+		insts := make([]isa.Inst, 10000)
+		for i := range insts {
+			pac := uint16(i % 32)
+			insts[i] = isa.Inst{Op: isa.OpLoad, PC: 0x400000 + uint64(4*(i%64)),
+				Addr: 0x2000_0000_0000 + uint64(pac)*4096 + uint64(i%8)*64, Size: 8,
+				Signed: true, PAC: pac, AHC: 3, HomeWay: 0, Assoc: 1,
+				RowAddr: 0x3000_0000_0000 + uint64(pac)*64,
+				Dest:    uint8(1 + i%16), Src1: isa.RegNone, Src2: isa.RegNone}
+		}
+		return insts
+	}
+	run := func(noL1B bool) uint64 {
+		cfg := DefaultConfig()
+		if noL1B {
+			cfg.Caches.L1B = nil
+		}
+		c := New(cfg)
+		for _, in := range mk() {
+			in := in
+			c.Emit(&in)
+		}
+		return c.Finalize().Cycles
+	}
+	with, without := run(false), run(true)
+	if without < with {
+		t.Errorf("no-L1B (%d cycles) faster than dedicated L1-B (%d)", without, with)
+	}
+}
+
+func TestResetStatsStartsMeasurementWindow(t *testing.T) {
+	c := New(DefaultConfig())
+	for i := 0; i < 5000; i++ {
+		in := alu(i)
+		c.Emit(&in)
+	}
+	warm := c.LastCommit()
+	c.ResetStats()
+	for i := 0; i < 5000; i++ {
+		in := alu(i)
+		c.Emit(&in)
+	}
+	r := c.Finalize()
+	if r.Insts != 5000 {
+		t.Errorf("measured insts = %d, want 5000", r.Insts)
+	}
+	if r.Cycles >= warm {
+		t.Errorf("measured cycles %d include the warmup (%d)", r.Cycles, warm)
+	}
+	if r.Cycles == 0 {
+		t.Error("measured cycles = 0")
+	}
+	// Cache contents survived the reset: the I-lines are warm, so the
+	// measured window has no I-cache misses.
+	if r.L1I.Misses != 0 {
+		t.Errorf("warm I-cache missed %d times after reset", r.L1I.Misses)
+	}
+}
+
+func TestRedirectAfterMispredict(t *testing.T) {
+	// One guaranteed mispredict: the next instruction's commit must come
+	// at least the redirect penalty later than without it.
+	run := func(taken bool) uint64 {
+		c := New(DefaultConfig())
+		// Train the predictor not-taken.
+		for i := 0; i < 200; i++ {
+			in := isa.Inst{Op: isa.OpBranch, PC: 0x400000, BranchID: 9, Taken: false,
+				Dest: isa.RegNone, Src1: isa.RegNone, Src2: isa.RegNone}
+			c.Emit(&in)
+		}
+		br := isa.Inst{Op: isa.OpBranch, PC: 0x400000, BranchID: 9, Taken: taken,
+			Dest: isa.RegNone, Src1: isa.RegNone, Src2: isa.RegNone}
+		c.Emit(&br)
+		in := alu(0)
+		c.Emit(&in)
+		return c.Finalize().Cycles
+	}
+	good, bad := run(false), run(true)
+	if bad < good+uint64(DefaultConfig().MispredictPenalty) {
+		t.Errorf("mispredict cost only %d cycles, penalty is %d", bad-good, DefaultConfig().MispredictPenalty)
+	}
+}

@@ -1,0 +1,560 @@
+// Package experiments implements the paper's evaluation: one function per
+// table and figure, each returning a typed result with a paper-style text
+// rendering. cmd/aosbench and the top-level benchmarks are thin wrappers
+// over this package.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"aos/internal/core"
+	"aos/internal/cpu"
+	"aos/internal/heap"
+	"aos/internal/hwmodel"
+	"aos/internal/instrument"
+	"aos/internal/isa"
+	"aos/internal/kernel"
+	"aos/internal/mem"
+	"aos/internal/pa"
+	"aos/internal/qarma"
+	"aos/internal/stats"
+	"aos/internal/workload"
+)
+
+// Options scales the experiments.
+type Options struct {
+	// Instructions overrides every profile's program-instruction budget
+	// (0 keeps per-profile defaults). Benchmarks use small values; the
+	// full harness uses the defaults.
+	Instructions uint64
+	// Seed drives the deterministic workload generators.
+	Seed int64
+	// Verbose enables progress lines on stderr-style output via Progress.
+	Progress func(format string, args ...interface{})
+}
+
+func (o Options) seed() int64 {
+	if o.Seed == 0 {
+		return 1
+	}
+	return o.Seed
+}
+
+func (o Options) progress(format string, args ...interface{}) {
+	if o.Progress != nil {
+		o.Progress(format, args...)
+	}
+}
+
+// runOne executes a profile under a scheme with optional AOS feature
+// toggles, returning the run summary.
+type runSummary struct {
+	Scheme  instrument.Scheme
+	CPU     cpu.Result
+	Counts  isa.Counts
+	Heap    heap.Stats
+	Resizes int
+	Excs    int
+}
+
+type aosVariant struct {
+	disableL1B         bool
+	disableCompression bool
+	disableBWB         bool
+	disableForwarding  bool
+}
+
+func runOne(p *workload.Profile, scheme instrument.Scheme, v aosVariant, o Options) (runSummary, error) {
+	m, err := core.New(core.Config{
+		Scheme:             scheme,
+		UncompressedBounds: v.disableCompression,
+		CodeFootprint:      p.CodeFootprint,
+	})
+	if err != nil {
+		return runSummary{}, err
+	}
+	cfg := cpu.DefaultConfig()
+	if v.disableL1B {
+		cfg.Caches.L1B = nil
+	}
+	cfg.MCU.UseBWB = !v.disableBWB
+	cfg.MCU.Forwarding = !v.disableForwarding
+	c := cpu.New(cfg)
+	m.SetSink(c)
+
+	prof := *p
+	if o.Instructions != 0 {
+		prof.Instructions = o.Instructions
+	}
+	// Warm the caches, predictor and BWB over half a budget, then measure.
+	var warmCounts isa.Counts
+	warmup := prof.Instructions / 2
+	if err := prof.RunWarm(m, o.seed(), warmup, func() {
+		c.ResetStats()
+		warmCounts = m.Counts()
+	}); err != nil {
+		return runSummary{}, err
+	}
+	counts := m.Counts()
+	counts.Total -= warmCounts.Total
+	counts.SignedLoads -= warmCounts.SignedLoads
+	counts.UnsignedLoads -= warmCounts.UnsignedLoads
+	counts.SignedStores -= warmCounts.SignedStores
+	counts.UnsignedStore -= warmCounts.UnsignedStore
+	for i := range counts.ByOp {
+		counts.ByOp[i] -= warmCounts.ByOp[i]
+	}
+	return runSummary{
+		Scheme:  scheme,
+		CPU:     c.Finalize(),
+		Counts:  counts,
+		Heap:    m.Heap.Stats(),
+		Resizes: len(m.OS.Resizes()),
+		Excs:    len(m.Exceptions()),
+	}, nil
+}
+
+// Matrix holds the full 16-benchmark x 5-scheme evaluation used by
+// Fig 14 (execution time), Fig 16/17 (AOS behaviour) and Fig 18 (traffic).
+type Matrix struct {
+	Benchmarks []string
+	Runs       map[string]map[instrument.Scheme]runSummary
+}
+
+// RunMatrix executes the full evaluation matrix.
+func RunMatrix(o Options) (*Matrix, error) {
+	m := &Matrix{Runs: make(map[string]map[instrument.Scheme]runSummary)}
+	for _, p := range workload.SPEC() {
+		m.Benchmarks = append(m.Benchmarks, p.Name)
+		m.Runs[p.Name] = make(map[instrument.Scheme]runSummary)
+		for _, s := range instrument.Schemes() {
+			o.progress("fig14: %s/%s", p.Name, s)
+			r, err := runOne(p, s, aosVariant{}, o)
+			if err != nil {
+				return nil, fmt.Errorf("%s under %v: %w", p.Name, s, err)
+			}
+			m.Runs[p.Name][s] = r
+		}
+	}
+	return m, nil
+}
+
+// Fig14Row is one benchmark's normalized execution times.
+type Fig14Row struct {
+	Name       string
+	Normalized map[instrument.Scheme]float64
+}
+
+// Fig14Result is the paper's headline figure.
+type Fig14Result struct {
+	Rows    []Fig14Row
+	Geomean map[instrument.Scheme]float64
+}
+
+// Fig14 derives normalized execution time from the matrix.
+func Fig14(m *Matrix) *Fig14Result {
+	res := &Fig14Result{Geomean: make(map[instrument.Scheme]float64)}
+	series := make(map[instrument.Scheme][]float64)
+	for _, name := range m.Benchmarks {
+		base := float64(m.Runs[name][instrument.Baseline].CPU.Cycles)
+		row := Fig14Row{Name: name, Normalized: make(map[instrument.Scheme]float64)}
+		for _, s := range instrument.Schemes() {
+			n := float64(m.Runs[name][s].CPU.Cycles) / base
+			row.Normalized[s] = n
+			if s != instrument.Baseline {
+				series[s] = append(series[s], n)
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	for s, xs := range series {
+		res.Geomean[s] = stats.Geomean(xs)
+	}
+	return res
+}
+
+// CSV renders the normalized-time rows as comma-separated values for
+// external plotting.
+func (r *Fig14Result) CSV() string {
+	var b strings.Builder
+	b.WriteString("benchmark,watchdog,pa,aos,pa+aos\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%s,%.4f,%.4f,%.4f,%.4f\n", row.Name,
+			row.Normalized[instrument.Watchdog], row.Normalized[instrument.PA],
+			row.Normalized[instrument.AOS], row.Normalized[instrument.PAAOS])
+	}
+	fmt.Fprintf(&b, "geomean,%.4f,%.4f,%.4f,%.4f\n",
+		r.Geomean[instrument.Watchdog], r.Geomean[instrument.PA],
+		r.Geomean[instrument.AOS], r.Geomean[instrument.PAAOS])
+	return b.String()
+}
+
+// String renders Fig 14 as a table.
+func (r *Fig14Result) String() string {
+	t := stats.NewTable("benchmark", "Watchdog", "PA", "AOS", "PA+AOS")
+	for _, row := range r.Rows {
+		t.AddRow(row.Name,
+			row.Normalized[instrument.Watchdog],
+			row.Normalized[instrument.PA],
+			row.Normalized[instrument.AOS],
+			row.Normalized[instrument.PAAOS])
+	}
+	t.AddRow("GEOMEAN",
+		r.Geomean[instrument.Watchdog],
+		r.Geomean[instrument.PA],
+		r.Geomean[instrument.AOS],
+		r.Geomean[instrument.PAAOS])
+	return "Fig 14: normalized execution time (baseline = 1.0)\n" + t.String()
+}
+
+// Fig15Variant identifies an optimization configuration.
+type Fig15Variant string
+
+// The four Fig 15 configurations.
+const (
+	V15None Fig15Variant = "NoOptimization"
+	V15L1B  Fig15Variant = "L1-B"
+	V15Comp Fig15Variant = "BoundsCompression"
+	V15Both Fig15Variant = "L1-B+BoundsCompression"
+)
+
+// Fig15Result is the optimization ablation.
+type Fig15Result struct {
+	Benchmarks []string
+	// Normalized[variant][benchmark] = exec time vs Baseline.
+	Normalized map[Fig15Variant]map[string]float64
+	Geomean    map[Fig15Variant]float64
+}
+
+// Fig15 runs AOS under the four optimization configurations.
+func Fig15(o Options) (*Fig15Result, error) {
+	variants := map[Fig15Variant]aosVariant{
+		V15None: {disableL1B: true, disableCompression: true},
+		V15L1B:  {disableCompression: true},
+		V15Comp: {disableL1B: true},
+		V15Both: {},
+	}
+	res := &Fig15Result{
+		Normalized: make(map[Fig15Variant]map[string]float64),
+		Geomean:    make(map[Fig15Variant]float64),
+	}
+	for v := range variants {
+		res.Normalized[v] = make(map[string]float64)
+	}
+	series := make(map[Fig15Variant][]float64)
+	for _, p := range workload.SPEC() {
+		res.Benchmarks = append(res.Benchmarks, p.Name)
+		o.progress("fig15: %s baseline", p.Name)
+		base, err := runOne(p, instrument.Baseline, aosVariant{}, o)
+		if err != nil {
+			return nil, err
+		}
+		for v, av := range variants {
+			o.progress("fig15: %s %s", p.Name, v)
+			r, err := runOne(p, instrument.AOS, av, o)
+			if err != nil {
+				return nil, err
+			}
+			n := float64(r.CPU.Cycles) / float64(base.CPU.Cycles)
+			res.Normalized[v][p.Name] = n
+			series[v] = append(series[v], n)
+		}
+	}
+	for v, xs := range series {
+		res.Geomean[v] = stats.Geomean(xs)
+	}
+	return res, nil
+}
+
+// String renders Fig 15.
+func (r *Fig15Result) String() string {
+	order := []Fig15Variant{V15None, V15L1B, V15Comp, V15Both}
+	t := stats.NewTable("benchmark", string(V15None), string(V15L1B), string(V15Comp), string(V15Both))
+	for _, b := range r.Benchmarks {
+		t.AddRow(b, r.Normalized[V15None][b], r.Normalized[V15L1B][b],
+			r.Normalized[V15Comp][b], r.Normalized[V15Both][b])
+	}
+	cells := make([]interface{}, 0, 5)
+	cells = append(cells, "GEOMEAN")
+	for _, v := range order {
+		cells = append(cells, r.Geomean[v])
+	}
+	t.AddRow(cells...)
+	return "Fig 15: AOS optimization ablation (normalized execution time)\n" + t.String()
+}
+
+// Fig16Row is one benchmark's instruction statistics, scaled per 1B
+// instructions as the paper plots.
+type Fig16Row struct {
+	Name          string
+	UnsignedLoad  float64
+	UnsignedStore float64
+	SignedLoad    float64
+	SignedStore   float64
+	BoundsOps     float64
+	PAOps         float64
+}
+
+// Fig16 extracts the instruction mix of the AOS runs (per 1B instructions,
+// in millions — matching the paper's y-axis).
+func Fig16(m *Matrix) []Fig16Row {
+	var rows []Fig16Row
+	for _, name := range m.Benchmarks {
+		c := m.Runs[name][instrument.AOS].Counts
+		scale := 1e9 / float64(c.Total) / 1e6 // per 1B instrs, in millions
+		rows = append(rows, Fig16Row{
+			Name:          name,
+			UnsignedLoad:  float64(c.UnsignedLoads) * scale,
+			UnsignedStore: float64(c.UnsignedStore) * scale,
+			SignedLoad:    float64(c.SignedLoads) * scale,
+			SignedStore:   float64(c.SignedStores) * scale,
+			BoundsOps:     float64(c.BoundsOps()) * scale,
+			PAOps:         float64(c.PAOps()) * scale,
+		})
+	}
+	return rows
+}
+
+// Fig16String renders the rows.
+func Fig16String(rows []Fig16Row) string {
+	t := stats.NewTable("benchmark", "UnsignedLoad(M)", "UnsignedStore(M)",
+		"SignedLoad(M)", "SignedStore(M)", "bndstr/bndclr(M)", "pac*/aut*/xpac*(M)")
+	for _, r := range rows {
+		t.AddRow(r.Name, fmt.Sprintf("%.1f", r.UnsignedLoad), fmt.Sprintf("%.1f", r.UnsignedStore),
+			fmt.Sprintf("%.1f", r.SignedLoad), fmt.Sprintf("%.1f", r.SignedStore),
+			fmt.Sprintf("%.2f", r.BoundsOps), fmt.Sprintf("%.2f", r.PAOps))
+	}
+	return "Fig 16: instructions of interest per 1B instructions (millions)\n" + t.String()
+}
+
+// Fig17Row is one benchmark's bounds-access behaviour.
+type Fig17Row struct {
+	Name            string
+	AccessesPerInst float64
+	BWBHitRate      float64
+}
+
+// Fig17 extracts bounds-table accesses per checked instruction and the BWB
+// hit rate from the AOS runs.
+func Fig17(m *Matrix) []Fig17Row {
+	var rows []Fig17Row
+	for _, name := range m.Benchmarks {
+		r := m.Runs[name][instrument.AOS].CPU
+		per := 0.0
+		if ops := r.CheckedOps + uint64(r.Resizes); r.CheckedOps > 0 {
+			_ = ops
+			per = float64(r.BoundsAccesses) / float64(r.CheckedOps)
+		}
+		rows = append(rows, Fig17Row{Name: name, AccessesPerInst: per, BWBHitRate: r.BWB.HitRate()})
+	}
+	return rows
+}
+
+// Fig17String renders the rows.
+func Fig17String(rows []Fig17Row) string {
+	t := stats.NewTable("benchmark", "accesses/checked-op", "BWB hit rate")
+	for _, r := range rows {
+		t.AddRow(r.Name, r.AccessesPerInst, r.BWBHitRate)
+	}
+	return "Fig 17: bounds-table accesses and BWB hit rate (AOS)\n" + t.String()
+}
+
+// Fig18Result is normalized memory-hierarchy traffic.
+type Fig18Result struct {
+	Rows    []Fig14Row // same shape: normalized values per scheme
+	Geomean map[instrument.Scheme]float64
+}
+
+// Fig18 derives normalized network traffic from the matrix.
+func Fig18(m *Matrix) *Fig18Result {
+	res := &Fig18Result{Geomean: make(map[instrument.Scheme]float64)}
+	series := make(map[instrument.Scheme][]float64)
+	for _, name := range m.Benchmarks {
+		base := float64(m.Runs[name][instrument.Baseline].CPU.Traffic.Total())
+		row := Fig14Row{Name: name, Normalized: make(map[instrument.Scheme]float64)}
+		for _, s := range instrument.Schemes() {
+			n := float64(m.Runs[name][s].CPU.Traffic.Total()) / base
+			row.Normalized[s] = n
+			if s != instrument.Baseline {
+				series[s] = append(series[s], n)
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	for s, xs := range series {
+		res.Geomean[s] = stats.Geomean(xs)
+	}
+	return res
+}
+
+// CSV renders the traffic rows as comma-separated values.
+func (r *Fig18Result) CSV() string {
+	var b strings.Builder
+	b.WriteString("benchmark,watchdog,pa,aos,pa+aos\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%s,%.4f,%.4f,%.4f,%.4f\n", row.Name,
+			row.Normalized[instrument.Watchdog], row.Normalized[instrument.PA],
+			row.Normalized[instrument.AOS], row.Normalized[instrument.PAAOS])
+	}
+	fmt.Fprintf(&b, "geomean,%.4f,%.4f,%.4f,%.4f\n",
+		r.Geomean[instrument.Watchdog], r.Geomean[instrument.PA],
+		r.Geomean[instrument.AOS], r.Geomean[instrument.PAAOS])
+	return b.String()
+}
+
+// String renders Fig 18.
+func (r *Fig18Result) String() string {
+	t := stats.NewTable("benchmark", "Watchdog", "PA", "AOS", "PA+AOS")
+	for _, row := range r.Rows {
+		t.AddRow(row.Name,
+			row.Normalized[instrument.Watchdog],
+			row.Normalized[instrument.PA],
+			row.Normalized[instrument.AOS],
+			row.Normalized[instrument.PAAOS])
+	}
+	t.AddRow("GEOMEAN",
+		r.Geomean[instrument.Watchdog],
+		r.Geomean[instrument.PA],
+		r.Geomean[instrument.AOS],
+		r.Geomean[instrument.PAAOS])
+	return "Fig 18: normalized memory-hierarchy traffic (baseline = 1.0)\n" + t.String()
+}
+
+// Fig11Result is the PAC-distribution study.
+type Fig11Result struct {
+	Mallocs  uint64
+	Space    uint64
+	Distinct int
+	Summary  stats.Summary
+}
+
+// Fig11 reproduces §VI: N malloc calls, PACs computed with QARMA-64 using
+// the paper's key and context over the returned addresses, histogrammed
+// over the 16-bit PAC space.
+func Fig11(n int) (*Fig11Result, error) {
+	// The paper's exact parameters: context 0x477d469dec0b8762, key
+	// 0x84be85ce9804e94bec2802d4e0a488e9.
+	const context = 0x477d469dec0b8762
+	ciph := qarma.MustNew(qarma.Sigma1, qarma.Rounds, 0x84be85ce9804e94b, 0xec2802d4e0a488e9)
+
+	mm := mem.New()
+	alloc := heap.New(mm, kernel.HeapBase, 1<<36)
+	h := stats.NewHistogram()
+	for i := 0; i < n; i++ {
+		// Continuous mallocs (§VI: "continuously calls malloc() 1 million
+		// times"): every chunk gets a fresh address, so the histogram
+		// reflects the cipher, not allocator address reuse.
+		size := uint64(16 + (i%3)*16)
+		ptr, err := alloc.Malloc(size)
+		if err != nil {
+			return nil, err
+		}
+		pac := uint16(ciph.Encrypt(ptr, context))
+		h.Add(uint64(pac))
+	}
+	return &Fig11Result{
+		Mallocs:  uint64(n),
+		Space:    pa.PACSpace,
+		Distinct: h.Distinct(),
+		Summary:  h.OccurrenceSummary(pa.PACSpace),
+	}, nil
+}
+
+// String renders Fig 11's caption line.
+func (r *Fig11Result) String() string {
+	return fmt.Sprintf(
+		"Fig 11: PAC distribution over %d mallocs (16-bit PACs)\n"+
+			"  distinct PACs: %d / %d\n"+
+			"  occurrences per PAC: avg=%.1f max=%d min=%d stdev=%.2f\n"+
+			"  (paper, 1M mallocs: avg=16.0 max=36 min=3 stdev=3.99)",
+		r.Mallocs, r.Distinct, r.Space,
+		r.Summary.Avg, r.Summary.Max, r.Summary.Min, r.Summary.Stdev)
+}
+
+// Table1 returns the hardware-overhead estimates.
+func Table1() []hwmodel.Estimate { return hwmodel.TableI() }
+
+// Table1String renders Table I.
+func Table1String() string {
+	var b strings.Builder
+	b.WriteString("Table I: hardware overhead (analytical SRAM model @45nm)\n")
+	t := stats.NewTable("structure", "size", "area(mm2)", "access(ns)", "dyn energy(nJ)", "leakage(mW)")
+	for _, e := range Table1() {
+		t.AddRow(e.Name,
+			fmt.Sprintf("%.0fB", e.SizeBytes),
+			fmt.Sprintf("%.5f", e.AreaMM2),
+			fmt.Sprintf("%.4f", e.AccessNS),
+			fmt.Sprintf("%.6f", e.DynamicNJ),
+			fmt.Sprintf("%.3f", e.LeakageMW))
+	}
+	b.WriteString(t.String())
+	return b.String()
+}
+
+// MemProfiles reproduces Table II (set="spec") or Table III
+// (set="realworld") by replaying each profile's full-scale allocation
+// schedule through the real allocator. scale divides the published counts
+// (1 = full scale; benchmarks use larger divisors).
+func MemProfiles(set string, scale uint64, o Options) ([]workload.MemoryProfileResult, error) {
+	var profiles []*workload.Profile
+	switch set {
+	case "spec":
+		profiles = workload.SPEC()
+	case "realworld":
+		profiles = workload.RealWorld()
+	default:
+		return nil, fmt.Errorf("unknown profile set %q", set)
+	}
+	var out []workload.MemoryProfileResult
+	for _, p := range profiles {
+		o.progress("memprofile: %s", p.Name)
+		mm := mem.New()
+		alloc := heap.New(mm, kernel.HeapBase, 1<<37)
+		var live []uint64
+		res := p.AllocSchedule(scale, func(isAlloc bool) {
+			if isAlloc {
+				size := p.ChunkSize[0]
+				ptr, err := alloc.Malloc(size)
+				if err == nil {
+					live = append(live, ptr)
+				}
+				return
+			}
+			if n := len(live); n > 0 {
+				// FIFO frees mimic long-lived-first deallocation.
+				ptr := live[0]
+				live = live[1:]
+				_ = alloc.Free(ptr)
+				_ = n
+			}
+		})
+		st := alloc.Stats()
+		res.Allocs = st.Allocs
+		res.Frees = st.Frees
+		res.MaxLive = st.MaxLive
+		res.EndLive = st.Live
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// MemProfilesString renders Table II/III with the paper's columns.
+func MemProfilesString(title string, rows []workload.MemoryProfileResult, paper []*workload.Profile, scale uint64) string {
+	t := stats.NewTable("name", "max active", "#allocation", "#deallocation",
+		"paper max", "paper alloc", "paper dealloc")
+	byName := make(map[string]*workload.Profile)
+	for _, p := range paper {
+		byName[p.Name] = p
+	}
+	for _, r := range rows {
+		p := byName[r.Name]
+		t.AddRow(r.Name, r.MaxLive, r.Allocs, r.Frees,
+			p.TableMaxLive, p.TableAllocs, p.TableFrees)
+	}
+	hdr := title
+	if scale > 1 {
+		hdr += fmt.Sprintf(" (counts scaled by 1/%d)", scale)
+	}
+	return hdr + "\n" + t.String()
+}

@@ -1,0 +1,179 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"aos/internal/instrument"
+	"aos/internal/workload"
+)
+
+func tinyOpts() Options { return Options{Instructions: 15_000, Seed: 1} }
+
+func TestRunMatrixShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("matrix run")
+	}
+	m, err := RunMatrix(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Benchmarks) != 16 {
+		t.Fatalf("benchmarks = %d", len(m.Benchmarks))
+	}
+	for _, b := range m.Benchmarks {
+		if len(m.Runs[b]) != 5 {
+			t.Fatalf("%s: %d schemes", b, len(m.Runs[b]))
+		}
+	}
+
+	f14 := Fig14(m)
+	if len(f14.Rows) != 16 {
+		t.Errorf("fig14 rows = %d", len(f14.Rows))
+	}
+	for _, row := range f14.Rows {
+		if row.Normalized[instrument.Baseline] != 1.0 {
+			t.Errorf("%s: baseline normalized to %v", row.Name, row.Normalized[instrument.Baseline])
+		}
+		for s, v := range row.Normalized {
+			if v <= 0 || v > 20 {
+				t.Errorf("%s/%v: implausible normalized time %v", row.Name, s, v)
+			}
+		}
+	}
+	if f14.Geomean[instrument.AOS] <= 1.0 {
+		t.Errorf("AOS geomean %v <= 1; overhead vanished", f14.Geomean[instrument.AOS])
+	}
+	if f14.Geomean[instrument.Watchdog] <= f14.Geomean[instrument.PA] {
+		t.Error("Watchdog geomean below PA; ordering broken")
+	}
+	if !strings.Contains(f14.String(), "GEOMEAN") {
+		t.Error("fig14 rendering missing geomean row")
+	}
+
+	f16 := Fig16(m)
+	for _, r := range f16 {
+		total := r.UnsignedLoad + r.UnsignedStore + r.SignedLoad + r.SignedStore
+		if total <= 0 {
+			t.Errorf("fig16 %s: empty access mix", r.Name)
+		}
+		if r.Name == "hmmer" {
+			if share := (r.SignedLoad + r.SignedStore) / total; share < 0.7 {
+				t.Errorf("hmmer signed share = %.2f, want high", share)
+			}
+		}
+	}
+	if Fig16String(f16) == "" {
+		t.Error("empty fig16 rendering")
+	}
+
+	f17 := Fig17(m)
+	for _, r := range f17 {
+		if r.AccessesPerInst < 1.0 && r.AccessesPerInst != 0 {
+			// Forwarding can push below 1.0 only slightly; a checked op
+			// needs at least ~one access otherwise.
+			if r.AccessesPerInst < 0.5 {
+				t.Errorf("fig17 %s: accesses/op = %v", r.Name, r.AccessesPerInst)
+			}
+		}
+		if r.BWBHitRate < 0 || r.BWBHitRate > 1 {
+			t.Errorf("fig17 %s: hit rate %v", r.Name, r.BWBHitRate)
+		}
+	}
+	if Fig17String(f17) == "" {
+		t.Error("empty fig17 rendering")
+	}
+
+	f18 := Fig18(m)
+	if f18.Geomean[instrument.Watchdog] < 1.0 {
+		t.Errorf("Watchdog traffic %v < baseline", f18.Geomean[instrument.Watchdog])
+	}
+	if !strings.Contains(f18.String(), "GEOMEAN") {
+		t.Error("fig18 rendering missing geomean")
+	}
+}
+
+func TestFig11(t *testing.T) {
+	r, err := Fig11(60_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Mallocs != 60_000 || r.Space != 65536 {
+		t.Errorf("shape: %+v", r)
+	}
+	// ~60k PACs over 64k buckets: avg ≈ 0.92, good spread.
+	if r.Summary.Avg < 0.8 || r.Summary.Avg > 1.0 {
+		t.Errorf("avg occurrences = %v", r.Summary.Avg)
+	}
+	if r.Distinct < 30_000 {
+		t.Errorf("distinct PACs = %d; distribution collapsed", r.Distinct)
+	}
+	if r.Summary.Max > 30 {
+		t.Errorf("max occurrences = %d; badly skewed", r.Summary.Max)
+	}
+	if r.String() == "" {
+		t.Error("empty rendering")
+	}
+}
+
+func TestMemProfilesSpec(t *testing.T) {
+	rows, err := MemProfiles("spec", 500, tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 16 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byName := map[string]workload.MemoryProfileResult{}
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+	// Small-count rows are unaffected by scaling and must match exactly.
+	if r := byName["mcf"]; r.Allocs != 8 || r.Frees != 8 || r.MaxLive != 6 {
+		t.Errorf("mcf row = %+v", r)
+	}
+	if r := byName["lbm"]; r.Allocs != 7 || r.MaxLive != 5 {
+		t.Errorf("lbm row = %+v", r)
+	}
+	out := MemProfilesString("Table II", rows, workload.SPEC(), 500)
+	if !strings.Contains(out, "mcf") || !strings.Contains(out, "paper alloc") {
+		t.Error("rendering incomplete")
+	}
+	if _, err := MemProfiles("bogus", 1, tinyOpts()); err == nil {
+		t.Error("accepted unknown profile set")
+	}
+}
+
+func TestTable1(t *testing.T) {
+	if len(Table1()) != 4 {
+		t.Error("Table I rows")
+	}
+	if !strings.Contains(Table1String(), "MCQ") {
+		t.Error("rendering missing MCQ")
+	}
+}
+
+func TestFig15SmallRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run experiment")
+	}
+	r, err := Fig15(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Benchmarks) != 16 {
+		t.Fatalf("benchmarks = %d", len(r.Benchmarks))
+	}
+	for _, v := range []Fig15Variant{V15None, V15L1B, V15Comp, V15Both} {
+		if r.Geomean[v] <= 0 {
+			t.Errorf("%s geomean = %v", v, r.Geomean[v])
+		}
+	}
+	// Both optimizations together must not be worse than none.
+	if r.Geomean[V15Both] > r.Geomean[V15None]+0.02 {
+		t.Errorf("optimizations hurt: both=%v none=%v", r.Geomean[V15Both], r.Geomean[V15None])
+	}
+	if !strings.Contains(r.String(), "GEOMEAN") {
+		t.Error("rendering missing geomean")
+	}
+}

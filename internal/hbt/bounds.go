@@ -1,0 +1,86 @@
+// Package hbt implements the AOS hashed bounds table (§V-B), the 8-byte
+// bounds-compression format (§V-D, Fig 9), and the gradual-resizing scheme
+// with non-blocking row migration (§V-F3, Fig 10).
+//
+// The table is a per-process structure living in simulated memory: one row
+// per PAC value (65536 rows for 16-bit PACs), each row a power-of-two
+// number of 64-byte ways, each way holding eight compressed bounds. The row
+// offset and way address follow Eq. 1 and Eq. 2 of the paper:
+//
+//	RowOffset = PAC << (log2(BND_ASSOC) + 6)
+//	BndAddr   = BND_BASE + RowOffset + (W << 6)
+package hbt
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Bounds-compression constants (Fig 9a).
+const (
+	// lowShift is where the 29-bit partial lower bound lives.
+	lowShift = 32
+	// lowFieldBits is the width of the stored LowBnd[32:4] field.
+	lowFieldBits = 29
+	// addrWindow is the 33-bit address window preserved by compression.
+	addrWindow = uint64(1)<<33 - 1
+)
+
+// Compress encodes a lower bound and a size into the 8-byte format of
+// Fig 9a: bits [60:32] hold LowBnd[32:4], bits [31:0] hold the size, bits
+// [63:61] are reserved (zero). The lower bound must be 16-byte aligned
+// (malloc guarantees this) and the size must be nonzero and fit in 32 bits.
+func Compress(low uint64, size uint64) (uint64, error) {
+	if low%16 != 0 {
+		return 0, fmt.Errorf("hbt: lower bound %#x not 16-byte aligned", low)
+	}
+	if size == 0 || size > 0xFFFFFFFF {
+		return 0, fmt.Errorf("hbt: size %d not encodable in 32 bits", size)
+	}
+	lowField := (low >> 4) & ((1 << lowFieldBits) - 1) // LowBnd[32:4]
+	return lowField<<lowShift | size, nil
+}
+
+// Size returns the 32-bit size field of a compressed entry.
+func Size(w uint64) uint64 { return w & 0xFFFFFFFF }
+
+// LowField returns the stored LowBnd[32:4] field.
+func LowField(w uint64) uint64 { return (w >> lowShift) & ((1 << lowFieldBits) - 1) }
+
+// DecompressedLow returns dLowBnd: the 33-bit lower bound (Fig 9b).
+func DecompressedLow(w uint64) uint64 { return LowField(w) << 4 }
+
+// DecompressedUpp returns dUppBnd = dLowBnd + Size (34-bit, exclusive).
+func DecompressedUpp(w uint64) uint64 { return DecompressedLow(w) + Size(w) }
+
+// truncAddr computes tAddr from a raw pointer address per Fig 9b: the low
+// 33 address bits, with the C bit (bit 33) set to compensate for a carry
+// lost by partial-address encoding: C = LowBnd[32] & !Addr[32].
+func truncAddr(w uint64, addr uint64) uint64 {
+	t := addr & addrWindow
+	c := (DecompressedLow(w) >> 32) &^ (addr >> 32) & 1
+	return t | c<<33
+}
+
+// Covers reports whether compressed entry w bounds-checks addr:
+// dLowBnd <= tAddr < dUppBnd. A zero entry (empty slot) covers nothing.
+func Covers(w uint64, addr uint64) bool {
+	if w == 0 {
+		return false
+	}
+	t := truncAddr(w, addr)
+	return t >= DecompressedLow(w) && t < DecompressedUpp(w)
+}
+
+// MatchesBase reports whether entry w was stored for a chunk whose base is
+// addr — the occupancy test bndclr performs ("checks if the loaded lower
+// bound is the same as its pointer address").
+func MatchesBase(w uint64, addr uint64) bool {
+	if w == 0 {
+		return false
+	}
+	return LowField(w) == (addr>>4)&((1<<lowFieldBits)-1)
+}
+
+// ErrNotCompressible is returned for inputs the format cannot hold.
+var ErrNotCompressible = errors.New("hbt: bounds not compressible")

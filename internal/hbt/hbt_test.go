@@ -1,0 +1,409 @@
+package hbt
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"aos/internal/mem"
+)
+
+const tblBase = 0x3000_0000_0000
+
+func newTestTable(t testing.TB, assoc int) *Table {
+	t.Helper()
+	tb, err := NewTable(mem.New(), tblBase, assoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tb
+}
+
+// --- compression ---
+
+func TestCompressRejectsBadInput(t *testing.T) {
+	if _, err := Compress(0x2000_0000_0008, 64); err == nil {
+		t.Error("Compress accepted an unaligned lower bound")
+	}
+	if _, err := Compress(0x2000_0000_0000, 0); err == nil {
+		t.Error("Compress accepted a zero size")
+	}
+	if _, err := Compress(0x2000_0000_0000, 1<<33); err == nil {
+		t.Error("Compress accepted a >32-bit size")
+	}
+}
+
+func TestCompressedEntryIsNeverZero(t *testing.T) {
+	f := func(lowRaw uint64, sizeRaw uint32) bool {
+		low := lowRaw &^ 0xF
+		size := uint64(sizeRaw) + 1
+		w, err := Compress(low, size)
+		return err == nil && w != 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCoversInBounds(t *testing.T) {
+	f := func(lowRaw uint64, sizeRaw uint16, offRaw uint32) bool {
+		low := lowRaw &^ 0xF & ((1 << 46) - 1)
+		size := uint64(sizeRaw) + 1
+		off := uint64(offRaw) % size
+		w, err := Compress(low, size)
+		if err != nil {
+			return false
+		}
+		return Covers(w, low+off)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCoversRejectsOutOfBounds(t *testing.T) {
+	low := uint64(0x2000_0000_1000)
+	const size = 256
+	w, err := Compress(low, size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []uint64{low - 1, low - 16, low + size, low + size + 100, low + 1<<20}
+	for _, addr := range cases {
+		if Covers(w, addr) {
+			t.Errorf("Covers(%#x) = true for bounds [%#x,%#x)", addr, low, low+size)
+		}
+	}
+	if Covers(w, low) != true || Covers(w, low+size-1) != true {
+		t.Error("Covers rejected the bounds' own endpoints")
+	}
+}
+
+func TestCoversCarryBit(t *testing.T) {
+	// A chunk that straddles the 2^33 boundary: base has bit 32 set region
+	// near the top of the window; addr past the boundary has Addr[32]=0.
+	low := uint64(1)<<33 - 4096 // LowBnd[32]=1 region
+	w, err := Compress(low, 8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inside := low + 6000 // crosses 2^33: Addr[32] wrapped to 0
+	if inside>>33 != 1 {
+		t.Fatal("test address does not cross the window")
+	}
+	if !Covers(w, inside) {
+		t.Error("carry-compensation (C bit) failed: in-bounds address rejected")
+	}
+}
+
+func TestCoversZeroEntry(t *testing.T) {
+	if Covers(0, 0) || Covers(0, 0x2000_0000_0000) {
+		t.Error("empty slot must cover nothing")
+	}
+}
+
+func TestMatchesBase(t *testing.T) {
+	low := uint64(0x2000_0000_2340)
+	w, _ := Compress(low, 64)
+	if !MatchesBase(w, low) {
+		t.Error("MatchesBase rejected the entry's own base")
+	}
+	if MatchesBase(w, low+16) {
+		t.Error("MatchesBase matched a different base")
+	}
+	if MatchesBase(0, low) {
+		t.Error("MatchesBase matched the empty slot")
+	}
+}
+
+// --- table geometry ---
+
+func TestNewTableValidation(t *testing.T) {
+	m := mem.New()
+	for _, assoc := range []int{0, 3, 5, 128} {
+		if _, err := NewTable(m, tblBase, assoc); err == nil {
+			t.Errorf("NewTable(assoc=%d) succeeded, want error", assoc)
+		}
+	}
+	if _, err := NewTable(m, tblBase+8, 1); err == nil {
+		t.Error("NewTable accepted an unaligned base")
+	}
+}
+
+func TestAddressingEquations(t *testing.T) {
+	// Paper Eq. 1-2 with the initial 1-way table: 4 MB, row i at base+64*i.
+	tb := newTestTable(t, 1)
+	if tb.SizeBytes() != 4<<20 {
+		t.Errorf("1-way table size = %d, want 4 MiB", tb.SizeBytes())
+	}
+	if got := tb.RowAddr(0); got != tblBase {
+		t.Errorf("RowAddr(0) = %#x", got)
+	}
+	if got := tb.RowAddr(1); got != tblBase+64 {
+		t.Errorf("RowAddr(1) = %#x, want base+64", got)
+	}
+	tb4 := newTestTable(t, 4)
+	if got := tb4.RowAddr(2); got != tblBase+2*4*64 {
+		t.Errorf("4-way RowAddr(2) = %#x, want base+512", got)
+	}
+	if got := tb4.WayAddr(2, 3); got != tb4.RowAddr(2)+3*64 {
+		t.Errorf("WayAddr = %#x", got)
+	}
+	if tb4.WayAddr(2, 3)%64 != 0 {
+		t.Error("way address not 64-byte aligned")
+	}
+}
+
+// --- insert / lookup / clear ---
+
+func TestInsertLookupClear(t *testing.T) {
+	tb := newTestTable(t, 2)
+	const pac = 0xBEEF
+	low := uint64(0x2000_0000_4000)
+	way, err := tb.Insert(pac, low, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if way != 0 {
+		t.Errorf("first insert went to way %d, want 0", way)
+	}
+	if w, found := tb.Lookup(pac, low+64); !found || w != 0 {
+		t.Errorf("Lookup = (%d,%v), want (0,true)", w, found)
+	}
+	if _, found := tb.Lookup(pac, low+128); found {
+		t.Error("Lookup found bounds for an out-of-bounds address")
+	}
+	if _, found := tb.Lookup(pac^1, low); found {
+		t.Error("Lookup found bounds under the wrong PAC")
+	}
+	if w, found := tb.Clear(pac, low); !found || w != 0 {
+		t.Errorf("Clear = (%d,%v), want (0,true)", w, found)
+	}
+	if _, found := tb.Lookup(pac, low); found {
+		t.Error("Lookup found bounds after Clear")
+	}
+	if _, found := tb.Clear(pac, low); found {
+		t.Error("double Clear succeeded; must fail (double-free detection)")
+	}
+}
+
+func TestInsertFillsWaysInOrder(t *testing.T) {
+	tb := newTestTable(t, 2)
+	const pac = 0x0042
+	base := uint64(0x2000_0000_0000)
+	for i := 0; i < 2*BoundsPerWay; i++ {
+		way, err := tb.Insert(pac, base+uint64(i)*1024, 512)
+		if err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+		wantWay := i / BoundsPerWay
+		if way != wantWay {
+			t.Errorf("insert %d went to way %d, want %d", i, way, wantWay)
+		}
+	}
+	if _, err := tb.Insert(pac, base+1<<20, 64); err != ErrTableFull {
+		t.Errorf("17th insert err = %v, want ErrTableFull", err)
+	}
+}
+
+func TestClearReleasesSlotForReuse(t *testing.T) {
+	tb := newTestTable(t, 1)
+	const pac = 0x1234
+	base := uint64(0x2000_0000_0000)
+	for i := 0; i < BoundsPerWay; i++ {
+		if _, err := tb.Insert(pac, base+uint64(i)*64, 64); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, found := tb.Clear(pac, base+3*64); !found {
+		t.Fatal("clear failed")
+	}
+	// The freed slot must be reusable by a new chunk with the same PAC.
+	if _, err := tb.Insert(pac, base+1<<16, 64); err != nil {
+		t.Errorf("insert after clear failed: %v", err)
+	}
+	if tb.RowOccupancy(pac) != BoundsPerWay {
+		t.Errorf("occupancy = %d, want %d", tb.RowOccupancy(pac), BoundsPerWay)
+	}
+}
+
+func TestLookupFrom(t *testing.T) {
+	tb := newTestTable(t, 4)
+	const pac = 0x7777
+	base := uint64(0x2000_0000_0000)
+	// Fill ways 0 and 1 fully, target entry in way 2.
+	for i := 0; i < 2*BoundsPerWay; i++ {
+		if _, err := tb.Insert(pac, base+uint64(i)*256, 128); err != nil {
+			t.Fatal(err)
+		}
+	}
+	target := base + 1<<20
+	if _, err := tb.Insert(pac, target, 4096); err != nil {
+		t.Fatal(err)
+	}
+	if w, found := tb.LookupFrom(pac, target+100, 2); !found || w != 2 {
+		t.Errorf("LookupFrom(start=2) = (%d,%v), want (2,true)", w, found)
+	}
+	// Starting at the wrong way still finds it by wrapping.
+	if w, found := tb.LookupFrom(pac, target+100, 3); !found || w != 2 {
+		t.Errorf("LookupFrom(start=3) = (%d,%v), want (2,true)", w, found)
+	}
+}
+
+func TestTableIsolationBetweenPACs(t *testing.T) {
+	tb := newTestTable(t, 1)
+	base := uint64(0x2000_0000_0000)
+	rng := rand.New(rand.NewSource(3))
+	type entry struct {
+		pac  uint16
+		low  uint64
+		size uint64
+	}
+	var entries []entry
+	for i := 0; i < 200; i++ {
+		e := entry{
+			pac:  uint16(rng.Intn(1 << 16)),
+			low:  base + uint64(i)*4096,
+			size: uint64(16 + rng.Intn(2048)),
+		}
+		if _, err := tb.Insert(e.pac, e.low, e.size); err != nil {
+			t.Fatal(err)
+		}
+		entries = append(entries, e)
+	}
+	for _, e := range entries {
+		if _, found := tb.Lookup(e.pac, e.low+e.size/2); !found {
+			t.Fatalf("entry pac=%04x lost", e.pac)
+		}
+	}
+	if tb.Live() != len(entries) {
+		t.Errorf("live = %d, want %d", tb.Live(), len(entries))
+	}
+}
+
+// --- migration (Fig 10) ---
+
+func TestMigrationRouting(t *testing.T) {
+	m := mem.New()
+	old, err := NewTable(m, tblBase, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newBase := uint64(tblBase + 0x1000_0000)
+	mi, err := StartMigration(old, newBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mi.New.Assoc() != 2 {
+		t.Fatalf("new assoc = %d, want 2", mi.New.Assoc())
+	}
+
+	// Case 2 (W >= T1): always the new table.
+	if got := mi.WayAddrDuring(0x9000, 1); got != mi.New.WayAddr(0x9000, 1) {
+		t.Error("out-of-way access not routed to the new table")
+	}
+	// Case 4 (PAC >= RowPtr, W < T1): the old table.
+	if got := mi.WayAddrDuring(0x9000, 0); got != old.WayAddr(0x9000, 0) {
+		t.Error("live-region access not routed to the old table")
+	}
+	// Migrate past PAC 0x9000; case 3 (PAC < RowPtr): the new table.
+	for !mi.Done() && mi.RowPtr <= 0x9000 {
+		mi.Step(4096)
+	}
+	if got := mi.WayAddrDuring(0x9000, 0); got != mi.New.WayAddr(0x9000, 0) {
+		t.Error("migrated-region access not routed to the new table")
+	}
+}
+
+func TestMigrationPreservesEntries(t *testing.T) {
+	m := mem.New()
+	old, err := NewTable(m, tblBase, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := uint64(0x2000_0000_0000)
+	rng := rand.New(rand.NewSource(9))
+	type entry struct {
+		pac uint16
+		low uint64
+	}
+	var entries []entry
+	for i := 0; i < 300; i++ {
+		e := entry{pac: uint16(rng.Intn(1 << 16)), low: base + uint64(i)*8192}
+		if _, err := old.Insert(e.pac, e.low, 4096); err != nil {
+			t.Fatal(err)
+		}
+		entries = append(entries, e)
+	}
+	mi, err := StartMigration(old, tblBase+0x1000_0000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var traffic uint64
+	for !mi.Done() {
+		traffic += mi.Step(1000)
+		// Mid-migration, every entry must still be found through the
+		// routing rule.
+		for _, e := range entries[:10] {
+			tb := mi.TableDuring(e.pac, 0)
+			if _, found := tb.Lookup(e.pac, e.low+100); !found {
+				t.Fatalf("entry pac=%04x unreachable mid-migration (RowPtr=%#x)", e.pac, mi.RowPtr)
+			}
+		}
+	}
+	if traffic != 2*old.SizeBytes() {
+		t.Errorf("migration traffic = %d, want %d", traffic, 2*old.SizeBytes())
+	}
+	for _, e := range entries {
+		if _, found := mi.New.Lookup(e.pac, e.low+100); !found {
+			t.Fatalf("entry pac=%04x lost after migration", e.pac)
+		}
+	}
+	if mi.New.Live() != len(entries) || mi.Old.Live() != 0 {
+		t.Errorf("live counts after migration: new=%d old=%d", mi.New.Live(), mi.Old.Live())
+	}
+}
+
+func TestInsertClearProperty(t *testing.T) {
+	// Random interleaving of inserts and clears; the table must agree with
+	// a reference map at every point.
+	tb := newTestTable(t, 4)
+	rng := rand.New(rand.NewSource(11))
+	type key struct {
+		pac uint16
+		low uint64
+	}
+	ref := make(map[key]uint64) // -> size
+	var keys []key
+	base := uint64(0x2000_0000_0000)
+	next := base
+	for i := 0; i < 2000; i++ {
+		if len(keys) > 0 && rng.Intn(2) == 0 {
+			j := rng.Intn(len(keys))
+			k := keys[j]
+			_, found := tb.Clear(k.pac, k.low)
+			if !found {
+				t.Fatalf("clear of live entry failed: %+v", k)
+			}
+			delete(ref, k)
+			keys[j] = keys[len(keys)-1]
+			keys = keys[:len(keys)-1]
+		} else {
+			k := key{pac: uint16(rng.Intn(256)), low: next} // few PACs -> deep rows
+			size := uint64(16 * (1 + rng.Intn(64)))
+			next += 1 << 13
+			if _, err := tb.Insert(k.pac, k.low, size); err == ErrTableFull {
+				continue // acceptable: row saturated at this associativity
+			} else if err != nil {
+				t.Fatal(err)
+			}
+			ref[k] = size
+			keys = append(keys, k)
+		}
+	}
+	for k, size := range ref {
+		if _, found := tb.Lookup(k.pac, k.low+size-1); !found {
+			t.Fatalf("entry %+v (size %d) missing at end", k, size)
+		}
+	}
+}

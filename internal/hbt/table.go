@@ -1,0 +1,342 @@
+package hbt
+
+import (
+	"fmt"
+	"math/bits"
+
+	"aos/internal/mem"
+	"aos/internal/pa"
+)
+
+// Geometry constants.
+const (
+	// WayBytes is the size of one way: a 64-byte cache line.
+	WayBytes = 64
+	// BoundsPerWay is the number of 8-byte compressed bounds per way.
+	BoundsPerWay = WayBytes / 8
+	// Rows is the number of rows: one per PAC value.
+	Rows = pa.PACSpace
+	// MaxAssoc bounds the gradual-resizing doubling.
+	MaxAssoc = 64
+)
+
+// Table is a hashed bounds table instance at a fixed base and associativity.
+// Resizing allocates a fresh Table (see Migration); a Table itself never
+// moves.
+type Table struct {
+	mem   *mem.Memory
+	base  uint64
+	assoc int
+	logA  uint // log2(assoc)
+	// slots is the number of bounds entries per way: 8 with the paper's
+	// 8-byte compression, 4 for the uncompressed-16-byte ablation (Fig 15).
+	slots     int
+	entrySize uint64
+
+	// mirror caches each touched row's entries ([way*slots+slot] = word) so
+	// the hot functional paths avoid simulated-memory page lookups. The
+	// architectural copy in mem is always written through and remains the
+	// source of truth for migration and for tests that inspect memory.
+	mirror map[uint16][]uint64
+
+	// live counts stored entries (for tests and occupancy stats).
+	live int
+}
+
+// NewTable creates a table of the given associativity (a power of two) with
+// its storage at base in m, using the paper's 8-byte compressed bounds.
+// The paper's initial configuration is one way (4 MB for 16-bit PACs).
+func NewTable(m *mem.Memory, base uint64, assoc int) (*Table, error) {
+	return NewTableEntrySize(m, base, assoc, 8)
+}
+
+// NewTableEntrySize creates a table with an explicit bounds-entry size:
+// 8 bytes (compressed, the AOS default) or 16 bytes (uncompressed lower and
+// upper bounds, the Fig 15 no-compression ablation — each 64-byte way then
+// holds only four bounds).
+func NewTableEntrySize(m *mem.Memory, base uint64, assoc int, entryBytes int) (*Table, error) {
+	if assoc < 1 || assoc > MaxAssoc || assoc&(assoc-1) != 0 {
+		return nil, fmt.Errorf("hbt: invalid associativity %d", assoc)
+	}
+	if base%WayBytes != 0 {
+		return nil, fmt.Errorf("hbt: base %#x not 64-byte aligned", base)
+	}
+	if entryBytes != 8 && entryBytes != 16 {
+		return nil, fmt.Errorf("hbt: unsupported entry size %d", entryBytes)
+	}
+	return &Table{
+		mem:       m,
+		base:      base,
+		assoc:     assoc,
+		logA:      uint(bits.TrailingZeros(uint(assoc))),
+		slots:     WayBytes / entryBytes,
+		entrySize: uint64(entryBytes),
+		mirror:    make(map[uint16][]uint64),
+	}, nil
+}
+
+// SlotsPerWay returns the number of bounds entries per 64-byte way.
+func (t *Table) SlotsPerWay() int { return t.slots }
+
+// EntryBytes returns the per-entry footprint.
+func (t *Table) EntryBytes() uint64 { return t.entrySize }
+
+// Base returns BND_BASE.
+func (t *Table) Base() uint64 { return t.base }
+
+// Assoc returns BND_ASSOC.
+func (t *Table) Assoc() int { return t.assoc }
+
+// SizeBytes returns the total table footprint.
+func (t *Table) SizeBytes() uint64 { return uint64(Rows) * uint64(t.assoc) * WayBytes }
+
+// Live returns the number of stored (nonzero) entries.
+func (t *Table) Live() int { return t.live }
+
+// RowAddr implements Eq. 1+2 for way 0: BND_BASE + (PAC << (log2A + 6)).
+func (t *Table) RowAddr(pac uint16) uint64 {
+	return t.base + uint64(pac)<<(t.logA+6)
+}
+
+// WayAddr implements Eq. 2: the 64-byte-aligned address of way w.
+func (t *Table) WayAddr(pac uint16, w int) uint64 {
+	return t.RowAddr(pac) + uint64(w)<<6
+}
+
+func (t *Table) slotAddr(pac uint16, w, slot int) uint64 {
+	return t.WayAddr(pac, w) + uint64(slot)*t.entrySize
+}
+
+// row returns the mirror row for pac, creating it on first touch.
+func (t *Table) row(pac uint16) []uint64 {
+	r := t.mirror[pac]
+	if r == nil {
+		r = make([]uint64, t.assoc*t.slots)
+		t.mirror[pac] = r
+	}
+	return r
+}
+
+func (t *Table) setSlot(pac uint16, w, slot int, v uint64) {
+	t.row(pac)[w*t.slots+slot] = v
+	t.mem.WriteU64(t.slotAddr(pac, w, slot), v)
+}
+
+// Insert stores compressed bounds for a chunk [low, low+size) under pac.
+// It scans ways in order looking for an empty (zero) slot, mirroring the
+// OccChk state of the bndstr FSM. It returns the way used. If every way is
+// occupied it returns ErrTableFull — the hardware raises an AOS exception
+// and the OS resizes (§IV-D).
+func (t *Table) Insert(pac uint16, low, size uint64) (way int, err error) {
+	w, err := Compress(low, size)
+	if err != nil {
+		return 0, err
+	}
+	row := t.row(pac)
+	for i, cur := range row {
+		if cur == 0 {
+			t.setSlot(pac, i/t.slots, i%t.slots, w)
+			t.live++
+			return i / t.slots, nil
+		}
+	}
+	return 0, ErrTableFull
+}
+
+// ErrTableFull signals a bndstr insertion failure (row out of capacity).
+var ErrTableFull = fmt.Errorf("hbt: row full; table resize required")
+
+// Lookup finds the way whose entries cover addr for the given pac. It
+// scans way by way (each way is one cache-line load; the eight bounds in a
+// way are checked in parallel by the hardware). found=false after scanning
+// all ways is a bounds-checking failure.
+func (t *Table) Lookup(pac uint16, addr uint64) (way int, found bool) {
+	row := t.mirror[pac]
+	for i, cur := range row {
+		if Covers(cur, addr) {
+			return i / t.slots, true
+		}
+	}
+	return 0, false
+}
+
+// LookupFrom behaves like Lookup but starts the scan at a given way (the
+// BWB hint path). It wraps to cover all ways.
+func (t *Table) LookupFrom(pac uint16, addr uint64, start int) (way int, found bool) {
+	row := t.mirror[pac]
+	if row == nil {
+		return 0, false
+	}
+	for i := 0; i < t.assoc; i++ {
+		wi := (start + i) % t.assoc
+		for s := 0; s < t.slots; s++ {
+			if Covers(row[wi*t.slots+s], addr) {
+				return wi, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// Clear zeroes the entry whose stored lower bound matches base (bndclr).
+// found=false is a bounds-clear failure: double free or free() of an
+// invalid address.
+func (t *Table) Clear(pac uint16, base uint64) (way int, found bool) {
+	row := t.mirror[pac]
+	for i, cur := range row {
+		if MatchesBase(cur, base) {
+			t.setSlot(pac, i/t.slots, i%t.slots, 0)
+			t.live--
+			return i / t.slots, true
+		}
+	}
+	return 0, false
+}
+
+// --- way-granular operations used by the MCQ finite state machines, which
+// load one 64-byte way per state transition and examine its eight bounds in
+// parallel ---
+
+// ReadWay returns the bounds entries stored in one way.
+func (t *Table) ReadWay(pac uint16, w int) []uint64 {
+	out := make([]uint64, t.slots)
+	for s := 0; s < t.slots; s++ {
+		out[s] = t.mem.ReadU64(t.slotAddr(pac, w, s))
+	}
+	return out
+}
+
+// FindEmptySlot performs bndstr's occupancy check on one way: the index of
+// the first zero slot.
+func (t *Table) FindEmptySlot(pac uint16, w int) (slot int, ok bool) {
+	for s := 0; s < t.slots; s++ {
+		if t.mem.ReadU64(t.slotAddr(pac, w, s)) == 0 {
+			return s, true
+		}
+	}
+	return 0, false
+}
+
+// FindCovering performs the parallel bounds check on one way: whether any
+// of the eight entries covers addr.
+func (t *Table) FindCovering(pac uint16, w int, addr uint64) bool {
+	for s := 0; s < t.slots; s++ {
+		if Covers(t.mem.ReadU64(t.slotAddr(pac, w, s)), addr) {
+			return true
+		}
+	}
+	return false
+}
+
+// FindBase performs bndclr's occupancy check on one way: the slot whose
+// stored lower bound equals base.
+func (t *Table) FindBase(pac uint16, w int, base uint64) (slot int, ok bool) {
+	for s := 0; s < t.slots; s++ {
+		if MatchesBase(t.mem.ReadU64(t.slotAddr(pac, w, s)), base) {
+			return s, true
+		}
+	}
+	return 0, false
+}
+
+// WriteSlot stores a compressed entry (or zero, for bndclr) into one slot,
+// keeping the live count consistent.
+func (t *Table) WriteSlot(pac uint16, w, slot int, v uint64) {
+	old := t.row(pac)[w*t.slots+slot]
+	if old == 0 && v != 0 {
+		t.live++
+	} else if old != 0 && v == 0 {
+		t.live--
+	}
+	t.setSlot(pac, w, slot, v)
+}
+
+// RowOccupancy returns the number of live entries in a row (for stats and
+// tests).
+func (t *Table) RowOccupancy(pac uint16) int {
+	n := 0
+	for wi := 0; wi < t.assoc; wi++ {
+		for s := 0; s < t.slots; s++ {
+			if t.mem.ReadU64(t.slotAddr(pac, wi, s)) != 0 {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Migration models the non-blocking gradual resize of Fig 10: a new table
+// with twice the associativity is allocated, and a micro-architectural
+// table manager migrates rows from old to new while the program keeps
+// running. RowPtr splits the old table into a migrated region
+// (PAC < RowPtr) and a live region.
+type Migration struct {
+	Old, New *Table
+	// RowPtr is the next old-table row to migrate; rows below it have been
+	// migrated to the new table.
+	RowPtr uint32
+}
+
+// StartMigration allocates the successor table (double associativity) at
+// newBase and returns the in-progress migration.
+func StartMigration(old *Table, newBase uint64) (*Migration, error) {
+	nt, err := NewTableEntrySize(old.mem, newBase, old.assoc*2, int(old.entrySize))
+	if err != nil {
+		return nil, err
+	}
+	return &Migration{Old: old, New: nt}, nil
+}
+
+// Done reports whether every row has been migrated.
+func (mi *Migration) Done() bool { return mi.RowPtr >= Rows }
+
+// Step migrates up to n rows and returns the number of bytes copied (the
+// memory traffic the migration generated).
+func (mi *Migration) Step(n int) uint64 {
+	var traffic uint64
+	for ; n > 0 && !mi.Done(); n-- {
+		pac := uint16(mi.RowPtr)
+		src := mi.Old.RowAddr(pac)
+		dst := mi.New.RowAddr(pac)
+		sz := uint64(mi.Old.assoc) * WayBytes
+		mi.Old.mem.Copy(dst, src, sz)
+		traffic += 2 * sz // read old + write new
+		// Move the mirror row and recount live entries transferred.
+		moved := 0
+		if oldRow := mi.Old.mirror[pac]; oldRow != nil {
+			newRow := mi.New.row(pac)
+			copy(newRow, oldRow)
+			for _, v := range oldRow {
+				if v != 0 {
+					moved++
+				}
+			}
+			delete(mi.Old.mirror, pac)
+		}
+		mi.New.live += moved
+		mi.Old.live -= moved
+		mi.Old.mem.Zero(src, sz)
+		mi.RowPtr++
+	}
+	return traffic
+}
+
+// WayAddrDuring routes an access issued during migration per Fig 10:
+// accesses to out-of-way slots of the old table (w >= oldAssoc) or to the
+// migrated region (PAC < RowPtr) go to the new table; everything else still
+// hits the old table.
+func (mi *Migration) WayAddrDuring(pac uint16, w int) uint64 {
+	if w >= mi.Old.assoc || uint32(pac) < mi.RowPtr {
+		return mi.New.WayAddr(pac, w)
+	}
+	return mi.Old.WayAddr(pac, w)
+}
+
+// TableDuring returns which table currently owns the row/way combination,
+// mirroring WayAddrDuring.
+func (mi *Migration) TableDuring(pac uint16, w int) *Table {
+	if w >= mi.Old.assoc || uint32(pac) < mi.RowPtr {
+		return mi.New
+	}
+	return mi.Old
+}

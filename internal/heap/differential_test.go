@@ -1,0 +1,154 @@
+package heap
+
+import (
+	"math/rand"
+	"testing"
+
+	"aos/internal/mem"
+)
+
+// refAlloc is a trivially correct reference allocator: a bump pointer with
+// an interval set. It answers the only questions that matter for
+// correctness — does a returned block overlap any live block, and is
+// alignment respected — so the real allocator can be compared against it
+// on long random operation sequences.
+type refAlloc struct {
+	live map[uint64]uint64 // base -> size
+}
+
+func (r *refAlloc) checkDisjoint(t *testing.T, base, size uint64) {
+	t.Helper()
+	for b, s := range r.live {
+		if base < b+s && b < base+size {
+			t.Fatalf("allocation [%#x,%#x) overlaps live [%#x,%#x)", base, base+size, b, b+s)
+		}
+	}
+}
+
+// TestDifferentialRandomOps drives the allocator through 30k random
+// operations, checking after each one: 16-byte alignment, no overlap with
+// any live block, payload integrity of a canary-carrying subset, and
+// internal structural invariants (Validate) periodically.
+func TestDifferentialRandomOps(t *testing.T) {
+	m := mem.New()
+	a := New(m, 0x2000_0000_0000, 1<<31)
+	ref := &refAlloc{live: map[uint64]uint64{}}
+	rng := rand.New(rand.NewSource(123))
+
+	type block struct {
+		ptr, size uint64
+		canary    uint64
+	}
+	var blocks []block
+
+	for op := 0; op < 30_000; op++ {
+		switch {
+		case len(blocks) > 0 && rng.Intn(100) < 40:
+			// Free a random block.
+			i := rng.Intn(len(blocks))
+			b := blocks[i]
+			if b.size >= 8 {
+				if got := m.ReadU64(b.ptr); got != b.canary {
+					t.Fatalf("op %d: canary of %#x corrupted before free: %#x != %#x", op, b.ptr, got, b.canary)
+				}
+			}
+			if err := a.Free(b.ptr); err != nil {
+				t.Fatalf("op %d: Free(%#x): %v", op, b.ptr, err)
+			}
+			delete(ref.live, b.ptr)
+			blocks[i] = blocks[len(blocks)-1]
+			blocks = blocks[:len(blocks)-1]
+		case len(blocks) > 0 && rng.Intn(100) < 15:
+			// Realloc a random block.
+			i := rng.Intn(len(blocks))
+			b := blocks[i]
+			newSize := uint64(1 + rng.Intn(4096))
+			np, err := a.Realloc(b.ptr, newSize)
+			if err != nil {
+				t.Fatalf("op %d: Realloc: %v", op, err)
+			}
+			delete(ref.live, b.ptr)
+			if np != 0 {
+				usable := a.UsableSize(np)
+				ref.checkDisjoint(t, np, usable)
+				ref.live[np] = usable
+				nb := block{ptr: np, size: newSize, canary: b.canary}
+				if minU(newSize, b.size) >= 8 {
+					if got := m.ReadU64(np); got != b.canary {
+						t.Fatalf("op %d: Realloc lost contents: %#x != %#x", op, got, b.canary)
+					}
+				} else {
+					nb.canary = rng.Uint64()
+					if newSize >= 8 {
+						m.WriteU64(np, nb.canary)
+					}
+				}
+				blocks[i] = nb
+			} else {
+				blocks[i] = blocks[len(blocks)-1]
+				blocks = blocks[:len(blocks)-1]
+			}
+		default:
+			size := uint64(1 + rng.Intn(3000))
+			p, err := a.Malloc(size)
+			if err != nil {
+				t.Fatalf("op %d: Malloc(%d): %v", op, size, err)
+			}
+			if p%Align != 0 {
+				t.Fatalf("op %d: unaligned %#x", op, p)
+			}
+			usable := a.UsableSize(p)
+			if usable < size {
+				t.Fatalf("op %d: usable %d < requested %d", op, usable, size)
+			}
+			ref.checkDisjoint(t, p, usable)
+			ref.live[p] = usable
+			b := block{ptr: p, size: size, canary: rng.Uint64()}
+			if size >= 8 {
+				m.WriteU64(p, b.canary)
+			}
+			blocks = append(blocks, b)
+		}
+		if debugEveryOp {
+			for _, b := range blocks {
+				if b.size >= 8 {
+					if got := m.ReadU64(b.ptr); got != b.canary {
+						t.Fatalf("op %d: canary of %#x (size %d) corrupted: %#x", op, b.ptr, b.size, got)
+					}
+				}
+			}
+		}
+		if op%2_000 == 1_999 {
+			if err := a.Validate(); err != nil {
+				t.Fatalf("op %d: %v", op, err)
+			}
+		}
+	}
+	// Final sweep: every canary intact, then free everything.
+	for _, b := range blocks {
+		if b.size >= 8 {
+			if got := m.ReadU64(b.ptr); got != b.canary {
+				t.Fatalf("final: canary of %#x corrupted: %#x != %#x", b.ptr, got, b.canary)
+			}
+		}
+		if err := a.Free(b.ptr); err != nil {
+			t.Fatalf("final free: %v", err)
+		}
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if live := a.Stats().Live; live != 0 {
+		t.Errorf("live = %d after freeing everything", live)
+	}
+}
+
+// debugEveryOp enables per-operation canary sweeps while bisecting.
+var debugEveryOp = false
+
+func minU(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}

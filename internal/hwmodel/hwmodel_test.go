@@ -1,0 +1,79 @@
+package hwmodel
+
+import "testing"
+
+func TestTableIShape(t *testing.T) {
+	rows := TableI()
+	if len(rows) != 4 {
+		t.Fatalf("Table I rows = %d, want 4", len(rows))
+	}
+	names := []string{"MCQ", "BWB", "L1-B Cache", "L1-D Cache (for reference)"}
+	for i, r := range rows {
+		if r.Name != names[i] {
+			t.Errorf("row %d = %q, want %q", i, r.Name, names[i])
+		}
+		if r.AreaMM2 <= 0 || r.AccessNS <= 0 || r.DynamicNJ <= 0 || r.LeakageMW <= 0 {
+			t.Errorf("%s: non-positive estimate %+v", r.Name, r)
+		}
+		if r.String() == "" {
+			t.Errorf("%s: empty rendering", r.Name)
+		}
+	}
+}
+
+func TestTableIOrdering(t *testing.T) {
+	// The paper's point: the AOS structures are tiny next to the L1-D.
+	rows := TableI()
+	mcq, bwb, l1b, l1d := rows[0], rows[1], rows[2], rows[3]
+	if !(bwb.AreaMM2 < mcq.AreaMM2*10 && mcq.AreaMM2 < l1b.AreaMM2 && l1b.AreaMM2 < l1d.AreaMM2) {
+		t.Errorf("area ordering violated: mcq=%v bwb=%v l1b=%v l1d=%v",
+			mcq.AreaMM2, bwb.AreaMM2, l1b.AreaMM2, l1d.AreaMM2)
+	}
+	if !(mcq.AccessNS < l1b.AccessNS && l1b.AccessNS < l1d.AccessNS) {
+		t.Error("access-time ordering violated")
+	}
+	if !(mcq.LeakageMW < l1b.LeakageMW && l1b.LeakageMW < l1d.LeakageMW) {
+		t.Error("leakage ordering violated")
+	}
+}
+
+func TestTableIPaperBallpark(t *testing.T) {
+	// Paper Table I magnitudes: MCQ 1.3KB/0.0096mm2, BWB 384B, L1-B 32KB
+	// at 0.157mm2, L1-D 64KB at 0.263mm2, access times 0.13-0.32ns.
+	rows := TableI()
+	within := func(got, want, factor float64) bool {
+		return got > want/factor && got < want*factor
+	}
+	if !within(rows[0].SizeBytes, 1300, 1.3) {
+		t.Errorf("MCQ size = %v bytes, paper ~1.3KB", rows[0].SizeBytes)
+	}
+	if !within(rows[1].SizeBytes, 384, 1.3) {
+		t.Errorf("BWB size = %v bytes, paper 384B", rows[1].SizeBytes)
+	}
+	if !within(rows[2].AreaMM2, 0.1573, 3) {
+		t.Errorf("L1-B area = %v mm2, paper 0.1573", rows[2].AreaMM2)
+	}
+	if !within(rows[3].AreaMM2, 0.2628, 3) {
+		t.Errorf("L1-D area = %v mm2, paper 0.2628", rows[3].AreaMM2)
+	}
+	if !within(rows[3].AccessNS, 0.3217, 2) {
+		t.Errorf("L1-D access = %v ns, paper 0.3217", rows[3].AccessNS)
+	}
+	if !within(rows[0].AccessNS, 0.1383, 2) {
+		t.Errorf("MCQ access = %v ns, paper 0.1383", rows[0].AccessNS)
+	}
+}
+
+func TestModelScalesWithSize(t *testing.T) {
+	small := Model(Structure{Name: "s", SizeBytes: 1 << 10, Ports: 1, Assoc: 1})
+	big := Model(Structure{Name: "b", SizeBytes: 64 << 10, Ports: 1, Assoc: 1})
+	if big.AreaMM2 <= small.AreaMM2 || big.AccessNS <= small.AccessNS ||
+		big.DynamicNJ <= small.DynamicNJ || big.LeakageMW <= small.LeakageMW {
+		t.Error("estimates do not grow with capacity")
+	}
+	oneP := Model(Structure{Name: "p1", SizeBytes: 1 << 10, Ports: 1, Assoc: 1})
+	twoP := Model(Structure{Name: "p2", SizeBytes: 1 << 10, Ports: 2, Assoc: 1})
+	if twoP.AreaMM2 <= oneP.AreaMM2 {
+		t.Error("extra port did not grow area")
+	}
+}

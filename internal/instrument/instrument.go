@@ -1,0 +1,95 @@
+// Package instrument defines the protection schemes the evaluation
+// compares (§VIII) and what each one inserts into the dynamic instruction
+// stream — the role the paper's LLVM passes (AOS-opt-pass and
+// AOS-backend-pass, §IV-B) and the baselines' instrumentation play:
+//
+//   - Baseline: nothing.
+//   - Watchdog: a check micro-op before every memory access, identifier
+//     metadata propagation on pointer arithmetic, shadow-metadata accesses
+//     on pointer loads/stores, and lock allocate/invalidate at
+//     malloc/free (Fig 5a).
+//   - PA: return-address signing on every call/return plus on-load
+//     authentication for code/data pointer integrity (Liljestrand et al.).
+//   - AOS: pacma+bndstr after malloc, bndclr+xpacm before free and pacma
+//     after it (Fig 7), with checking done implicitly by the MCU.
+//   - PAAOS: AOS plus the PA pointer-integrity extension, with autm
+//     replacing data-pointer re-authentication (Fig 13).
+package instrument
+
+import "fmt"
+
+// Scheme selects the protection mechanism being simulated.
+type Scheme int
+
+// The five evaluated system configurations (§VIII).
+const (
+	// Baseline has no security features.
+	Baseline Scheme = iota
+	// Watchdog is the hardware bounds+UAF checking baseline [11].
+	Watchdog
+	// PA is PA-based code- and data-pointer integrity [21].
+	PA
+	// AOS is the paper's mechanism.
+	AOS
+	// PAAOS is AOS integrated with PA pointer integrity (§VII-B).
+	PAAOS
+	numSchemes
+)
+
+var schemeNames = [numSchemes]string{"Baseline", "Watchdog", "PA", "AOS", "PA+AOS"}
+
+// String names the scheme as the paper's figures do.
+func (s Scheme) String() string {
+	if s >= 0 && int(s) < len(schemeNames) {
+		return schemeNames[s]
+	}
+	return fmt.Sprintf("Scheme(%d)", int(s))
+}
+
+// ParseScheme parses a scheme name (case-sensitive, as printed).
+func ParseScheme(name string) (Scheme, error) {
+	for i, n := range schemeNames {
+		if n == name {
+			return Scheme(i), nil
+		}
+	}
+	return 0, fmt.Errorf("instrument: unknown scheme %q", name)
+}
+
+// Schemes lists all evaluated schemes in the paper's presentation order.
+func Schemes() []Scheme { return []Scheme{Baseline, Watchdog, PA, AOS, PAAOS} }
+
+// SignsDataPointers reports whether malloc'd pointers carry a PAC+AHC and
+// accesses through them are MCU-checked.
+func (s Scheme) SignsDataPointers() bool { return s == AOS || s == PAAOS }
+
+// HasWatchdogChecks reports whether Watchdog-style check micro-ops and
+// metadata propagation are inserted.
+func (s Scheme) HasWatchdogChecks() bool { return s == Watchdog }
+
+// HasReturnAddressSigning reports whether call/return pairs sign and
+// authenticate the link register (Fig 3).
+func (s Scheme) HasReturnAddressSigning() bool { return s == PA || s == PAAOS }
+
+// HasOnLoadAuth reports whether pointer loads are authenticated when they
+// arrive from memory (data-pointer integrity).
+func (s Scheme) HasOnLoadAuth() bool { return s == PA || s == PAAOS }
+
+// UsesAutm reports whether on-load authentication uses the cheap autm
+// AHC check instead of a full cryptographic autia (Fig 13): under PA+AOS,
+// data pointers were signed by pacma over their base address, so
+// recomputing the PAC at an interior address would fail — autm checks only
+// that the AHC is nonzero.
+func (s Scheme) UsesAutm() bool { return s == PAAOS }
+
+// Watchdog metadata model constants (§III, challenge discussion): each
+// tracked object has a 24-byte metadata record (base, bound, key) reached
+// through a lock-location pointer, and an 8-byte lock location holding the
+// allocation identifier.
+const (
+	// WDMetaBytes is Watchdog's per-object metadata footprint (vs 8 bytes
+	// in AOS) — the cache-pollution disadvantage Fig 18 shows.
+	WDMetaBytes = 24
+	// WDLockBytes is one lock location.
+	WDLockBytes = 8
+)

@@ -1,0 +1,56 @@
+package instrument
+
+import "testing"
+
+func TestSchemeNamesRoundTrip(t *testing.T) {
+	for _, s := range Schemes() {
+		got, err := ParseScheme(s.String())
+		if err != nil || got != s {
+			t.Errorf("ParseScheme(%q) = %v, %v", s.String(), got, err)
+		}
+	}
+	if _, err := ParseScheme("nonsense"); err == nil {
+		t.Error("ParseScheme accepted garbage")
+	}
+	if Scheme(99).String() == "" {
+		t.Error("out-of-range scheme must stringify")
+	}
+}
+
+func TestSchemeProperties(t *testing.T) {
+	cases := []struct {
+		s                                Scheme
+		signs, wd, retSign, onLoad, autm bool
+	}{
+		{Baseline, false, false, false, false, false},
+		{Watchdog, false, true, false, false, false},
+		{PA, false, false, true, true, false},
+		{AOS, true, false, false, false, false},
+		{PAAOS, true, false, true, true, true},
+	}
+	for _, c := range cases {
+		if c.s.SignsDataPointers() != c.signs {
+			t.Errorf("%v.SignsDataPointers() = %v", c.s, c.s.SignsDataPointers())
+		}
+		if c.s.HasWatchdogChecks() != c.wd {
+			t.Errorf("%v.HasWatchdogChecks() = %v", c.s, c.s.HasWatchdogChecks())
+		}
+		if c.s.HasReturnAddressSigning() != c.retSign {
+			t.Errorf("%v.HasReturnAddressSigning() = %v", c.s, c.s.HasReturnAddressSigning())
+		}
+		if c.s.HasOnLoadAuth() != c.onLoad {
+			t.Errorf("%v.HasOnLoadAuth() = %v", c.s, c.s.HasOnLoadAuth())
+		}
+		if c.s.UsesAutm() != c.autm {
+			t.Errorf("%v.UsesAutm() = %v", c.s, c.s.UsesAutm())
+		}
+	}
+}
+
+func TestMetadataSizes(t *testing.T) {
+	// The paper's cache-pollution argument: Watchdog metadata is 24 bytes
+	// vs 8 bytes for AOS compressed bounds.
+	if WDMetaBytes != 24 || WDLockBytes != 8 {
+		t.Error("Watchdog metadata constants diverge from the paper")
+	}
+}

@@ -1,0 +1,135 @@
+package kernel
+
+import (
+	"errors"
+	"testing"
+
+	"aos/internal/hbt"
+	"aos/internal/mem"
+)
+
+func TestNewOSCreatesInitialTable(t *testing.T) {
+	o, err := NewOS(mem.New(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := o.Table()
+	if tb.Assoc() != 1 {
+		t.Errorf("initial assoc = %d, want 1", tb.Assoc())
+	}
+	if tb.Base() != HBTBase {
+		t.Errorf("table base = %#x, want %#x", tb.Base(), HBTBase)
+	}
+	if tb.SizeBytes() != 4<<20 {
+		t.Errorf("initial table = %d bytes, want 4 MiB (paper Table IV)", tb.SizeBytes())
+	}
+}
+
+func TestHandleTableFullDoublesAndPreserves(t *testing.T) {
+	m := mem.New()
+	o, err := NewOS(m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill one row completely.
+	base := uint64(0x2000_0000_0000)
+	for i := 0; i < hbt.BoundsPerWay; i++ {
+		if _, err := o.Table().Insert(0x1234, base+uint64(i)*4096, 64); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := o.Table().Insert(0x1234, base+1<<20, 64); err != hbt.ErrTableFull {
+		t.Fatalf("expected ErrTableFull, got %v", err)
+	}
+	oldBase := o.Table().Base()
+	nt, err := o.HandleTableFull()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nt.Assoc() != 2 {
+		t.Errorf("post-resize assoc = %d", nt.Assoc())
+	}
+	if nt.Base() == oldBase {
+		t.Error("new table reuses the old base")
+	}
+	// Entries survived, and there is room now.
+	for i := 0; i < hbt.BoundsPerWay; i++ {
+		if _, found := nt.Lookup(0x1234, base+uint64(i)*4096+10); !found {
+			t.Fatalf("entry %d lost across resize", i)
+		}
+	}
+	if _, err := nt.Insert(0x1234, base+1<<20, 64); err != nil {
+		t.Errorf("insert after resize: %v", err)
+	}
+	evs := o.Resizes()
+	if len(evs) != 1 || evs[0].OldAssoc != 1 || evs[0].NewAssoc != 2 {
+		t.Errorf("resize events = %+v", evs)
+	}
+	if evs[0].TrafficBytes != 2*(4<<20) {
+		t.Errorf("migration traffic = %d, want %d", evs[0].TrafficBytes, 2*(4<<20))
+	}
+}
+
+func TestRepeatedResizes(t *testing.T) {
+	o, err := NewOS(mem.New(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for want := 2; want <= 8; want *= 2 {
+		if _, err := o.HandleTableFull(); err != nil {
+			t.Fatal(err)
+		}
+		if o.Table().Assoc() != want {
+			t.Fatalf("assoc = %d, want %d", o.Table().Assoc(), want)
+		}
+	}
+	if len(o.Resizes()) != 3 {
+		t.Errorf("resize count = %d", len(o.Resizes()))
+	}
+}
+
+func TestResizeCapsAtMaxAssoc(t *testing.T) {
+	o, err := NewOS(mem.New(), hbt.MaxAssoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.HandleTableFull(); err == nil {
+		t.Error("resize beyond MaxAssoc succeeded")
+	}
+}
+
+func TestExceptionRecordingAndError(t *testing.T) {
+	o, _ := NewOS(mem.New(), 1)
+	err := o.RaiseException(ExcBoundsCheck, 0xDEAD, "test fault")
+	var exc Exception
+	if !errors.As(err, &exc) {
+		t.Fatalf("RaiseException returned %T", err)
+	}
+	if exc.Kind != ExcBoundsCheck || exc.Addr != 0xDEAD {
+		t.Errorf("exception = %+v", exc)
+	}
+	if len(o.Exceptions()) != 1 {
+		t.Error("exception not recorded")
+	}
+	o.ResetExceptions()
+	if len(o.Exceptions()) != 0 {
+		t.Error("ResetExceptions did not clear")
+	}
+	if exc.Error() == "" || ExcBoundsClear.String() == "" || ExcPAAuth.String() == "" {
+		t.Error("empty diagnostics")
+	}
+}
+
+func TestLayoutDisjoint(t *testing.T) {
+	// The address-space regions must be ordered and non-overlapping within
+	// the 46-bit VA.
+	regions := []uint64{TextBase, GlobalsBase, HeapBase, HeapBase + HeapLimit, ShadowBase, HBTBase, StackTop}
+	for i := 1; i < len(regions); i++ {
+		if regions[i] <= regions[i-1] {
+			t.Fatalf("region %d (%#x) not above region %d (%#x)", i, regions[i], i-1, regions[i-1])
+		}
+	}
+	if StackTop >= 1<<46 {
+		t.Error("stack top outside the 46-bit VA")
+	}
+}

@@ -1,0 +1,111 @@
+// Package mcu implements AOS's memory check unit (§V-A): the memory check
+// queue (MCQ) with its two finite state machines (Fig 8), the bounds way
+// buffer (BWB, §V-C) with the tag construction of Algorithm 2, the
+// store-load replay mechanism (§V-E), and bounds forwarding (§V-F2).
+package mcu
+
+import "aos/internal/pa"
+
+// BWBTag implements Algorithm 2: the 32-bit tag is the PAC concatenated
+// with 14 pointer-address bits chosen by the AHC (so that every address
+// inside one memory chunk yields the same tag) and the 2-bit AHC.
+func BWBTag(addr uint64, ahc uint8, pac uint16) uint32 {
+	var bits uint64
+	switch ahc {
+	case pa.AHCSmall:
+		bits = (addr >> 7) & 0x3FFF // Addr[20:7]
+	case pa.AHCMedium:
+		bits = (addr >> 10) & 0x3FFF // Addr[23:10]
+	default:
+		bits = (addr >> 12) & 0x3FFF // Addr[25:12]
+	}
+	return uint32(pac)<<16 | uint32(bits)<<2 | uint32(ahc&3)
+}
+
+// BWBEntries is the buffer capacity (Table IV).
+const BWBEntries = 64
+
+type bwbEntry struct {
+	tag   uint32
+	way   uint8
+	valid bool
+	used  uint64 // LRU stamp
+}
+
+// BWBStats counts buffer outcomes (Fig 17 reports the hit rate).
+type BWBStats struct {
+	Hits   uint64
+	Misses uint64
+}
+
+// HitRate returns hits/(hits+misses).
+func (s BWBStats) HitRate() float64 {
+	t := s.Hits + s.Misses
+	if t == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(t)
+}
+
+// BWB is the bounds way buffer: a small fully-associative LRU cache from
+// tag to the HBT way where that chunk's bounds were last found, so bounds
+// checking can skip the way-0-first search.
+type BWB struct {
+	entries [BWBEntries]bwbEntry
+	tick    uint64
+	stats   BWBStats
+}
+
+// NewBWB returns an empty buffer.
+func NewBWB() *BWB { return &BWB{} }
+
+// Stats returns a copy of the counters.
+func (b *BWB) Stats() BWBStats { return b.stats }
+
+// ResetStats clears the counters, keeping the buffer contents.
+func (b *BWB) ResetStats() { b.stats = BWBStats{} }
+
+// Lookup returns the remembered way for tag. Misses are counted; the
+// caller then starts its search from way 0.
+func (b *BWB) Lookup(tag uint32) (way int, ok bool) {
+	b.tick++
+	for i := range b.entries {
+		e := &b.entries[i]
+		if e.valid && e.tag == tag {
+			e.used = b.tick
+			b.stats.Hits++
+			return int(e.way), true
+		}
+	}
+	b.stats.Misses++
+	return 0, false
+}
+
+// Update records the way where a bounds operation last found (or stored)
+// valid bounds. Called when an instruction retires from the MCQ.
+func (b *BWB) Update(tag uint32, way int) {
+	b.tick++
+	vi := 0
+	for i := range b.entries {
+		e := &b.entries[i]
+		if e.valid && e.tag == tag {
+			e.way = uint8(way)
+			e.used = b.tick
+			return
+		}
+		if !e.valid {
+			vi = i
+		} else if b.entries[vi].valid && e.used < b.entries[vi].used {
+			vi = i
+		}
+	}
+	b.entries[vi] = bwbEntry{tag: tag, way: uint8(way), valid: true, used: b.tick}
+}
+
+// Invalidate drops every entry (used after an HBT resize, when remembered
+// ways may no longer be meaningful).
+func (b *BWB) Invalidate() {
+	for i := range b.entries {
+		b.entries[i].valid = false
+	}
+}

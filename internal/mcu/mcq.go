@@ -1,0 +1,382 @@
+package mcu
+
+import (
+	"fmt"
+
+	"aos/internal/hbt"
+	"aos/internal/pa"
+)
+
+// State is an MCQ finite-state-machine state (Fig 8).
+type State uint8
+
+// The FSM states. Load/store entries move Init→BndChk→{Done,IncCnt,Fail};
+// bndstr/bndclr entries move Init→OccChk→{BndStr,IncCnt,Fail}→Done.
+const (
+	StateInit State = iota
+	StateOccChk
+	StateBndChk
+	StateBndStr
+	StateIncCnt
+	StateFail
+	StateDone
+)
+
+var stateNames = [...]string{"Init", "OccChk", "BndChk", "BndStr", "IncCnt", "Fail", "Done"}
+
+// String names the state.
+func (s State) String() string {
+	if int(s) < len(stateNames) {
+		return stateNames[s]
+	}
+	return fmt.Sprintf("State(%d)", uint8(s))
+}
+
+// EntryType distinguishes the two FSM flavours.
+type EntryType uint8
+
+// MCQ entry types.
+const (
+	TypeLoad EntryType = iota
+	TypeStore
+	TypeBndstr
+	TypeBndclr
+)
+
+// Entry is one MCQ slot, with the fields of §V-A1: Valid, Type, Addr,
+// BndData, BndAddr, Way, Count, Committed, State.
+type Entry struct {
+	Valid     bool
+	Type      EntryType
+	Addr      uint64 // full pointer (PAC/AHC in upper bits) for checks; base VA semantics for bounds ops
+	BndData   uint64 // compressed bounds payload for bndstr
+	BndAddr   uint64 // address of the HBT way currently being examined
+	Way       int    // way to access next
+	Count     int    // ways accessed so far in this search
+	Committed bool   // retired from the ROB
+	State     State
+
+	// Derived/bookkeeping fields.
+	Signed    bool
+	PAC       uint16
+	AHC       uint8
+	Accesses  int  // bounds-line loads performed (Fig 17 numerator)
+	Forwarded bool // satisfied by store-to-load bounds forwarding
+	Replays   int  // times reset by store-load replay
+	slot      int  // slot chosen by OccChk for the pending store
+	fromBWB   bool // search started from a BWB hint
+	seq       uint64
+}
+
+// AccessFn observes every bounds cache-line access the MCU performs
+// (address, write). The timing layer points this at the cache hierarchy.
+type AccessFn func(addr uint64, write bool)
+
+// Options configures optional MCU features (the paper's §V-F optimizations).
+type Options struct {
+	// Forwarding enables store-to-load bounds forwarding.
+	Forwarding bool
+	// UseBWB enables the bounds way buffer.
+	UseBWB bool
+}
+
+// Stats aggregates MCU behaviour across retired entries.
+type Stats struct {
+	Checks        uint64 // load/store bounds checks completed
+	CheckAccesses uint64 // way loads performed for those checks
+	Forwards      uint64
+	Replays       uint64
+	StoreOps      uint64 // bndstr/bndclr completed
+	StoreAccesses uint64
+	Failures      uint64
+}
+
+// AccessesPerCheck is Fig 17's metric: average bounds-table accesses per
+// checked instruction.
+func (s Stats) AccessesPerCheck() float64 {
+	if s.Checks == 0 {
+		return 0
+	}
+	return float64(s.CheckAccesses) / float64(s.Checks)
+}
+
+// Queue is the memory check queue: a FIFO of in-flight bounds operations
+// driven one FSM transition per Step.
+type Queue struct {
+	entries []Entry // ring buffer
+	head    int
+	count   int
+	size    int
+	seq     uint64
+
+	table  *hbt.Table
+	bwb    *BWB
+	opts   Options
+	access AccessFn
+	stats  Stats
+}
+
+// NewQueue builds an MCQ of the given capacity operating against table.
+// bwb may be nil when Options.UseBWB is false. access may be nil.
+func NewQueue(size int, table *hbt.Table, bwb *BWB, opts Options, access AccessFn) *Queue {
+	if opts.UseBWB && bwb == nil {
+		bwb = NewBWB()
+	}
+	return &Queue{
+		entries: make([]Entry, size),
+		size:    size,
+		table:   table,
+		bwb:     bwb,
+		opts:    opts,
+		access:  access,
+	}
+}
+
+// SetTable swaps the backing table (after an OS resize) and invalidates the
+// BWB, whose remembered ways referred to the old geometry.
+func (q *Queue) SetTable(t *hbt.Table) {
+	q.table = t
+	if q.bwb != nil {
+		q.bwb.Invalidate()
+	}
+}
+
+// Table returns the current backing table.
+func (q *Queue) Table() *hbt.Table { return q.table }
+
+// BWB returns the way buffer (may be nil).
+func (q *Queue) BWB() *BWB { return q.bwb }
+
+// Stats returns a copy of the counters.
+func (q *Queue) Stats() Stats { return q.stats }
+
+// Full reports whether the queue has no free slot (issue back-pressure).
+func (q *Queue) Full() bool { return q.count == q.size }
+
+// Len returns the number of in-flight entries.
+func (q *Queue) Len() int { return q.count }
+
+func (q *Queue) at(i int) *Entry { return &q.entries[(q.head+i)%q.size] }
+
+// Enqueue allocates an entry for a memory or bounds instruction. ok=false
+// means the MCQ is full and issue must stall.
+func (q *Queue) Enqueue(typ EntryType, addr uint64, size uint64) (*Entry, bool) {
+	if q.Full() {
+		return nil, false
+	}
+	e := q.at(q.count)
+	q.count++
+	q.seq++
+	*e = Entry{
+		Valid:  true,
+		Type:   typ,
+		Addr:   addr,
+		Signed: pa.IsSigned(addr),
+		PAC:    pa.PAC(addr),
+		AHC:    pa.AHC(addr),
+		State:  StateInit,
+		seq:    q.seq,
+	}
+	if typ == TypeBndstr {
+		w, err := hbt.Compress(pa.VA(addr), size)
+		if err == nil {
+			e.BndData = w
+		}
+	}
+	return e, true
+}
+
+// MarkCommitted flags that the instruction owning e has retired from the
+// ROB, allowing a pending bounds store to drain (store-store ordering).
+func (q *Queue) MarkCommitted(e *Entry) { e.Committed = true }
+
+func (q *Queue) loadWay(e *Entry) {
+	e.BndAddr = q.table.WayAddr(e.PAC, e.Way)
+	if q.access != nil {
+		q.access(e.BndAddr, false)
+	}
+	e.Accesses++
+}
+
+// tryForward implements bounds forwarding (§V-F2): an older in-flight
+// bndstr with the same PAC whose bounds cover the address satisfies the
+// check without a memory access.
+func (q *Queue) tryForward(e *Entry) bool {
+	if !q.opts.Forwarding {
+		return false
+	}
+	for i := 0; i < q.count; i++ {
+		o := q.at(i)
+		if o == e {
+			break // only older entries
+		}
+		if o.Valid && o.Type == TypeBndstr && o.PAC == e.PAC && o.State != StateFail &&
+			hbt.Covers(o.BndData, e.Addr) {
+			return true
+		}
+	}
+	return false
+}
+
+// replayNewer implements store-load replay (§V-E): when a bounds store
+// drains, every newer entry with the same PAC restarts its search with
+// Count reset, unless it already completed (Done).
+func (q *Queue) replayNewer(e *Entry) {
+	for i := 0; i < q.count; i++ {
+		o := q.at(i)
+		if o.seq <= e.seq || !o.Valid || o.PAC != e.PAC {
+			continue
+		}
+		if o.State == StateDone || o.State == StateInit {
+			continue
+		}
+		o.State = StateInit
+		o.Count = 0
+		o.Way = 0
+		o.Replays++
+	}
+}
+
+// Step advances one entry a single FSM transition. It returns false when
+// the entry is already terminal (Done/Fail).
+func (q *Queue) Step(e *Entry) bool {
+	switch e.State {
+	case StateInit:
+		switch e.Type {
+		case TypeLoad, TypeStore:
+			if !e.Signed {
+				e.State = StateDone
+				return true
+			}
+			e.Way = 0
+			if q.opts.UseBWB && q.bwb != nil {
+				if w, ok := q.bwb.Lookup(BWBTag(pa.VA(e.Addr), e.AHC, e.PAC)); ok && w < q.table.Assoc() {
+					e.Way = w
+					e.fromBWB = true
+				}
+			}
+			e.BndAddr = q.table.WayAddr(e.PAC, e.Way)
+			e.State = StateBndChk
+		default:
+			// bndstr always starts its occupancy search at way 0.
+			e.Way = 0
+			e.BndAddr = q.table.WayAddr(e.PAC, 0)
+			e.State = StateOccChk
+		}
+	case StateOccChk:
+		q.loadWay(e)
+		var ok bool
+		if e.Type == TypeBndstr {
+			e.slot, ok = q.table.FindEmptySlot(e.PAC, e.Way)
+		} else {
+			e.slot, ok = q.table.FindBase(e.PAC, e.Way, pa.VA(e.Addr))
+		}
+		if ok {
+			e.State = StateBndStr
+		} else {
+			e.State = StateIncCnt
+		}
+	case StateBndChk:
+		if q.tryForward(e) {
+			e.Forwarded = true
+			e.State = StateDone
+			return true
+		}
+		q.loadWay(e)
+		if q.table.FindCovering(e.PAC, e.Way, pa.VA(e.Addr)) {
+			e.State = StateDone
+		} else if e.fromBWB {
+			// Stale BWB hint: restart the full search from way 0.
+			e.fromBWB = false
+			e.Way = 0
+			e.Count = 0
+			e.BndAddr = q.table.WayAddr(e.PAC, 0)
+		} else {
+			e.State = StateIncCnt
+		}
+	case StateBndStr:
+		if !e.Committed {
+			return true // waiting for ROB retirement
+		}
+		v := uint64(0)
+		if e.Type == TypeBndstr {
+			v = e.BndData
+		}
+		q.table.WriteSlot(e.PAC, e.Way, e.slot, v)
+		if q.access != nil {
+			q.access(e.BndAddr, true)
+		}
+		q.replayNewer(e)
+		e.State = StateDone
+	case StateIncCnt:
+		e.Count++
+		if e.Count >= q.table.Assoc() {
+			e.State = StateFail
+			return true
+		}
+		e.Way = (e.Way + 1) % q.table.Assoc()
+		e.BndAddr = q.table.WayAddr(e.PAC, e.Way)
+		if e.Type == TypeBndstr || e.Type == TypeBndclr {
+			e.State = StateOccChk
+		} else {
+			e.State = StateBndChk
+		}
+	case StateFail, StateDone:
+		return false
+	}
+	return e.State != StateDone && e.State != StateFail
+}
+
+// Run drives an entry to a terminal state (bounded by the FSM structure).
+func (q *Queue) Run(e *Entry) State {
+	for i := 0; i < 4*q.table.Assoc()+8; i++ {
+		if e.State == StateDone || e.State == StateFail {
+			break
+		}
+		q.Step(e)
+		if e.State == StateBndStr && !e.Committed {
+			break // cannot progress until commit
+		}
+	}
+	return e.State
+}
+
+// RetireHead pops the head entry if it is terminal and committed, updating
+// the BWB and statistics. ok=false means the head is still in flight.
+func (q *Queue) RetireHead() (Entry, bool) {
+	if q.count == 0 {
+		return Entry{}, false
+	}
+	e := q.at(0)
+	if !e.Committed || (e.State != StateDone && e.State != StateFail) {
+		return Entry{}, false
+	}
+	// Update BWB with the last used way (§V-C: "when an instruction
+	// retires from the MCQ, the BWB is updated").
+	if q.bwb != nil && e.Signed && e.State == StateDone && !e.Forwarded &&
+		(e.Type == TypeLoad || e.Type == TypeStore) {
+		q.bwb.Update(BWBTag(pa.VA(e.Addr), e.AHC, e.PAC), e.Way)
+	}
+	switch e.Type {
+	case TypeLoad, TypeStore:
+		if e.Signed {
+			q.stats.Checks++
+			q.stats.CheckAccesses += uint64(e.Accesses)
+			if e.Forwarded {
+				q.stats.Forwards++
+			}
+		}
+	default:
+		q.stats.StoreOps++
+		q.stats.StoreAccesses += uint64(e.Accesses)
+	}
+	q.stats.Replays += uint64(e.Replays)
+	if e.State == StateFail {
+		q.stats.Failures++
+	}
+	out := *e
+	e.Valid = false
+	q.head = (q.head + 1) % q.size
+	q.count--
+	return out, true
+}

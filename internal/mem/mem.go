@@ -1,0 +1,191 @@
+// Package mem provides the simulated flat virtual address space that every
+// architectural structure in the reproduction lives in: heap chunks and
+// their allocator metadata, the hashed bounds table, and the Watchdog
+// baseline's shadow metadata. It is a sparse, page-granular store so that
+// the modeled 46-bit address space costs only what is touched.
+package mem
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// PageBits is the log2 of the backing page size.
+const PageBits = 12
+
+// PageSize is the backing page size in bytes.
+const PageSize = 1 << PageBits
+
+const offMask = PageSize - 1
+
+// Memory is a sparse byte-addressable address space. The zero value is not
+// usable; call New.
+type Memory struct {
+	pages map[uint64]*[PageSize]byte
+
+	// PagesTouched counts distinct pages ever materialized (memory
+	// footprint proxy).
+	pagesTouched uint64
+}
+
+// New returns an empty address space.
+func New() *Memory {
+	return &Memory{pages: make(map[uint64]*[PageSize]byte)}
+}
+
+func (m *Memory) page(addr uint64, create bool) *[PageSize]byte {
+	pn := addr >> PageBits
+	p := m.pages[pn]
+	if p == nil && create {
+		p = new([PageSize]byte)
+		m.pages[pn] = p
+		m.pagesTouched++
+	}
+	return p
+}
+
+// PagesTouched returns the number of distinct pages materialized so far.
+func (m *Memory) PagesTouched() uint64 { return m.pagesTouched }
+
+// FootprintBytes returns the touched footprint in bytes.
+func (m *Memory) FootprintBytes() uint64 { return m.pagesTouched * PageSize }
+
+// ReadU8 reads one byte; untouched memory reads as zero.
+func (m *Memory) ReadU8(addr uint64) byte {
+	if p := m.page(addr, false); p != nil {
+		return p[addr&offMask]
+	}
+	return 0
+}
+
+// WriteU8 writes one byte.
+func (m *Memory) WriteU8(addr uint64, v byte) {
+	m.page(addr, true)[addr&offMask] = v
+}
+
+// ReadU64 reads a little-endian 64-bit word.
+func (m *Memory) ReadU64(addr uint64) uint64 {
+	off := addr & offMask
+	if off <= PageSize-8 {
+		p := m.page(addr, false)
+		if p == nil {
+			return 0
+		}
+		return binary.LittleEndian.Uint64(p[off : off+8])
+	}
+	var b [8]byte
+	m.ReadBytes(addr, b[:])
+	return binary.LittleEndian.Uint64(b[:])
+}
+
+// WriteU64 writes a little-endian 64-bit word.
+func (m *Memory) WriteU64(addr uint64, v uint64) {
+	off := addr & offMask
+	if off <= PageSize-8 {
+		binary.LittleEndian.PutUint64(m.page(addr, true)[off:off+8], v)
+		return
+	}
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	m.WriteBytes(addr, b[:])
+}
+
+// ReadU32 reads a little-endian 32-bit word.
+func (m *Memory) ReadU32(addr uint64) uint32 {
+	off := addr & offMask
+	if off <= PageSize-4 {
+		p := m.page(addr, false)
+		if p == nil {
+			return 0
+		}
+		return binary.LittleEndian.Uint32(p[off : off+4])
+	}
+	var b [4]byte
+	m.ReadBytes(addr, b[:])
+	return binary.LittleEndian.Uint32(b[:])
+}
+
+// WriteU32 writes a little-endian 32-bit word.
+func (m *Memory) WriteU32(addr uint64, v uint32) {
+	off := addr & offMask
+	if off <= PageSize-4 {
+		binary.LittleEndian.PutUint32(m.page(addr, true)[off:off+4], v)
+		return
+	}
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	m.WriteBytes(addr, b[:])
+}
+
+// ReadBytes fills dst from memory starting at addr.
+func (m *Memory) ReadBytes(addr uint64, dst []byte) {
+	for len(dst) > 0 {
+		off := addr & offMask
+		n := PageSize - off
+		if n > uint64(len(dst)) {
+			n = uint64(len(dst))
+		}
+		if p := m.page(addr, false); p != nil {
+			copy(dst[:n], p[off:off+n])
+		} else {
+			for i := uint64(0); i < n; i++ {
+				dst[i] = 0
+			}
+		}
+		dst = dst[n:]
+		addr += n
+	}
+}
+
+// WriteBytes copies src into memory starting at addr.
+func (m *Memory) WriteBytes(addr uint64, src []byte) {
+	for len(src) > 0 {
+		off := addr & offMask
+		n := PageSize - off
+		if n > uint64(len(src)) {
+			n = uint64(len(src))
+		}
+		copy(m.page(addr, true)[off:off+n], src[:n])
+		src = src[n:]
+		addr += n
+	}
+}
+
+// Zero clears size bytes starting at addr.
+func (m *Memory) Zero(addr, size uint64) {
+	for size > 0 {
+		off := addr & offMask
+		n := PageSize - off
+		if n > size {
+			n = size
+		}
+		p := m.page(addr, true)
+		for i := off; i < off+n; i++ {
+			p[i] = 0
+		}
+		size -= n
+		addr += n
+	}
+}
+
+// Copy moves size bytes from src to dst (regions may not overlap
+// meaningfully; used for table migration and realloc).
+func (m *Memory) Copy(dst, src, size uint64) {
+	buf := make([]byte, 64)
+	for size > 0 {
+		n := uint64(len(buf))
+		if n > size {
+			n = size
+		}
+		m.ReadBytes(src, buf[:n])
+		m.WriteBytes(dst, buf[:n])
+		src += n
+		dst += n
+		size -= n
+	}
+}
+
+// String summarizes the space for debugging.
+func (m *Memory) String() string {
+	return fmt.Sprintf("mem{%d pages, %d KiB}", m.pagesTouched, m.pagesTouched*PageSize/1024)
+}

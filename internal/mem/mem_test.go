@@ -1,0 +1,97 @@
+package mem
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestReadWriteU64(t *testing.T) {
+	m := New()
+	f := func(addr, v uint64) bool {
+		addr &= (1 << 46) - 1
+		m.WriteU64(addr, v)
+		return m.ReadU64(addr) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUntouchedReadsZero(t *testing.T) {
+	m := New()
+	if m.ReadU64(0x1234_5678_9000) != 0 || m.ReadU8(42) != 0 || m.ReadU32(1<<40) != 0 {
+		t.Error("untouched memory did not read as zero")
+	}
+	if m.PagesTouched() != 0 {
+		t.Error("reads materialized pages")
+	}
+}
+
+func TestCrossPageAccess(t *testing.T) {
+	m := New()
+	addr := uint64(PageSize - 3) // straddles the first page boundary
+	m.WriteU64(addr, 0x1122334455667788)
+	if got := m.ReadU64(addr); got != 0x1122334455667788 {
+		t.Errorf("cross-page U64 = %#x", got)
+	}
+	m.WriteU32(uint64(2*PageSize-2), 0xA1B2C3D4)
+	if got := m.ReadU32(uint64(2*PageSize - 2)); got != 0xA1B2C3D4 {
+		t.Errorf("cross-page U32 = %#x", got)
+	}
+}
+
+func TestBytesRoundTrip(t *testing.T) {
+	m := New()
+	src := make([]byte, 3*PageSize+17)
+	for i := range src {
+		src[i] = byte(i * 7)
+	}
+	addr := uint64(5*PageSize - 100)
+	m.WriteBytes(addr, src)
+	dst := make([]byte, len(src))
+	m.ReadBytes(addr, dst)
+	if !bytes.Equal(src, dst) {
+		t.Error("WriteBytes/ReadBytes round trip mismatch")
+	}
+}
+
+func TestZero(t *testing.T) {
+	m := New()
+	addr := uint64(PageSize - 8)
+	m.WriteU64(addr, ^uint64(0))
+	m.WriteU64(addr+8, ^uint64(0))
+	m.Zero(addr+4, 8)
+	if m.ReadU32(addr) != 0xFFFFFFFF || m.ReadU32(addr+4) != 0 ||
+		m.ReadU32(addr+8) != 0 || m.ReadU32(addr+12) != 0xFFFFFFFF {
+		t.Error("Zero cleared the wrong range")
+	}
+}
+
+func TestCopy(t *testing.T) {
+	m := New()
+	src := uint64(0x1000)
+	dst := uint64(0x9000)
+	for i := uint64(0); i < 40; i++ {
+		m.WriteU8(src+i, byte(i+1))
+	}
+	m.Copy(dst, src, 40)
+	for i := uint64(0); i < 40; i++ {
+		if m.ReadU8(dst+i) != byte(i+1) {
+			t.Fatalf("Copy mismatch at +%d", i)
+		}
+	}
+}
+
+func TestFootprint(t *testing.T) {
+	m := New()
+	m.WriteU8(0, 1)
+	m.WriteU8(PageSize, 1)
+	m.WriteU8(PageSize+1, 1)
+	if m.PagesTouched() != 2 {
+		t.Errorf("PagesTouched = %d, want 2", m.PagesTouched())
+	}
+	if m.FootprintBytes() != 2*PageSize {
+		t.Errorf("FootprintBytes = %d", m.FootprintBytes())
+	}
+}

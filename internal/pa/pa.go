@@ -1,0 +1,200 @@
+// Package pa models the Arm pointer-authentication primitives that AOS
+// builds on, extended with the AOS data-pointer instructions (§IV-A):
+// pacma/pacmb (sign with PAC + AHC), xpacm (strip), and autm (authenticate
+// the AHC). It also provides the classic pacia/autia pair used by the PA
+// baseline for return-address and pointer-integrity signing.
+//
+// Pointer layout (modeled): a 64-bit virtual address with
+//
+//	bits [63:48] — 16-bit PAC
+//	bits [47:46] — 2-bit AHC (nonzero means "signed by AOS")
+//	bits [45:0]  — virtual address (VABits = 46)
+//
+// The paper uses 16-bit PACs under a typical AArch64 VA scheme; the exact
+// upper-bit positions depend on the TCR configuration and are immaterial to
+// the mechanism.
+package pa
+
+import (
+	"fmt"
+
+	"aos/internal/qarma"
+)
+
+// Pointer bit-layout constants.
+const (
+	// VABits is the modeled virtual-address width.
+	VABits = 46
+	// VAMask extracts the raw virtual address.
+	VAMask = (uint64(1) << VABits) - 1
+	// AHCShift is the bit position of the 2-bit AHC field.
+	AHCShift = 46
+	// AHCMask extracts the AHC field (in place).
+	AHCMask = uint64(3) << AHCShift
+	// PACShift is the bit position of the 16-bit PAC field.
+	PACShift = 48
+	// PACBits is the modeled PAC width.
+	PACBits = 16
+	// PACSpace is the number of distinct PAC values (HBT row count).
+	PACSpace = 1 << PACBits
+)
+
+// AHC values produced by Algorithm 1. A zero AHC means "not signed".
+const (
+	// AHCNone marks an unsigned pointer.
+	AHCNone uint8 = 0
+	// AHCSmall marks a chunk whose addresses vary only in the low 7 bits
+	// (≈64-byte objects).
+	AHCSmall uint8 = 1
+	// AHCMedium marks a chunk whose addresses vary only in the low 10 bits
+	// (≈256-byte objects).
+	AHCMedium uint8 = 2
+	// AHCLarge marks everything bigger.
+	AHCLarge uint8 = 3
+)
+
+// VA returns the raw virtual address of ptr (PAC and AHC stripped).
+func VA(ptr uint64) uint64 { return ptr & VAMask }
+
+// PAC returns the PAC field of ptr.
+func PAC(ptr uint64) uint16 { return uint16(ptr >> PACShift) }
+
+// AHC returns the AHC field of ptr.
+func AHC(ptr uint64) uint8 { return uint8((ptr >> AHCShift) & 3) }
+
+// IsSigned reports whether ptr carries a nonzero AHC, i.e. was signed by
+// AOS. The MCU uses exactly this test to decide whether an access needs
+// bounds checking (Fig 6).
+func IsSigned(ptr uint64) bool { return ptr&AHCMask != 0 }
+
+// Compose builds a signed pointer from a raw address, PAC and AHC.
+func Compose(va uint64, pac uint16, ahc uint8) uint64 {
+	return (va & VAMask) | (uint64(ahc&3) << AHCShift) | (uint64(pac) << PACShift)
+}
+
+// ComputeAHC implements Algorithm 1: classify the chunk [addr, addr+size)
+// by which address bits are invariant across it.
+func ComputeAHC(addr, size uint64) uint8 {
+	if size == 0 {
+		size = 1
+	}
+	tAddr := addr ^ (addr + size - 1)
+	switch {
+	case tAddr>>7 == 0:
+		return AHCSmall
+	case tAddr>>10 == 0:
+		return AHCMedium
+	default:
+		return AHCLarge
+	}
+}
+
+// Key identifies which PA key register a signing operation uses.
+type Key int
+
+// The PA key registers modeled. AOS uses the data keys for pacma/pacmb and
+// the instruction key A for return-address signing in the PA baseline.
+const (
+	KeyIA Key = iota
+	KeyIB
+	KeyDA
+	KeyDB
+	numKeys
+)
+
+// KeyPair is one 128-bit PA key (w0||k0 halves of the QARMA key).
+type KeyPair struct {
+	W0, K0 uint64
+}
+
+// Unit models the per-process PA state: the key registers and the cipher.
+// Keys live in system registers invisible to user space (threat model §III-D).
+type Unit struct {
+	ciphers [numKeys]*qarma.Cipher
+}
+
+// DefaultKeys are the keys the AOS paper uses in its §VI study: the QARMA
+// reference key 0x84be85ce9804e94b_ec2802d4e0a488e9 for every register.
+func DefaultKeys() [4]KeyPair {
+	k := KeyPair{W0: 0x84be85ce9804e94b, K0: 0xec2802d4e0a488e9}
+	return [4]KeyPair{k, k, k, k}
+}
+
+// NewUnit builds a PA unit with the given four key registers
+// (IA, IB, DA, DB order).
+func NewUnit(keys [4]KeyPair) *Unit {
+	u := &Unit{}
+	for i, kp := range keys {
+		u.ciphers[i] = qarma.MustNew(qarma.Sigma1, qarma.Rounds, kp.W0, kp.K0)
+	}
+	return u
+}
+
+// NewDefaultUnit builds a PA unit with DefaultKeys.
+func NewDefaultUnit() *Unit { return NewUnit(DefaultKeys()) }
+
+// ComputePAC computes the truncated QARMA MAC of (va, modifier) under key k.
+func (u *Unit) ComputePAC(k Key, va, modifier uint64) uint16 {
+	return uint16(u.ciphers[k].Encrypt(va, modifier))
+}
+
+// SignData implements pacma/pacmb: sign a data pointer returned by the
+// allocator. The PAC is computed over the chunk's base address with the
+// given modifier (the paper uses SP); size feeds Algorithm 1 to produce the
+// AHC. A zero size (the xzr re-signing in AOS-free, Fig 7b) yields AHCLarge
+// so the pointer stays marked as signed ("locked") but matches no bounds.
+func (u *Unit) SignData(k Key, ptr, modifier, size uint64) uint64 {
+	va := VA(ptr)
+	pac := u.ComputePAC(k, va, modifier)
+	ahc := AHCLarge
+	if size > 0 {
+		ahc = ComputeAHC(va, size)
+	}
+	return Compose(va, pac, ahc)
+}
+
+// Strip implements xpacm: remove both PAC and AHC.
+func Strip(ptr uint64) uint64 { return VA(ptr) }
+
+// ErrAuthFailed is returned when autm sees a zero AHC, i.e. a pointer that
+// should have been AOS-signed but is not (Fig 13).
+var ErrAuthFailed = fmt.Errorf("pa: autm authentication failed (zero AHC)")
+
+// AutM implements autm: authenticate that the pointer carries a nonzero
+// AHC. It does not strip the AHC. A zero AHC means the pointer was
+// corrupted or forged, and the authentication fails.
+func AutM(ptr uint64) (uint64, error) {
+	if !IsSigned(ptr) {
+		return ptr, ErrAuthFailed
+	}
+	return ptr, nil
+}
+
+// SignCode implements pacia-style signing of a code/return address: the PAC
+// is placed in the upper bits; no AHC is set (AHC is an AOS data-pointer
+// concept).
+func (u *Unit) SignCode(k Key, ptr, modifier uint64) uint64 {
+	va := VA(ptr)
+	pac := u.ComputePAC(k, va, modifier)
+	return va | uint64(pac)<<PACShift
+}
+
+// AuthCode implements autia-style authentication: recompute the PAC and
+// compare. On success the stripped pointer is returned; on mismatch an
+// error (the hardware would poison the pointer so its use faults).
+func (u *Unit) AuthCode(k Key, ptr, modifier uint64) (uint64, error) {
+	va := VA(ptr)
+	want := u.ComputePAC(k, va, modifier)
+	if PAC(ptr) != want {
+		return ptr, fmt.Errorf("pa: autia authentication failed for %#x", ptr)
+	}
+	return va, nil
+}
+
+// Latency constants (cycles) per Table IV.
+const (
+	// SignAuthLatency is the QARMA sign/authenticate latency.
+	SignAuthLatency = 4
+	// StripLatency is the xpacm latency.
+	StripLatency = 1
+)

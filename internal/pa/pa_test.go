@@ -1,0 +1,180 @@
+package pa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPointerFieldRoundTrip(t *testing.T) {
+	f := func(va uint64, pac uint16, ahcRaw uint8) bool {
+		va &= VAMask
+		ahc := ahcRaw & 3
+		p := Compose(va, pac, ahc)
+		return VA(p) == va && PAC(p) == pac && AHC(p) == ahc
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIsSigned(t *testing.T) {
+	if IsSigned(0x2000_0000_0000) {
+		t.Error("raw VA reported as signed")
+	}
+	if !IsSigned(Compose(0x2000_0000_0000, 0xABCD, AHCSmall)) {
+		t.Error("signed pointer reported as unsigned")
+	}
+	// A PAC alone without an AHC is not an AOS-signed pointer.
+	if IsSigned(Compose(0x2000_0000_0000, 0xABCD, AHCNone)) {
+		t.Error("pointer with zero AHC reported as signed")
+	}
+}
+
+func TestComputeAHC(t *testing.T) {
+	// A 64-byte chunk aligned to 64 bytes varies only in the low 6 bits.
+	if got := ComputeAHC(0x2000_0000_0000, 64); got != AHCSmall {
+		t.Errorf("64B chunk: AHC = %d, want %d", got, AHCSmall)
+	}
+	if got := ComputeAHC(0x2000_0000_0040, 64); got != AHCSmall {
+		t.Errorf("64B chunk within one 128B frame: AHC = %d, want %d", got, AHCSmall)
+	}
+	// ~256-byte chunks.
+	if got := ComputeAHC(0x2000_0000_0000, 256); got != AHCMedium {
+		t.Errorf("256B chunk: AHC = %d, want %d", got, AHCMedium)
+	}
+	// Large chunks.
+	if got := ComputeAHC(0x2000_0000_0000, 4096); got != AHCLarge {
+		t.Errorf("4KB chunk: AHC = %d, want %d", got, AHCLarge)
+	}
+	// A small chunk straddling a 128-byte boundary flips higher bits.
+	if got := ComputeAHC(0x2000_0000_0078, 32); got != AHCMedium {
+		t.Errorf("straddling small chunk: AHC = %d, want %d", got, AHCMedium)
+	}
+	// Zero size treated as one byte.
+	if got := ComputeAHC(0x2000_0000_0000, 0); got != AHCSmall {
+		t.Errorf("zero-size: AHC = %d, want %d", got, AHCSmall)
+	}
+}
+
+func TestComputeAHCNeverZero(t *testing.T) {
+	f := func(addr, size uint64) bool {
+		addr &= VAMask
+		size = size%(1<<32) + 1
+		return ComputeAHC(addr, size) != AHCNone
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSignDataStripRoundTrip(t *testing.T) {
+	u := NewDefaultUnit()
+	f := func(vaRaw, mod uint64, sizeRaw uint32) bool {
+		va := vaRaw & VAMask
+		size := uint64(sizeRaw) + 1
+		p := u.SignData(KeyDA, va, mod, size)
+		return IsSigned(p) && Strip(p) == va
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSignDataDeterministic(t *testing.T) {
+	u := NewDefaultUnit()
+	a := u.SignData(KeyDA, 0x2000_0000_1000, 0x7000, 64)
+	b := u.SignData(KeyDA, 0x2000_0000_1000, 0x7000, 64)
+	if a != b {
+		t.Errorf("signing is not deterministic: %#x != %#x", a, b)
+	}
+}
+
+func TestSignDataKeySeparation(t *testing.T) {
+	keys := DefaultKeys()
+	keys[KeyDB] = KeyPair{W0: 1, K0: 2}
+	u := NewUnit(keys)
+	a := u.SignData(KeyDA, 0x2000_0000_1000, 0x7000, 64)
+	b := u.SignData(KeyDB, 0x2000_0000_1000, 0x7000, 64)
+	if PAC(a) == PAC(b) {
+		t.Error("different keys produced identical PACs (possible but vanishingly unlikely)")
+	}
+}
+
+func TestSignDataModifierSeparation(t *testing.T) {
+	u := NewDefaultUnit()
+	a := u.SignData(KeyDA, 0x2000_0000_1000, 0x7000, 64)
+	b := u.SignData(KeyDA, 0x2000_0000_1000, 0x7008, 64)
+	if PAC(a) == PAC(b) {
+		t.Error("different modifiers produced identical PACs (possible but vanishingly unlikely)")
+	}
+}
+
+func TestSignDataZeroSizeLocksPointer(t *testing.T) {
+	// The re-signing after free() passes xzr as size; the pointer must stay
+	// signed (locked) so later dereferences are bounds-checked and fail.
+	u := NewDefaultUnit()
+	p := u.SignData(KeyDA, 0x2000_0000_1000, 0x7000, 0)
+	if !IsSigned(p) {
+		t.Error("zero-size signing produced an unsigned pointer")
+	}
+	if AHC(p) != AHCLarge {
+		t.Errorf("zero-size signing AHC = %d, want AHCLarge", AHC(p))
+	}
+}
+
+func TestAutM(t *testing.T) {
+	u := NewDefaultUnit()
+	signed := u.SignData(KeyDA, 0x2000_0000_1000, 0x7000, 64)
+	if _, err := AutM(signed); err != nil {
+		t.Errorf("AutM(signed) = %v, want nil", err)
+	}
+	if _, err := AutM(Strip(signed)); err == nil {
+		t.Error("AutM(stripped) succeeded, want ErrAuthFailed")
+	}
+	// Forging the AHC to zero while keeping the PAC must fail autm.
+	forged := signed &^ AHCMask
+	if _, err := AutM(forged); err == nil {
+		t.Error("AutM(AHC-forged) succeeded, want ErrAuthFailed")
+	}
+}
+
+func TestSignAuthCode(t *testing.T) {
+	u := NewDefaultUnit()
+	ret := uint64(0x0000_0040_1234)
+	sp := uint64(0x3FFF_FFFF_0000)
+	signed := u.SignCode(KeyIA, ret, sp)
+	got, err := u.AuthCode(KeyIA, signed, sp)
+	if err != nil || got != ret {
+		t.Fatalf("AuthCode = %#x, %v; want %#x, nil", got, err, ret)
+	}
+	// Corrupting the address must fail authentication.
+	if _, err := u.AuthCode(KeyIA, signed^0x10, sp); err == nil {
+		t.Error("AuthCode accepted a corrupted pointer")
+	}
+	// Wrong modifier must fail authentication.
+	if _, err := u.AuthCode(KeyIA, signed, sp+16); err == nil {
+		t.Error("AuthCode accepted a wrong modifier")
+	}
+}
+
+func TestPACDistributionIsReasonable(t *testing.T) {
+	// Sanity version of Fig 11: PACs of sequential chunk addresses should
+	// spread across the space, not cluster.
+	u := NewDefaultUnit()
+	const n = 1 << 14
+	seen := make(map[uint16]int)
+	addr := uint64(0x2000_0000_0000)
+	for i := 0; i < n; i++ {
+		pac := u.ComputePAC(KeyDA, addr, 0x477d469dec0b8762)
+		seen[pac]++
+		addr += 64
+	}
+	if len(seen) < n/4 {
+		t.Errorf("PACs collapse onto %d distinct values out of %d signings", len(seen), n)
+	}
+	for pac, c := range seen {
+		if c > 20 {
+			t.Errorf("PAC %04x occurs %d times; distribution badly skewed", pac, c)
+		}
+	}
+}

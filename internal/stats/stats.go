@@ -1,0 +1,165 @@
+// Package stats provides the aggregation and table-formatting helpers the
+// experiment harness uses to print paper-style tables and figure series:
+// geometric means for normalized execution time (Fig 14/15/18), histograms
+// for the PAC-distribution study (Fig 11), and fixed-width text tables.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Geomean returns the geometric mean of xs (0 for empty input; zero or
+// negative entries are rejected by panicking, since a normalized execution
+// time can never be <= 0).
+func Geomean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			panic(fmt.Sprintf("stats: geomean of non-positive value %v", x))
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}
+
+// Mean returns the arithmetic mean.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Histogram summarizes an integer-valued distribution (Fig 11).
+type Histogram struct {
+	counts map[uint64]uint64
+	total  uint64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{counts: make(map[uint64]uint64)}
+}
+
+// Add records one observation of value v.
+func (h *Histogram) Add(v uint64) {
+	h.counts[v]++
+	h.total++
+}
+
+// Total returns the number of observations.
+func (h *Histogram) Total() uint64 { return h.total }
+
+// Distinct returns the number of distinct values observed.
+func (h *Histogram) Distinct() int { return len(h.counts) }
+
+// Summary holds the Fig 11 caption statistics over per-bucket occurrence
+// counts: for every possible value in [0, space), how often it occurred.
+type Summary struct {
+	Avg, Stdev float64
+	Min, Max   uint64
+}
+
+// OccurrenceSummary computes the occurrence statistics over a value space
+// of the given size (e.g. 65536 for 16-bit PACs); values never observed
+// count as zero occurrences.
+func (h *Histogram) OccurrenceSummary(space uint64) Summary {
+	var s Summary
+	s.Min = math.MaxUint64
+	var sum, sumSq float64
+	for v := uint64(0); v < space; v++ {
+		c := h.counts[v]
+		if c < s.Min {
+			s.Min = c
+		}
+		if c > s.Max {
+			s.Max = c
+		}
+		f := float64(c)
+		sum += f
+		sumSq += f * f
+	}
+	n := float64(space)
+	s.Avg = sum / n
+	s.Stdev = math.Sqrt(sumSq/n - s.Avg*s.Avg)
+	return s
+}
+
+// Table is a fixed-width text table builder for harness output.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table { return &Table{header: header} }
+
+// AddRow appends a row; cells are Sprint-formatted.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.3f", v)
+		default:
+			row[i] = fmt.Sprint(c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// SortedKeys returns the map's keys in ascending order (deterministic
+// printing).
+func SortedKeys[K ~string, V any](m map[K]V) []K {
+	keys := make([]K, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}

@@ -1,0 +1,81 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestGeomean(t *testing.T) {
+	if g := Geomean([]float64{2, 8}); math.Abs(g-4) > 1e-12 {
+		t.Errorf("Geomean(2,8) = %v", g)
+	}
+	if g := Geomean([]float64{1, 1, 1}); g != 1 {
+		t.Errorf("Geomean(1,1,1) = %v", g)
+	}
+	if g := Geomean(nil); g != 0 {
+		t.Errorf("Geomean(nil) = %v", g)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Geomean accepted a non-positive value")
+		}
+	}()
+	Geomean([]float64{1, 0})
+}
+
+func TestMean(t *testing.T) {
+	if m := Mean([]float64{1, 2, 3}); m != 2 {
+		t.Errorf("Mean = %v", m)
+	}
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+}
+
+func TestHistogramSummary(t *testing.T) {
+	h := NewHistogram()
+	// Space of 4 values; occurrences 0, 1, 2, 3.
+	h.Add(1)
+	h.Add(2)
+	h.Add(2)
+	h.Add(3)
+	h.Add(3)
+	h.Add(3)
+	if h.Total() != 6 || h.Distinct() != 3 {
+		t.Errorf("total=%d distinct=%d", h.Total(), h.Distinct())
+	}
+	s := h.OccurrenceSummary(4)
+	if s.Min != 0 || s.Max != 3 {
+		t.Errorf("min/max = %d/%d", s.Min, s.Max)
+	}
+	if math.Abs(s.Avg-1.5) > 1e-12 {
+		t.Errorf("avg = %v", s.Avg)
+	}
+	// Variance of {0,1,2,3} = 1.25.
+	if math.Abs(s.Stdev-math.Sqrt(1.25)) > 1e-12 {
+		t.Errorf("stdev = %v", s.Stdev)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("name", "value")
+	tb.AddRow("alpha", 1.5)
+	tb.AddRow("b", 42)
+	out := tb.String()
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "1.500") || !strings.Contains(out, "42") {
+		t.Errorf("table output missing cells:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // header, separator, two rows
+		t.Errorf("table has %d lines", len(lines))
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	m := map[string]int{"c": 1, "a": 2, "b": 3}
+	got := SortedKeys(m)
+	if len(got) != 3 || got[0] != "a" || got[2] != "c" {
+		t.Errorf("SortedKeys = %v", got)
+	}
+}

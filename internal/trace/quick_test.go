@@ -1,0 +1,47 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"aos/internal/isa"
+)
+
+// TestRoundTripProperty encodes arbitrary instructions and requires exact
+// reconstruction (testing/quick drives the field values).
+func TestRoundTripProperty(t *testing.T) {
+	f := func(op uint8, dest, src1, src2 uint8, pc, addr, rowAddr uint64,
+		size uint32, pac uint16, branchID uint32, ahc uint8, homeWay int8,
+		assoc uint8, signed, taken, resize bool) bool {
+
+		in := isa.Inst{
+			Op: isa.Op(op), Dest: dest, Src1: src1, Src2: src2,
+			PC: pc, Addr: addr, RowAddr: rowAddr, Size: size, PAC: pac,
+			BranchID: branchID, AHC: ahc, HomeWay: homeWay, Assoc: assoc,
+			Signed: signed, Taken: taken, Resize: resize,
+		}
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf)
+		if err != nil {
+			return false
+		}
+		w.Emit(&in)
+		if err := w.Close(); err != nil {
+			return false
+		}
+		r, err := NewReader(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			return false
+		}
+		var out isa.Inst
+		if !r.Next(&out) {
+			return false
+		}
+		return out == in
+	}
+	cfg := &quick.Config{MaxCount: 500}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

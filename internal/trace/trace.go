@@ -1,0 +1,194 @@
+// Package trace records and replays dynamic instruction streams in a
+// compact binary format. Recording decouples the two simulation phases:
+// one functional execution (allocator + PA + HBT) can be replayed through
+// many timing configurations — the workflow used for parameter sweeps,
+// and the shape of artifact a trace-driven simulator ships with.
+//
+// Format: a 16-byte header (magic, version, instruction count) followed by
+// fixed-width 44-byte little-endian records. The encoding is
+// self-contained and versioned; readers reject unknown versions.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"aos/internal/isa"
+)
+
+// Magic identifies a trace stream ("AOSTRACE" truncated into 4 bytes).
+const Magic = 0x414F5354 // "AOST"
+
+// Version is the current format version.
+const Version = 1
+
+// recordSize is the fixed per-instruction encoding size.
+const recordSize = 44
+
+// header layout: magic u32 | version u32 | count u64.
+const headerSize = 16
+
+// Writer serializes instructions to an io.Writer. It implements isa.Sink,
+// so it can tee a live functional run to disk. Close must be called to
+// flush and finalize the header count.
+type Writer struct {
+	w     *bufio.Writer
+	seek  io.WriteSeeker // nil if the destination is not seekable
+	count uint64
+	err   error
+	buf   [recordSize]byte
+}
+
+// NewWriter starts a trace on w. If w is also an io.WriteSeeker the final
+// instruction count is patched into the header on Close; otherwise the
+// count field is left zero and readers run until EOF.
+func NewWriter(w io.Writer) (*Writer, error) {
+	tw := &Writer{w: bufio.NewWriterSize(w, 1<<16)}
+	if ws, ok := w.(io.WriteSeeker); ok {
+		tw.seek = ws
+	}
+	var hdr [headerSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:], Magic)
+	binary.LittleEndian.PutUint32(hdr[4:], Version)
+	if _, err := tw.w.Write(hdr[:]); err != nil {
+		return nil, err
+	}
+	return tw, nil
+}
+
+// Emit implements isa.Sink.
+func (t *Writer) Emit(in *isa.Inst) {
+	if t.err != nil {
+		return
+	}
+	b := t.buf[:]
+	b[0] = byte(in.Op)
+	b[1] = in.Dest
+	b[2] = in.Src1
+	b[3] = in.Src2
+	var flags byte
+	if in.Signed {
+		flags |= 1
+	}
+	if in.Taken {
+		flags |= 2
+	}
+	if in.Resize {
+		flags |= 4
+	}
+	b[4] = flags
+	b[5] = byte(in.AHC)
+	b[6] = byte(in.HomeWay)
+	b[7] = in.Assoc
+	binary.LittleEndian.PutUint64(b[8:], in.PC)
+	binary.LittleEndian.PutUint64(b[16:], in.Addr)
+	binary.LittleEndian.PutUint64(b[24:], in.RowAddr)
+	binary.LittleEndian.PutUint32(b[32:], in.Size)
+	binary.LittleEndian.PutUint16(b[36:], in.PAC)
+	binary.LittleEndian.PutUint32(b[38:], in.BranchID)
+	// b[42:44] reserved.
+	if _, err := t.w.Write(b); err != nil {
+		t.err = err
+		return
+	}
+	t.count++
+}
+
+// Count returns the number of instructions written so far.
+func (t *Writer) Count() uint64 { return t.count }
+
+// Close flushes the stream and, when possible, patches the header count.
+func (t *Writer) Close() error {
+	if t.err != nil {
+		return t.err
+	}
+	if err := t.w.Flush(); err != nil {
+		return err
+	}
+	if t.seek != nil {
+		if _, err := t.seek.Seek(8, io.SeekStart); err != nil {
+			return err
+		}
+		var cnt [8]byte
+		binary.LittleEndian.PutUint64(cnt[:], t.count)
+		if _, err := t.seek.Write(cnt[:]); err != nil {
+			return err
+		}
+		if _, err := t.seek.Seek(0, io.SeekEnd); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Reader decodes a trace; it implements isa.Stream.
+type Reader struct {
+	r     *bufio.Reader
+	count uint64 // 0 = unknown, read to EOF
+	read  uint64
+	buf   [recordSize]byte
+}
+
+// NewReader validates the header and returns a streaming reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: short header: %w", err)
+	}
+	if m := binary.LittleEndian.Uint32(hdr[0:]); m != Magic {
+		return nil, fmt.Errorf("trace: bad magic %#x", m)
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:]); v != Version {
+		return nil, fmt.Errorf("trace: unsupported version %d", v)
+	}
+	return &Reader{r: br, count: binary.LittleEndian.Uint64(hdr[8:])}, nil
+}
+
+// Count returns the header's instruction count (0 when unknown).
+func (t *Reader) Count() uint64 { return t.count }
+
+// Next implements isa.Stream.
+func (t *Reader) Next(out *isa.Inst) bool {
+	if t.count != 0 && t.read >= t.count {
+		return false
+	}
+	if _, err := io.ReadFull(t.r, t.buf[:]); err != nil {
+		return false
+	}
+	b := t.buf[:]
+	*out = isa.Inst{
+		Op:       isa.Op(b[0]),
+		Dest:     b[1],
+		Src1:     b[2],
+		Src2:     b[3],
+		Signed:   b[4]&1 != 0,
+		Taken:    b[4]&2 != 0,
+		Resize:   b[4]&4 != 0,
+		AHC:      b[5],
+		HomeWay:  int8(b[6]),
+		Assoc:    b[7],
+		PC:       binary.LittleEndian.Uint64(b[8:]),
+		Addr:     binary.LittleEndian.Uint64(b[16:]),
+		RowAddr:  binary.LittleEndian.Uint64(b[24:]),
+		Size:     binary.LittleEndian.Uint32(b[32:]),
+		PAC:      binary.LittleEndian.Uint16(b[36:]),
+		BranchID: binary.LittleEndian.Uint32(b[38:]),
+	}
+	t.read++
+	return true
+}
+
+// Replay feeds every instruction of the stream into sink and returns how
+// many were delivered.
+func Replay(s isa.Stream, sink isa.Sink) uint64 {
+	var in isa.Inst
+	var n uint64
+	for s.Next(&in) {
+		sink.Emit(&in)
+		n++
+	}
+	return n
+}

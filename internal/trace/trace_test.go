@@ -1,0 +1,217 @@
+package trace
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"aos/internal/core"
+	"aos/internal/cpu"
+	"aos/internal/instrument"
+	"aos/internal/isa"
+	"aos/internal/workload"
+)
+
+func sampleInsts() []isa.Inst {
+	return []isa.Inst{
+		{Op: isa.OpALU, PC: 0x400000, Dest: 3, Src1: isa.RegNone, Src2: isa.RegNone},
+		{Op: isa.OpLoad, PC: 0x400004, Addr: 0x2000_0000_1234, Size: 8, Dest: 4, Src1: 3, Src2: isa.RegNone,
+			Signed: true, PAC: 0xBEEF, AHC: 2, HomeWay: 1, Assoc: 4, RowAddr: 0x3000_0000_0000},
+		{Op: isa.OpBranch, PC: 0x400008, BranchID: 77, Taken: true, Dest: isa.RegNone, Src1: isa.RegNone, Src2: isa.RegNone},
+		{Op: isa.OpBndstr, PC: 0x40000C, Addr: 0x2000_0000_2000, Size: 128, Signed: true,
+			PAC: 0x1111, AHC: 3, HomeWay: 0, Assoc: 1, Resize: true, RowAddr: 0x3000_0000_4440,
+			Dest: isa.RegNone, Src1: 5, Src2: isa.RegNone},
+	}
+}
+
+func TestRoundTripBuffer(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := sampleInsts()
+	for i := range src {
+		w.Emit(&src[i])
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() != uint64(len(src)) {
+		t.Errorf("count = %d", w.Count())
+	}
+
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []isa.Inst
+	var in isa.Inst
+	for r.Next(&in) {
+		got = append(got, in)
+	}
+	if len(got) != len(src) {
+		t.Fatalf("decoded %d instructions, want %d", len(got), len(src))
+	}
+	for i := range src {
+		if got[i] != src[i] {
+			t.Errorf("record %d mismatch:\n got %+v\nwant %+v", i, got[i], src[i])
+		}
+	}
+}
+
+func TestRoundTripFileWithHeaderPatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x.trace")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWriter(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := sampleInsts()
+	for i := range src {
+		w.Emit(&src[i])
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rf, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rf.Close()
+	r, err := NewReader(rf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Count() != uint64(len(src)) {
+		t.Errorf("header count = %d, want %d (seekable writer must patch)", r.Count(), len(src))
+	}
+	n := Replay(r, isa.NullSink{})
+	if n != uint64(len(src)) {
+		t.Errorf("replayed %d", n)
+	}
+}
+
+func TestReaderRejectsGarbage(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("not a trace at all..."))); err == nil {
+		t.Error("accepted garbage header")
+	}
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	_ = w.Close()
+	raw := buf.Bytes()
+	raw[4] = 99 // corrupt version
+	if _, err := NewReader(bytes.NewReader(raw)); err == nil {
+		t.Error("accepted unknown version")
+	}
+}
+
+// TestRecordedReplayMatchesLiveTiming is the load-bearing property: replaying
+// a recorded trace through a fresh timing core must produce the identical
+// result as the live run that recorded it.
+func TestRecordedReplayMatchesLiveTiming(t *testing.T) {
+	p, _ := workload.ByName("astar")
+	prof := *p
+	prof.Instructions = 20_000
+
+	// Live run: machine -> tee(core, trace writer).
+	m, err := core.New(core.Config{Scheme: instrument.AOS, CodeFootprint: p.CodeFootprint})
+	if err != nil {
+		t.Fatal(err)
+	}
+	liveCore := cpu.New(cpu.DefaultConfig())
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.SetSink(isa.MultiSink{liveCore, w})
+	if err := prof.Run(m, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	live := liveCore.Finalize()
+
+	// Replay run: trace -> fresh core.
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayCore := cpu.New(cpu.DefaultConfig())
+	n := Replay(r, replayCore)
+	replay := replayCore.Finalize()
+
+	if n != live.Insts {
+		t.Fatalf("replayed %d instructions, live executed %d", n, live.Insts)
+	}
+	if replay.Cycles != live.Cycles {
+		t.Errorf("cycles: replay %d != live %d", replay.Cycles, live.Cycles)
+	}
+	if replay.BoundsAccesses != live.BoundsAccesses {
+		t.Errorf("bounds accesses: replay %d != live %d", replay.BoundsAccesses, live.BoundsAccesses)
+	}
+	if replay.Traffic != live.Traffic {
+		t.Errorf("traffic: replay %+v != live %+v", replay.Traffic, live.Traffic)
+	}
+	if replay.Branch.Mispredicts != live.Branch.Mispredicts {
+		t.Errorf("mispredicts: replay %d != live %d", replay.Branch.Mispredicts, live.Branch.Mispredicts)
+	}
+}
+
+// TestReplayUnderDifferentConfig demonstrates the sweep workflow: one
+// recording, multiple timing configurations.
+func TestReplayUnderDifferentConfig(t *testing.T) {
+	p, _ := workload.ByName("hmmer")
+	prof := *p
+	prof.Instructions = 20_000
+	m, err := core.New(core.Config{Scheme: instrument.AOS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	m.SetSink(w)
+	if err := prof.Run(m, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(mcq int) uint64 {
+		r, err := NewReader(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := cpu.DefaultConfig()
+		cfg.MCQSize = mcq
+		c := cpu.New(cfg)
+		Replay(r, c)
+		return c.Finalize().Cycles
+	}
+	if small, big := run(4), run(48); small <= big {
+		t.Errorf("MCQ=4 replay (%d) not slower than MCQ=48 (%d)", small, big)
+	}
+}
+
+func BenchmarkWriterThroughput(b *testing.B) {
+	insts := sampleInsts()
+	var buf bytes.Buffer
+	buf.Grow(recordSize * (b.N + 1))
+	w, _ := NewWriter(&buf)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Emit(&insts[i%len(insts)])
+	}
+}

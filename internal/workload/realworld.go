@@ -1,0 +1,115 @@
+package workload
+
+// RealWorld returns the six real-world benchmark profiles of Table III.
+// The paper uses them only for memory-usage profiling (the §VI argument
+// that active-chunk counts stay modest); timing parameters are provided so
+// they can also be run through the simulator.
+func RealWorld() []*Profile {
+	mk := func(name string, maxLive, allocs, frees uint64, desc string) *Profile {
+		return &Profile{
+			Name:         name,
+			TableAllocs:  allocs,
+			TableFrees:   frees,
+			TableMaxLive: maxLive,
+			TableNote:    desc,
+			Instructions: 500_000,
+			LoadFrac:     0.24, StoreFrac: 0.11,
+			BranchFrac: 0.12, FPFrac: 0.02, MulFrac: 0.04,
+			HeapFrac: 0.6, PointerValueFrac: 0.15, ChaseFrac: 0.1,
+			CallsPer1K: 6,
+			LiveChunks: int(minU64(maxLive, 8192)),
+			ChunkSize:  [2]uint64{128, 64 << 10},
+			HotChunks:  16, HotFrac: 0.85,
+			AllocPer1K: 0.5, GlobalBytes: 512 << 10,
+			CodeFootprint: 32 << 10,
+			BranchSites:   128, BranchEntropy: 0.12,
+		}
+	}
+	return []*Profile{
+		mk("pbzip2", 110, 12425, 12423, "compress 1.4GB file, 8 threads"),
+		mk("pigz", 110, 24511, 24511, "compress 1.4GB file, 8 threads"),
+		mk("axel", 172, 473, 473, "download 1.4GB file, 8 threads"),
+		mk("md5sum", 32, 34, 34, "calculate MD5 hash, 1.4GB file"),
+		mk("apache", 7592, 13_360_000, 13_360_000, "apache bench, 10K req."),
+		mk("mysql", 5380, 28622, 28621, "sysbench, 100K req."),
+	}
+}
+
+func minU64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// MemoryProfileResult is one measured Table II/III row.
+type MemoryProfileResult struct {
+	Name    string
+	MaxLive uint64
+	Allocs  uint64
+	Frees   uint64
+	EndLive uint64
+	Note    string
+}
+
+// AllocSchedule replays a profile's full-scale allocation behaviour against
+// a trace-malloc style recorder (no instruction emission): grow to the
+// published maximum live count, run paired free+malloc steady state until
+// the published allocation total is reached, then drain the number of
+// frees the paper reports. scale divides the published counts for quick
+// runs (1 = full scale).
+func (p *Profile) AllocSchedule(scale uint64, observe func(alloc bool)) MemoryProfileResult {
+	if scale == 0 {
+		scale = 1
+	}
+	// Small profiles (a handful of allocations) are cheap to replay in
+	// full and would vanish under scaling; keep them exact.
+	if p.TableAllocs < 10_000 {
+		scale = 1
+	}
+	targetAllocs := p.TableAllocs / scale
+	targetFrees := p.TableFrees / scale
+	maxLive := p.TableMaxLive
+	if scaled := p.TableMaxLive / scale; scale > 1 && scaled >= 1 && targetAllocs < p.TableMaxLive {
+		maxLive = maxU64(scaled, 1)
+	}
+	if maxLive > targetAllocs {
+		maxLive = targetAllocs
+	}
+
+	var res MemoryProfileResult
+	res.Name = p.Name
+	res.Note = p.TableNote
+	live := uint64(0)
+	alloc := func() {
+		observe(true)
+		res.Allocs++
+		live++
+		if live > res.MaxLive {
+			res.MaxLive = live
+		}
+	}
+	free := func() {
+		observe(false)
+		res.Frees++
+		live--
+	}
+
+	// Phase 1: grow to the peak.
+	for live < maxLive && res.Allocs < targetAllocs {
+		alloc()
+	}
+	// Phase 2: steady state — paired free+alloc keeps the peak flat.
+	for res.Allocs < targetAllocs {
+		if live > 0 && res.Frees < targetFrees {
+			free()
+		}
+		alloc()
+	}
+	// Phase 3: drain the counted frees.
+	for res.Frees < targetFrees && live > 0 {
+		free()
+	}
+	res.EndLive = live
+	return res
+}

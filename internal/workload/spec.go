@@ -1,0 +1,277 @@
+package workload
+
+// SPEC returns the 16 SPEC CPU 2006 profiles the paper evaluates, in the
+// paper's presentation order. TableAllocs/TableFrees/TableMaxLive carry the
+// published Table II numbers verbatim; the scaled-run parameters encode
+// each benchmark's published character: memory intensity, signed-access
+// share (Fig 16), allocation rate, working-set size, call frequency, and
+// branch behaviour.
+func SPEC() []*Profile {
+	base := func(name string) *Profile {
+		return &Profile{
+			Name:             name,
+			Instructions:     1_000_000,
+			LoadFrac:         0.22,
+			StoreFrac:        0.10,
+			BranchFrac:       0.12,
+			FPFrac:           0.05,
+			MulFrac:          0.03,
+			HeapFrac:         0.5,
+			PointerValueFrac: 0.15,
+			ChaseFrac:        0.10,
+			CallsPer1K:       4,
+			LiveChunks:       256,
+			ChunkSize:        [2]uint64{64, 1024},
+			HotChunks:        96,
+			HotFrac:          0.95,
+			AllocPer1K:       0.05,
+			GlobalBytes:      64 << 10,
+			CodeFootprint:    24 << 10,
+			BranchSites:      64,
+			BranchEntropy:    0.10,
+			BurstLen:         48,
+		}
+	}
+
+	bzip2 := base("bzip2")
+	bzip2.TableAllocs, bzip2.TableFrees, bzip2.TableMaxLive = 29, 25, 10
+	bzip2.HeapFrac = 0.85
+	bzip2.LiveChunks = 10
+	bzip2.ChunkSize = [2]uint64{256 << 10, 1 << 20} // few large buffers
+	bzip2.HotChunks = 4
+	bzip2.AllocPer1K = 0
+	bzip2.LoadFrac, bzip2.StoreFrac = 0.26, 0.12
+	bzip2.BranchEntropy = 0.22    // compression branches are data-dependent
+	bzip2.PointerValueFrac = 0.05 // byte buffers, not pointer structures
+
+	gcc := base("gcc")
+	gcc.TableAllocs, gcc.TableFrees, gcc.TableMaxLive = 1846825, 1829255, 81825
+	gcc.HeapFrac = 0.88
+	gcc.LiveChunks = 30000 // large scattered footprint: bounds thrash the L1-B and pollute the L2
+	gcc.ChunkSize = [2]uint64{64, 448}
+	gcc.HotChunks = 200
+	gcc.HotFrac = 0.25 // scattered accesses across the whole heap
+	gcc.AllocPer1K = 14.0
+	gcc.BurstLen = 8
+	gcc.PointerValueFrac = 0.35 // tree/RTL pointers everywhere
+	gcc.ChaseFrac = 0.25
+	gcc.LoadFrac, gcc.StoreFrac = 0.26, 0.13
+	gcc.CallsPer1K = 3
+	gcc.GlobalBytes = 512 << 10
+	gcc.CodeFootprint = 256 << 10 // big code: front-end pressure
+	gcc.BranchSites = 512
+	gcc.BranchEntropy = 0.18
+
+	mcf := base("mcf")
+	mcf.TableAllocs, mcf.TableFrees, mcf.TableMaxLive = 8, 8, 6
+	mcf.HeapFrac = 0.75
+	mcf.LiveChunks = 6
+	mcf.ChunkSize = [2]uint64{8 << 20, 32 << 20} // a few huge arrays
+	mcf.HotChunks = 2
+	mcf.HotFrac = 0.5
+	mcf.AllocPer1K = 0
+	mcf.ChaseFrac = 0.45                     // network-simplex pointer chasing
+	mcf.LoadFrac, mcf.StoreFrac = 0.32, 0.10 // memory-bound
+	mcf.BranchEntropy = 0.25
+	mcf.PointerValueFrac = 0.30 // arc/node graph
+
+	milc := base("milc")
+	milc.TableAllocs, milc.TableFrees, milc.TableMaxLive = 6523, 6474, 61
+	milc.HeapFrac = 0.55
+	milc.LiveChunks = 61
+	milc.ChunkSize = [2]uint64{64 << 10, 512 << 10}
+	milc.HotChunks = 8
+	milc.AllocPer1K = 0.02
+	milc.FPFrac = 0.25 // lattice QCD floating point
+	milc.LoadFrac, milc.StoreFrac = 0.28, 0.12
+	milc.BranchFrac = 0.04
+	milc.BranchEntropy = 0.02
+	milc.PointerValueFrac = 0.02 // FP lattice data
+
+	namd := base("namd")
+	namd.TableAllocs, namd.TableFrees, namd.TableMaxLive = 1328, 1326, 1316
+	namd.HeapFrac = 0.45
+	namd.LiveChunks = 1316
+	namd.ChunkSize = [2]uint64{512, 8192}
+	namd.HotChunks = 12
+	namd.HotFrac = 0.99
+	namd.AllocPer1K = 0
+	namd.FPFrac = 0.30
+	namd.LoadFrac, namd.StoreFrac = 0.25, 0.09
+	namd.BranchFrac = 0.05
+	namd.BranchEntropy = 0.02
+	namd.PointerValueFrac = 0.02
+	namd.ChainFrac = 0.40 // serial force-field FP chains
+
+	gobmk := base("gobmk")
+	gobmk.TableAllocs, gobmk.TableFrees, gobmk.TableMaxLive = 137369, 137358, 1021
+	gobmk.HeapFrac = 0.30
+	gobmk.LiveChunks = 1021
+	gobmk.ChunkSize = [2]uint64{64, 2048}
+	gobmk.HotFrac = 0.96
+	gobmk.AllocPer1K = 0.3
+	gobmk.GlobalBytes = 1 << 20 // board state is mostly global
+	gobmk.LoadFrac, gobmk.StoreFrac = 0.22, 0.11
+	gobmk.CallsPer1K = 4
+	gobmk.BranchFrac = 0.16
+	gobmk.BranchSites = 1024
+	gobmk.BranchEntropy = 0.30 // game-tree branches mispredict
+
+	soplex := base("soplex")
+	soplex.TableAllocs, soplex.TableFrees, soplex.TableMaxLive = 98955, 34025, 140
+	soplex.TableNote = "paper's alloc-dealloc delta exceeds max active; bulk releases at exit are uncounted by paired-free accounting"
+	soplex.HeapFrac = 0.60
+	soplex.LiveChunks = 140
+	soplex.ChunkSize = [2]uint64{4096, 128 << 10}
+	soplex.HotChunks = 16
+	soplex.AllocPer1K = 0.4
+	soplex.FPFrac = 0.20
+	soplex.LoadFrac, soplex.StoreFrac = 0.28, 0.10
+	soplex.BranchEntropy = 0.12
+	soplex.PointerValueFrac = 0.10
+
+	povray := base("povray")
+	povray.TableAllocs, povray.TableFrees, povray.TableMaxLive = 2461247, 2461107, 11667
+	povray.HeapFrac = 0.50
+	povray.LiveChunks = 2500
+	povray.ChunkSize = [2]uint64{32, 512}
+	povray.HotChunks = 180
+	povray.HotFrac = 0.85
+	povray.AllocPer1K = 4.0 // allocation-intensive ray tracing
+	povray.FPFrac = 0.22
+	povray.CallsPer1K = 5
+	povray.PointerValueFrac = 0.3
+	povray.LoadFrac, povray.StoreFrac = 0.24, 0.11
+	povray.BranchEntropy = 0.15
+
+	hmmer := base("hmmer")
+	hmmer.TableAllocs, hmmer.TableFrees, hmmer.TableMaxLive = 1474128, 1474128, 1450
+	hmmer.HeapFrac = 0.995 // >99% of accesses are signed (Fig 16)
+	hmmer.LiveChunks = 1450
+	hmmer.ChunkSize = [2]uint64{512, 4096}
+	hmmer.HotChunks = 24
+	hmmer.HotFrac = 0.97
+	hmmer.AllocPer1K = 0.5
+	hmmer.BurstLen = 64
+	hmmer.ChaseFrac = 0.02
+	hmmer.ChainFrac = 0.30
+	hmmer.LoadFrac, hmmer.StoreFrac = 0.19, 0.075 // the most access-dense workload
+	hmmer.CallsPer1K = 12                         // frequent calls: the PA overhead outlier
+	hmmer.BranchFrac = 0.08
+	hmmer.BranchEntropy = 0.04
+	hmmer.PointerValueFrac = 0.05
+
+	sjeng := base("sjeng")
+	sjeng.TableAllocs, sjeng.TableFrees, sjeng.TableMaxLive = 6, 2, 6
+	sjeng.HeapFrac = 0.25
+	sjeng.LiveChunks = 6
+	sjeng.ChunkSize = [2]uint64{1 << 20, 8 << 20} // hash tables
+	sjeng.HotChunks = 2
+	sjeng.AllocPer1K = 0
+	sjeng.GlobalBytes = 512 << 10
+	sjeng.BranchFrac = 0.16
+	sjeng.BranchSites = 512
+	sjeng.BranchEntropy = 0.35 // chess search mispredicts
+	sjeng.CallsPer1K = 5
+	sjeng.PointerValueFrac = 0.10
+
+	libquantum := base("libquantum")
+	libquantum.TableAllocs, libquantum.TableFrees, libquantum.TableMaxLive = 180, 180, 5
+	libquantum.HeapFrac = 0.70
+	libquantum.LiveChunks = 5
+	libquantum.ChunkSize = [2]uint64{4 << 20, 16 << 20} // one big qubit register
+	libquantum.HotChunks = 1
+	libquantum.HotFrac = 0.95
+	libquantum.AllocPer1K = 0
+	libquantum.LoadFrac, libquantum.StoreFrac = 0.30, 0.14 // streaming
+	libquantum.BranchFrac = 0.14
+	libquantum.BranchEntropy = 0.03
+	libquantum.PointerValueFrac = 0.02
+
+	h264ref := base("h264ref")
+	h264ref.TableAllocs, h264ref.TableFrees, h264ref.TableMaxLive = 38275, 38273, 13857
+	h264ref.HeapFrac = 0.50
+	h264ref.LiveChunks = 1500
+	h264ref.ChunkSize = [2]uint64{256, 8192}
+	h264ref.HotChunks = 12
+	h264ref.HotFrac = 0.96
+	h264ref.AllocPer1K = 0.1
+	h264ref.LoadFrac, h264ref.StoreFrac = 0.28, 0.14
+	h264ref.MulFrac = 0.08
+	h264ref.CallsPer1K = 4
+	h264ref.BranchEntropy = 0.12
+	h264ref.PointerValueFrac = 0.10
+
+	lbm := base("lbm")
+	lbm.TableAllocs, lbm.TableFrees, lbm.TableMaxLive = 7, 7, 5
+	lbm.HeapFrac = 0.90 // most accesses signed, but the kernel is FP-bound
+	lbm.LiveChunks = 5
+	lbm.ChunkSize = [2]uint64{16 << 20, 32 << 20}
+	lbm.HotChunks = 2
+	lbm.AllocPer1K = 0
+	lbm.LoadFrac, lbm.StoreFrac = 0.16, 0.08 // "not memory-intensive" (§IX-A)
+	lbm.FPFrac = 0.35
+	lbm.BranchFrac = 0.03
+	lbm.BranchEntropy = 0.01
+	lbm.PointerValueFrac = 0.02 // FP grids
+
+	omnetpp := base("omnetpp")
+	omnetpp.TableAllocs, omnetpp.TableFrees, omnetpp.TableMaxLive = 21244416, 21244416, 1993737
+	omnetpp.HeapFrac = 0.60
+	omnetpp.LiveChunks = 20000 // enormous live set (scaled)
+	omnetpp.ChunkSize = [2]uint64{48, 512}
+	omnetpp.HotChunks = 180
+	omnetpp.HotFrac = 0.7
+	omnetpp.AllocPer1K = 6.0 // the most allocation-intensive workload
+	omnetpp.PointerValueFrac = 0.45
+	omnetpp.ChaseFrac = 0.35 // event-queue pointer chasing
+	omnetpp.LoadFrac, omnetpp.StoreFrac = 0.26, 0.13
+	omnetpp.CallsPer1K = 35 // the other PA outlier
+	omnetpp.BranchEntropy = 0.20
+
+	astar := base("astar")
+	astar.TableAllocs, astar.TableFrees, astar.TableMaxLive = 1116621, 1116621, 190984
+	astar.HeapFrac = 0.55
+	astar.LiveChunks = 1500
+	astar.ChunkSize = [2]uint64{48, 256}
+	astar.HotChunks = 300
+	astar.HotFrac = 0.97
+	astar.AllocPer1K = 0.3
+	astar.ChaseFrac = 0.30
+	astar.LoadFrac, astar.StoreFrac = 0.26, 0.10
+	astar.BranchFrac = 0.14
+	astar.BranchEntropy = 0.25
+	astar.PointerValueFrac = 0.30
+
+	sphinx3 := base("sphinx3")
+	sphinx3.TableAllocs, sphinx3.TableFrees, sphinx3.TableMaxLive = 14224690, 14024020, 200686
+	sphinx3.HeapFrac = 0.65
+	sphinx3.LiveChunks = 4000
+	sphinx3.ChunkSize = [2]uint64{32, 1024}
+	sphinx3.HotChunks = 90
+	sphinx3.HotFrac = 0.9
+	sphinx3.AllocPer1K = 2.5
+	sphinx3.FPFrac = 0.18
+	sphinx3.LoadFrac, sphinx3.StoreFrac = 0.28, 0.10
+	sphinx3.CallsPer1K = 3
+	sphinx3.BranchEntropy = 0.10
+	sphinx3.PointerValueFrac = 0.15
+
+	return []*Profile{bzip2, gcc, mcf, milc, namd, gobmk, soplex, povray,
+		hmmer, sjeng, libquantum, h264ref, lbm, omnetpp, astar, sphinx3}
+}
+
+// ByName returns the SPEC profile with the given name.
+func ByName(name string) (*Profile, bool) {
+	for _, p := range SPEC() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	for _, p := range RealWorld() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return nil, false
+}
