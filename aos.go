@@ -243,7 +243,7 @@ func Run(w *Workload, opts Options) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	p := *w // copy so an Instructions override does not mutate the profile
+	p := w.Clone() // so an Instructions override does not mutate a shared profile
 	if opts.Instructions != 0 {
 		p.Instructions = opts.Instructions
 	}

@@ -80,7 +80,10 @@ func BenchmarkFig14ExecutionTime(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		f := experiments.Fig14(m)
+		f, err := experiments.Fig14(m)
+		if err != nil {
+			b.Fatal(err)
+		}
 		b.ReportMetric(f.Geomean[instrument.Watchdog], "watchdog-geomean")
 		b.ReportMetric(f.Geomean[instrument.PA], "pa-geomean")
 		b.ReportMetric(f.Geomean[instrument.AOS], "aos-geomean")
@@ -109,7 +112,11 @@ func BenchmarkFig16InstructionStats(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		for _, row := range experiments.Fig16(m) {
+		rows, err := experiments.Fig16(m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range rows {
 			if row.Name == "hmmer" {
 				signed := row.SignedLoad + row.SignedStore
 				total := signed + row.UnsignedLoad + row.UnsignedStore
@@ -127,7 +134,10 @@ func BenchmarkFig17BoundsAccesses(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		rows := experiments.Fig17(m)
+		rows, err := experiments.Fig17(m)
+		if err != nil {
+			b.Fatal(err)
+		}
 		var acc, hit float64
 		var worst float64
 		for _, r := range rows {
@@ -150,7 +160,10 @@ func BenchmarkFig18NetworkTraffic(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		f := experiments.Fig18(m)
+		f, err := experiments.Fig18(m)
+		if err != nil {
+			b.Fatal(err)
+		}
 		b.ReportMetric(f.Geomean[instrument.Watchdog], "watchdog-traffic")
 		b.ReportMetric(f.Geomean[instrument.PAAOS], "pa+aos-traffic")
 	}

@@ -5,6 +5,14 @@
 //	aosbench -exp all                 # everything
 //	aosbench -exp fig14               # one experiment
 //	aosbench -exp fig14 -insts 200000 # quicker, scaled run
+//	aosbench -exp fig14 -j 8          # matrix over 8 workers
+//	aosbench -exp fig14 -json         # machine-readable matrix document
+//
+// Matrix-style experiments fan out over a bounded worker pool (-j, default
+// GOMAXPROCS); results are keyed and ordered by (benchmark, scheme), so -j 1
+// and -j N output is byte-identical. Progress goes to stderr: ANSI
+// single-line updates on a terminal, plain newline-delimited lines when
+// stderr is piped (or with -no-ansi).
 //
 // Experiments: fig11 fig14 fig15 fig16 fig17 fig18 table1 table2 table3
 // resize ablate all.
@@ -14,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"aos/internal/experiments"
 	"aos/internal/workload"
@@ -25,31 +34,68 @@ func main() {
 	seed := flag.Int64("seed", 1, "workload generator seed")
 	scale := flag.Uint64("scale", 20, "allocation-count divisor for table2/table3")
 	mallocs := flag.Int("mallocs", 1_000_000, "malloc count for fig11")
+	workers := flag.Int("j", 0, "parallel jobs for matrix experiments (0 = GOMAXPROCS)")
+	jsonOut := flag.Bool("json", false, "emit the evaluation matrix as JSON (matrix-backed experiments only)")
 	quiet := flag.Bool("q", false, "suppress progress output")
+	noAnsi := flag.Bool("no-ansi", false, "plain newline-delimited progress even on a terminal")
 	csv := flag.Bool("csv", false, "emit fig14/fig18 as CSV for plotting")
 	flag.Parse()
 
-	o := experiments.Options{Instructions: *insts, Seed: *seed}
+	o := experiments.Options{Instructions: *insts, Seed: *seed, Workers: *workers}
+	ansi := !*noAnsi && stderrIsTerminal()
 	if !*quiet {
-		o.Progress = func(format string, args ...interface{}) {
-			fmt.Fprintf(os.Stderr, "\r\033[K"+format, args...)
+		o.Progress = func(ev experiments.Event) {
+			line := ev.Label
+			if ev.Total > 0 {
+				line = fmt.Sprintf("[%d/%d] %s (%s)", ev.Completed, ev.Total, ev.Label, ev.Wall.Round(time.Millisecond))
+			}
+			if ev.Err != nil {
+				line += ": ERROR: " + ev.Err.Error()
+			}
+			if ansi {
+				fmt.Fprintf(os.Stderr, "\r\033[K%s", line)
+			} else {
+				fmt.Fprintln(os.Stderr, line)
+			}
 		}
 	}
 	done := func() {
-		if !*quiet {
+		if !*quiet && ansi {
 			fmt.Fprint(os.Stderr, "\r\033[K")
 		}
 	}
 
 	needMatrix := map[string]bool{"fig14": true, "fig16": true, "fig17": true, "fig18": true, "all": true}
 	var matrix *experiments.Matrix
+	var matrixWall time.Duration
 	if needMatrix[*exp] {
+		start := time.Now()
 		var err error
 		matrix, err = experiments.RunMatrix(o)
+		matrixWall = time.Since(start)
+		done()
+		if err != nil {
+			// The matrix keeps every successful job's result, but a partial
+			// matrix would render misleading figures — report and abort.
+			fmt.Fprintln(os.Stderr, "aosbench: matrix jobs failed:", err)
+			os.Exit(1)
+		}
+	}
+
+	if *jsonOut {
+		if matrix == nil {
+			fatal(fmt.Errorf("-json requires a matrix-backed experiment (fig14, fig16, fig17, fig18, all)"))
+		}
+		doc, err := experiments.MatrixDocument(matrix, o, matrixWall)
 		if err != nil {
 			fatal(err)
 		}
-		done()
+		out, err := doc.JSON()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(string(out))
+		return
 	}
 
 	runExp := func(name string) {
@@ -61,10 +107,14 @@ func main() {
 			}
 			fmt.Println(r)
 		case "fig14":
+			r, err := experiments.Fig14(matrix)
+			if err != nil {
+				fatal(err)
+			}
 			if *csv {
-				fmt.Print(experiments.Fig14(matrix).CSV())
+				fmt.Print(r.CSV())
 			} else {
-				fmt.Println(experiments.Fig14(matrix))
+				fmt.Println(r)
 			}
 		case "fig15":
 			r, err := experiments.Fig15(o)
@@ -74,14 +124,26 @@ func main() {
 			done()
 			fmt.Println(r)
 		case "fig16":
-			fmt.Println(experiments.Fig16String(experiments.Fig16(matrix)))
+			rows, err := experiments.Fig16(matrix)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(experiments.Fig16String(rows))
 		case "fig17":
-			fmt.Println(experiments.Fig17String(experiments.Fig17(matrix)))
+			rows, err := experiments.Fig17(matrix)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(experiments.Fig17String(rows))
 		case "fig18":
+			r, err := experiments.Fig18(matrix)
+			if err != nil {
+				fatal(err)
+			}
 			if *csv {
-				fmt.Print(experiments.Fig18(matrix).CSV())
+				fmt.Print(r.CSV())
 			} else {
-				fmt.Println(experiments.Fig18(matrix))
+				fmt.Println(r)
 			}
 		case "table1":
 			fmt.Println(experiments.Table1String())
@@ -135,6 +197,17 @@ func main() {
 		return
 	}
 	runExp(*exp)
+}
+
+// stderrIsTerminal reports whether stderr is attached to a character
+// device, so piped and CI logs get plain newline-delimited progress
+// instead of raw ANSI erase sequences.
+func stderrIsTerminal() bool {
+	fi, err := os.Stderr.Stat()
+	if err != nil {
+		return false
+	}
+	return fi.Mode()&os.ModeCharDevice != 0
 }
 
 func fatal(err error) {

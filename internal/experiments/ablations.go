@@ -7,6 +7,7 @@ import (
 	"aos/internal/core"
 	"aos/internal/cpu"
 	"aos/internal/instrument"
+	"aos/internal/runner"
 	"aos/internal/security"
 	"aos/internal/stats"
 	"aos/internal/workload"
@@ -28,16 +29,27 @@ type ResizeResult struct {
 	OverheadVsPresized float64
 }
 
-// ResizeStudy measures resizing behaviour.
+// ResizeStudy measures resizing behaviour. The per-benchmark AOS runs fan
+// out over the worker pool; the two stress runs are dependent (the second
+// pre-sizes the table to the first run's final associativity) and stay
+// sequential.
 func ResizeStudy(o Options) (*ResizeResult, error) {
 	res := &ResizeResult{SpecResizes: make(map[string]int)}
-	for _, p := range workload.SPEC() {
-		o.progress("resize: %s", p.Name)
-		r, err := runOne(p, instrument.AOS, aosVariant{}, o)
-		if err != nil {
-			return nil, err
+	profiles := workload.SPEC()
+	jobs := make([]runner.Job[runSummary], len(profiles))
+	for i, p := range profiles {
+		p := p
+		jobs[i] = runner.Job[runSummary]{
+			Label: "resize: " + p.Name,
+			Run:   func() (runSummary, error) { return runJob(p, instrument.AOS, aosVariant{}, o) },
 		}
-		res.SpecResizes[p.Name] = r.Resizes
+	}
+	results := runner.Run(jobs, o.runnerOptions())
+	if err := runner.Errs(results); err != nil {
+		return nil, err
+	}
+	for i, r := range results {
+		res.SpecResizes[profiles[i].Name] = r.Value.Resizes
 	}
 
 	// Stress: a process holding enough live chunks that some PAC row
@@ -71,7 +83,7 @@ func ResizeStudy(o Options) (*ResizeResult, error) {
 		}
 		return runSummary{CPU: c.Finalize(), Resizes: len(m.OS.Resizes())}, m, nil
 	}
-	o.progress("resize: stress (1-way start)")
+	o.announce("resize: stress (1-way start)")
 	grown, gm, err := stress(1)
 	if err != nil {
 		return nil, err
@@ -81,7 +93,7 @@ func ResizeStudy(o Options) (*ResizeResult, error) {
 	for _, ev := range gm.OS.Resizes() {
 		res.ForcedTraffic += ev.TrafficBytes
 	}
-	o.progress("resize: stress (pre-sized start)")
+	o.announce("resize: stress (pre-sized start)")
 	pre, _, err := stress(gm.Table().Assoc())
 	if err != nil {
 		return nil, err
@@ -116,8 +128,13 @@ type AblationResult struct {
 	InitialAssoc4 map[string]float64
 }
 
+// ablationConfigs names the per-benchmark ablation jobs in presentation
+// order. The "full" job is the normalization base.
+var ablationConfigs = []string{"full", "no-bwb", "no-forwarding", "mcq=12", "mcq=96", "assoc=4"}
+
 // Ablations sweeps the design choices DESIGN.md calls out, on the three
-// benchmarks most sensitive to the MCU (gcc, hmmer, omnetpp).
+// benchmarks most sensitive to the MCU (gcc, hmmer, omnetpp). All
+// (benchmark, configuration) pairs run as independent pool jobs.
 func Ablations(o Options) (*AblationResult, error) {
 	names := []string{"gcc", "hmmer", "omnetpp"}
 	res := &AblationResult{
@@ -128,51 +145,64 @@ func Ablations(o Options) (*AblationResult, error) {
 		MCQ96:         map[string]float64{},
 		InitialAssoc4: map[string]float64{},
 	}
+	var specs []JobSpec
+	var jobs []runner.Job[float64]
 	for _, name := range names {
 		p, ok := workload.ByName(name)
 		if !ok {
 			return nil, fmt.Errorf("unknown benchmark %s", name)
 		}
-		o.progress("ablate: %s full", name)
-		full, err := runOne(p, instrument.AOS, aosVariant{}, o)
-		if err != nil {
-			return nil, err
+		for _, cfg := range ablationConfigs {
+			cfg := cfg
+			spec := JobSpec{Benchmark: name, Scheme: instrument.AOS, Variant: cfg}
+			specs = append(specs, spec)
+			jobs = append(jobs, runner.Job[float64]{
+				Label: "ablate: " + spec.String(),
+				Run: func() (float64, error) {
+					switch cfg {
+					case "full":
+						r, err := runJob(p, instrument.AOS, aosVariant{}, o)
+						return float64(r.CPU.Cycles), err
+					case "no-bwb":
+						r, err := runJob(p, instrument.AOS, aosVariant{disableBWB: true}, o)
+						return float64(r.CPU.Cycles), err
+					case "no-forwarding":
+						r, err := runJob(p, instrument.AOS, aosVariant{disableForwarding: true}, o)
+						return float64(r.CPU.Cycles), err
+					case "mcq=12":
+						return runCustom(p, o, func(c *cpu.Config) { c.MCQSize = 12 }, 0)
+					case "mcq=96":
+						return runCustom(p, o, func(c *cpu.Config) { c.MCQSize = 96 }, 0)
+					case "assoc=4":
+						return runCustom(p, o, nil, 4)
+					default:
+						return 0, fmt.Errorf("unknown ablation config %q", cfg)
+					}
+				},
+			})
 		}
-		base := float64(full.CPU.Cycles)
-
-		o.progress("ablate: %s no-bwb", name)
-		r, err := runOne(p, instrument.AOS, aosVariant{disableBWB: true}, o)
-		if err != nil {
-			return nil, err
+	}
+	results := runner.Run(jobs, o.runnerOptions())
+	if err := runner.Errs(results); err != nil {
+		return nil, err
+	}
+	cycles := make(map[JobSpec]float64, len(results))
+	for i, r := range results {
+		cycles[specs[i]] = r.Value
+	}
+	for _, name := range names {
+		base := cycles[JobSpec{Benchmark: name, Scheme: instrument.AOS, Variant: "full"}]
+		if base == 0 {
+			return nil, fmt.Errorf("ablate: %s: full-configuration run has zero cycles; cannot normalize", name)
 		}
-		res.NoBWB[name] = float64(r.CPU.Cycles) / base
-
-		o.progress("ablate: %s no-forwarding", name)
-		r, err = runOne(p, instrument.AOS, aosVariant{disableForwarding: true}, o)
-		if err != nil {
-			return nil, err
+		at := func(cfg string) float64 {
+			return cycles[JobSpec{Benchmark: name, Scheme: instrument.AOS, Variant: cfg}] / base
 		}
-		res.NoForwarding[name] = float64(r.CPU.Cycles) / base
-
-		for _, mcq := range []int{12, 96} {
-			o.progress("ablate: %s mcq=%d", name, mcq)
-			n, err := runCustom(p, o, func(cfg *cpu.Config) { cfg.MCQSize = mcq }, 0)
-			if err != nil {
-				return nil, err
-			}
-			if mcq == 12 {
-				res.MCQ12[name] = n / base
-			} else {
-				res.MCQ96[name] = n / base
-			}
-		}
-
-		o.progress("ablate: %s assoc=4", name)
-		n, err := runCustom(p, o, nil, 4)
-		if err != nil {
-			return nil, err
-		}
-		res.InitialAssoc4[name] = n / base
+		res.NoBWB[name] = at("no-bwb")
+		res.NoForwarding[name] = at("no-forwarding")
+		res.MCQ12[name] = at("mcq=12")
+		res.MCQ96[name] = at("mcq=96")
+		res.InitialAssoc4[name] = at("assoc=4")
 	}
 	return res, nil
 }
@@ -194,7 +224,7 @@ func runCustom(p *workload.Profile, o Options, mutate func(*cpu.Config), initial
 	}
 	c := cpu.New(cfg)
 	m.SetSink(c)
-	prof := *p
+	prof := p.Clone()
 	if o.Instructions != 0 {
 		prof.Instructions = o.Instructions
 	}

@@ -2,11 +2,20 @@
 // table and figure, each returning a typed result with a paper-style text
 // rendering. cmd/aosbench and the top-level benchmarks are thin wrappers
 // over this package.
+//
+// Matrix-style experiments (the 16-benchmark x 5-scheme evaluation behind
+// Fig 14/16/17/18, the Fig 15 ablation, the resize study and the memory
+// profiles) fan out over internal/runner's bounded worker pool. Every job
+// builds its own core.Machine + cpu.Core and seeds its own RNG, so runs
+// share no mutable state and Options.Workers only changes wall-clock time:
+// 1-worker and N-worker runs produce byte-identical tables.
 package experiments
 
 import (
+	"errors"
 	"fmt"
 	"strings"
+	"time"
 
 	"aos/internal/core"
 	"aos/internal/cpu"
@@ -18,9 +27,15 @@ import (
 	"aos/internal/mem"
 	"aos/internal/pa"
 	"aos/internal/qarma"
+	"aos/internal/runner"
 	"aos/internal/stats"
 	"aos/internal/workload"
 )
+
+// Event is a structured progress update (re-exported from runner): per-job
+// completions carry Completed/Total and wall time, stage announcements
+// carry only a Label.
+type Event = runner.Event
 
 // Options scales the experiments.
 type Options struct {
@@ -30,8 +45,12 @@ type Options struct {
 	Instructions uint64
 	// Seed drives the deterministic workload generators.
 	Seed int64
-	// Verbose enables progress lines on stderr-style output via Progress.
-	Progress func(format string, args ...interface{})
+	// Workers bounds the parallel jobs for matrix-style experiments
+	// (<= 0 uses runtime.GOMAXPROCS). Results are independent of the
+	// worker count.
+	Workers int
+	// Progress, when non-nil, receives structured progress events.
+	Progress func(Event)
 }
 
 func (o Options) seed() int64 {
@@ -41,10 +60,15 @@ func (o Options) seed() int64 {
 	return o.Seed
 }
 
-func (o Options) progress(format string, args ...interface{}) {
+// announce emits a stage-announcement event (no Completed/Total).
+func (o Options) announce(format string, args ...interface{}) {
 	if o.Progress != nil {
-		o.Progress(format, args...)
+		o.Progress(Event{Label: fmt.Sprintf(format, args...)})
 	}
+}
+
+func (o Options) runnerOptions() runner.Options {
+	return runner.Options{Workers: o.Workers, OnEvent: o.Progress}
 }
 
 // runOne executes a profile under a scheme with optional AOS feature
@@ -83,7 +107,7 @@ func runOne(p *workload.Profile, scheme instrument.Scheme, v aosVariant, o Optio
 	c := cpu.New(cfg)
 	m.SetSink(c)
 
-	prof := *p
+	prof := p.Clone() // independent copy: jobs may share *p across workers
 	if o.Instructions != 0 {
 		prof.Instructions = o.Instructions
 	}
@@ -115,29 +139,102 @@ func runOne(p *workload.Profile, scheme instrument.Scheme, v aosVariant, o Optio
 	}, nil
 }
 
+// runJob is the matrix job body, indirected so tests can inject failures.
+var runJob = runOne
+
+// JobSpec identifies one run in an evaluation matrix: a benchmark under a
+// scheme, optionally in a named configuration variant.
+type JobSpec struct {
+	Benchmark string
+	Scheme    instrument.Scheme
+	Variant   string
+}
+
+// String renders the spec as benchmark/scheme[/variant].
+func (s JobSpec) String() string {
+	if s.Variant == "" {
+		return s.Benchmark + "/" + s.Scheme.String()
+	}
+	return s.Benchmark + "/" + s.Scheme.String() + "/" + s.Variant
+}
+
+// JobError records one failed matrix job.
+type JobError struct {
+	Spec JobSpec
+	Err  error
+}
+
 // Matrix holds the full 16-benchmark x 5-scheme evaluation used by
 // Fig 14 (execution time), Fig 16/17 (AOS behaviour) and Fig 18 (traffic).
+// Runs and Walls hold only the jobs that succeeded; Errors lists the rest,
+// so a single failed job never discards the other jobs' results.
 type Matrix struct {
 	Benchmarks []string
 	Runs       map[string]map[instrument.Scheme]runSummary
+	// Walls records each job's wall-clock time (machine-readable output).
+	Walls map[string]map[instrument.Scheme]time.Duration
+	// Errors lists failed jobs in job order.
+	Errors []JobError
 }
 
-// RunMatrix executes the full evaluation matrix.
+// Err joins the failed jobs' errors in job order (nil if none failed).
+func (m *Matrix) Err() error {
+	var errs []error
+	for _, e := range m.Errors {
+		errs = append(errs, fmt.Errorf("%s: %w", e.Spec, e.Err))
+	}
+	return errors.Join(errs...)
+}
+
+// Run looks up one benchmark/scheme summary.
+func (m *Matrix) run(name string, s instrument.Scheme) (runSummary, error) {
+	r, ok := m.Runs[name][s]
+	if !ok {
+		return runSummary{}, fmt.Errorf("matrix: missing %s run", JobSpec{Benchmark: name, Scheme: s})
+	}
+	return r, nil
+}
+
+// RunMatrix executes the full evaluation matrix over the worker pool.
+// On job failures it returns the partial matrix alongside the joined
+// error, so callers can still inspect (or render) the surviving runs.
 func RunMatrix(o Options) (*Matrix, error) {
-	m := &Matrix{Runs: make(map[string]map[instrument.Scheme]runSummary)}
-	for _, p := range workload.SPEC() {
-		m.Benchmarks = append(m.Benchmarks, p.Name)
-		m.Runs[p.Name] = make(map[instrument.Scheme]runSummary)
+	profiles := workload.SPEC()
+	var specs []JobSpec
+	var jobs []runner.Job[runSummary]
+	for _, p := range profiles {
+		p := p
 		for _, s := range instrument.Schemes() {
-			o.progress("fig14: %s/%s", p.Name, s)
-			r, err := runOne(p, s, aosVariant{}, o)
-			if err != nil {
-				return nil, fmt.Errorf("%s under %v: %w", p.Name, s, err)
-			}
-			m.Runs[p.Name][s] = r
+			s := s
+			spec := JobSpec{Benchmark: p.Name, Scheme: s}
+			specs = append(specs, spec)
+			jobs = append(jobs, runner.Job[runSummary]{
+				Label: "fig14: " + spec.String(),
+				Run:   func() (runSummary, error) { return runJob(p, s, aosVariant{}, o) },
+			})
 		}
 	}
-	return m, nil
+	results := runner.Run(jobs, o.runnerOptions())
+
+	m := &Matrix{
+		Runs:  make(map[string]map[instrument.Scheme]runSummary),
+		Walls: make(map[string]map[instrument.Scheme]time.Duration),
+	}
+	for _, p := range profiles {
+		m.Benchmarks = append(m.Benchmarks, p.Name)
+		m.Runs[p.Name] = make(map[instrument.Scheme]runSummary)
+		m.Walls[p.Name] = make(map[instrument.Scheme]time.Duration)
+	}
+	for i, r := range results {
+		spec := specs[i]
+		if r.Err != nil {
+			m.Errors = append(m.Errors, JobError{Spec: spec, Err: r.Err})
+			continue
+		}
+		m.Runs[spec.Benchmark][spec.Scheme] = r.Value
+		m.Walls[spec.Benchmark][spec.Scheme] = r.Wall
+	}
+	return m, m.Err()
 }
 
 // Fig14Row is one benchmark's normalized execution times.
@@ -152,15 +249,28 @@ type Fig14Result struct {
 	Geomean map[instrument.Scheme]float64
 }
 
-// Fig14 derives normalized execution time from the matrix.
-func Fig14(m *Matrix) *Fig14Result {
+// Fig14 derives normalized execution time from the matrix. A missing or
+// zero-cycle Baseline run is an error (it would otherwise poison the
+// geomean with NaN/Inf), as is any missing scheme run.
+func Fig14(m *Matrix) (*Fig14Result, error) {
 	res := &Fig14Result{Geomean: make(map[instrument.Scheme]float64)}
 	series := make(map[instrument.Scheme][]float64)
 	for _, name := range m.Benchmarks {
-		base := float64(m.Runs[name][instrument.Baseline].CPU.Cycles)
+		baseRun, err := m.run(name, instrument.Baseline)
+		if err != nil {
+			return nil, fmt.Errorf("fig14: %w", err)
+		}
+		base := float64(baseRun.CPU.Cycles)
+		if base == 0 {
+			return nil, fmt.Errorf("fig14: %s: Baseline run has zero cycles; cannot normalize", name)
+		}
 		row := Fig14Row{Name: name, Normalized: make(map[instrument.Scheme]float64)}
 		for _, s := range instrument.Schemes() {
-			n := float64(m.Runs[name][s].CPU.Cycles) / base
+			r, err := m.run(name, s)
+			if err != nil {
+				return nil, fmt.Errorf("fig14: %w", err)
+			}
+			n := float64(r.CPU.Cycles) / base
 			row.Normalized[s] = n
 			if s != instrument.Baseline {
 				series[s] = append(series[s], n)
@@ -171,7 +281,7 @@ func Fig14(m *Matrix) *Fig14Result {
 	for s, xs := range series {
 		res.Geomean[s] = stats.Geomean(xs)
 	}
-	return res
+	return res, nil
 }
 
 // CSV renders the normalized-time rows as comma-separated values for
@@ -227,7 +337,11 @@ type Fig15Result struct {
 	Geomean    map[Fig15Variant]float64
 }
 
-// Fig15 runs AOS under the four optimization configurations.
+// fig15Order is the presentation (and job) order of the variants.
+var fig15Order = []Fig15Variant{V15None, V15L1B, V15Comp, V15Both}
+
+// Fig15 runs AOS under the four optimization configurations, fanned out
+// over the worker pool (one baseline + four variant jobs per benchmark).
 func Fig15(o Options) (*Fig15Result, error) {
 	variants := map[Fig15Variant]aosVariant{
 		V15None: {disableL1B: true, disableCompression: true},
@@ -235,6 +349,29 @@ func Fig15(o Options) (*Fig15Result, error) {
 		V15Comp: {disableL1B: true},
 		V15Both: {},
 	}
+	profiles := workload.SPEC()
+	var specs []JobSpec
+	var jobs []runner.Job[runSummary]
+	addJob := func(p *workload.Profile, s instrument.Scheme, variant string, av aosVariant) {
+		spec := JobSpec{Benchmark: p.Name, Scheme: s, Variant: variant}
+		specs = append(specs, spec)
+		jobs = append(jobs, runner.Job[runSummary]{
+			Label: "fig15: " + spec.String(),
+			Run:   func() (runSummary, error) { return runJob(p, s, av, o) },
+		})
+	}
+	for _, p := range profiles {
+		p := p
+		addJob(p, instrument.Baseline, "", aosVariant{})
+		for _, v := range fig15Order {
+			addJob(p, instrument.AOS, string(v), variants[v])
+		}
+	}
+	results := runner.Run(jobs, o.runnerOptions())
+	if err := runner.Errs(results); err != nil {
+		return nil, err
+	}
+
 	res := &Fig15Result{
 		Normalized: make(map[Fig15Variant]map[string]float64),
 		Geomean:    make(map[Fig15Variant]float64),
@@ -243,20 +380,19 @@ func Fig15(o Options) (*Fig15Result, error) {
 		res.Normalized[v] = make(map[string]float64)
 	}
 	series := make(map[Fig15Variant][]float64)
-	for _, p := range workload.SPEC() {
+	bySpec := make(map[JobSpec]runSummary, len(results))
+	for i, r := range results {
+		bySpec[specs[i]] = r.Value
+	}
+	for _, p := range profiles {
 		res.Benchmarks = append(res.Benchmarks, p.Name)
-		o.progress("fig15: %s baseline", p.Name)
-		base, err := runOne(p, instrument.Baseline, aosVariant{}, o)
-		if err != nil {
-			return nil, err
+		base := float64(bySpec[JobSpec{Benchmark: p.Name, Scheme: instrument.Baseline}].CPU.Cycles)
+		if base == 0 {
+			return nil, fmt.Errorf("fig15: %s: Baseline run has zero cycles; cannot normalize", p.Name)
 		}
-		for v, av := range variants {
-			o.progress("fig15: %s %s", p.Name, v)
-			r, err := runOne(p, instrument.AOS, av, o)
-			if err != nil {
-				return nil, err
-			}
-			n := float64(r.CPU.Cycles) / float64(base.CPU.Cycles)
+		for _, v := range fig15Order {
+			r := bySpec[JobSpec{Benchmark: p.Name, Scheme: instrument.AOS, Variant: string(v)}]
+			n := float64(r.CPU.Cycles) / base
 			res.Normalized[v][p.Name] = n
 			series[v] = append(series[v], n)
 		}
@@ -269,7 +405,6 @@ func Fig15(o Options) (*Fig15Result, error) {
 
 // String renders Fig 15.
 func (r *Fig15Result) String() string {
-	order := []Fig15Variant{V15None, V15L1B, V15Comp, V15Both}
 	t := stats.NewTable("benchmark", string(V15None), string(V15L1B), string(V15Comp), string(V15Both))
 	for _, b := range r.Benchmarks {
 		t.AddRow(b, r.Normalized[V15None][b], r.Normalized[V15L1B][b],
@@ -277,7 +412,7 @@ func (r *Fig15Result) String() string {
 	}
 	cells := make([]interface{}, 0, 5)
 	cells = append(cells, "GEOMEAN")
-	for _, v := range order {
+	for _, v := range fig15Order {
 		cells = append(cells, r.Geomean[v])
 	}
 	t.AddRow(cells...)
@@ -297,11 +432,19 @@ type Fig16Row struct {
 }
 
 // Fig16 extracts the instruction mix of the AOS runs (per 1B instructions,
-// in millions — matching the paper's y-axis).
-func Fig16(m *Matrix) []Fig16Row {
+// in millions — matching the paper's y-axis). A missing AOS run or an
+// empty instruction count is an error rather than a silent Inf row.
+func Fig16(m *Matrix) ([]Fig16Row, error) {
 	var rows []Fig16Row
 	for _, name := range m.Benchmarks {
-		c := m.Runs[name][instrument.AOS].Counts
+		r, err := m.run(name, instrument.AOS)
+		if err != nil {
+			return nil, fmt.Errorf("fig16: %w", err)
+		}
+		c := r.Counts
+		if c.Total == 0 {
+			return nil, fmt.Errorf("fig16: %s: AOS run retired zero instructions", name)
+		}
 		scale := 1e9 / float64(c.Total) / 1e6 // per 1B instrs, in millions
 		rows = append(rows, Fig16Row{
 			Name:          name,
@@ -313,7 +456,7 @@ func Fig16(m *Matrix) []Fig16Row {
 			PAOps:         float64(c.PAOps()) * scale,
 		})
 	}
-	return rows
+	return rows, nil
 }
 
 // Fig16String renders the rows.
@@ -336,19 +479,23 @@ type Fig17Row struct {
 }
 
 // Fig17 extracts bounds-table accesses per checked instruction and the BWB
-// hit rate from the AOS runs.
-func Fig17(m *Matrix) []Fig17Row {
+// hit rate from the AOS runs. A missing AOS run is an error; a run with
+// zero checked operations yields a zero row (nothing to normalize).
+func Fig17(m *Matrix) ([]Fig17Row, error) {
 	var rows []Fig17Row
 	for _, name := range m.Benchmarks {
-		r := m.Runs[name][instrument.AOS].CPU
+		run, err := m.run(name, instrument.AOS)
+		if err != nil {
+			return nil, fmt.Errorf("fig17: %w", err)
+		}
+		r := run.CPU
 		per := 0.0
-		if ops := r.CheckedOps + uint64(r.Resizes); r.CheckedOps > 0 {
-			_ = ops
+		if r.CheckedOps > 0 {
 			per = float64(r.BoundsAccesses) / float64(r.CheckedOps)
 		}
 		rows = append(rows, Fig17Row{Name: name, AccessesPerInst: per, BWBHitRate: r.BWB.HitRate()})
 	}
-	return rows
+	return rows, nil
 }
 
 // Fig17String renders the rows.
@@ -366,15 +513,27 @@ type Fig18Result struct {
 	Geomean map[instrument.Scheme]float64
 }
 
-// Fig18 derives normalized network traffic from the matrix.
-func Fig18(m *Matrix) *Fig18Result {
+// Fig18 derives normalized network traffic from the matrix, with the same
+// missing/zero-baseline guards as Fig14.
+func Fig18(m *Matrix) (*Fig18Result, error) {
 	res := &Fig18Result{Geomean: make(map[instrument.Scheme]float64)}
 	series := make(map[instrument.Scheme][]float64)
 	for _, name := range m.Benchmarks {
-		base := float64(m.Runs[name][instrument.Baseline].CPU.Traffic.Total())
+		baseRun, err := m.run(name, instrument.Baseline)
+		if err != nil {
+			return nil, fmt.Errorf("fig18: %w", err)
+		}
+		base := float64(baseRun.CPU.Traffic.Total())
+		if base == 0 {
+			return nil, fmt.Errorf("fig18: %s: Baseline run has zero traffic; cannot normalize", name)
+		}
 		row := Fig14Row{Name: name, Normalized: make(map[instrument.Scheme]float64)}
 		for _, s := range instrument.Schemes() {
-			n := float64(m.Runs[name][s].CPU.Traffic.Total()) / base
+			r, err := m.run(name, s)
+			if err != nil {
+				return nil, fmt.Errorf("fig18: %w", err)
+			}
+			n := float64(r.CPU.Traffic.Total()) / base
 			row.Normalized[s] = n
 			if s != instrument.Baseline {
 				series[s] = append(series[s], n)
@@ -385,7 +544,7 @@ func Fig18(m *Matrix) *Fig18Result {
 	for s, xs := range series {
 		res.Geomean[s] = stats.Geomean(xs)
 	}
-	return res
+	return res, nil
 }
 
 // CSV renders the traffic rows as comma-separated values.
@@ -494,8 +653,9 @@ func Table1String() string {
 
 // MemProfiles reproduces Table II (set="spec") or Table III
 // (set="realworld") by replaying each profile's full-scale allocation
-// schedule through the real allocator. scale divides the published counts
-// (1 = full scale; benchmarks use larger divisors).
+// schedule through the real allocator, one pool job per profile. scale
+// divides the published counts (1 = full scale; benchmarks use larger
+// divisors).
 func MemProfiles(set string, scale uint64, o Options) ([]workload.MemoryProfileResult, error) {
 	var profiles []*workload.Profile
 	switch set {
@@ -506,35 +666,47 @@ func MemProfiles(set string, scale uint64, o Options) ([]workload.MemoryProfileR
 	default:
 		return nil, fmt.Errorf("unknown profile set %q", set)
 	}
-	var out []workload.MemoryProfileResult
-	for _, p := range profiles {
-		o.progress("memprofile: %s", p.Name)
-		mm := mem.New()
-		alloc := heap.New(mm, kernel.HeapBase, 1<<37)
-		var live []uint64
-		res := p.AllocSchedule(scale, func(isAlloc bool) {
-			if isAlloc {
-				size := p.ChunkSize[0]
-				ptr, err := alloc.Malloc(size)
-				if err == nil {
-					live = append(live, ptr)
-				}
-				return
-			}
-			if n := len(live); n > 0 {
-				// FIFO frees mimic long-lived-first deallocation.
-				ptr := live[0]
-				live = live[1:]
-				_ = alloc.Free(ptr)
-				_ = n
-			}
-		})
-		st := alloc.Stats()
-		res.Allocs = st.Allocs
-		res.Frees = st.Frees
-		res.MaxLive = st.MaxLive
-		res.EndLive = st.Live
-		out = append(out, res)
+	jobs := make([]runner.Job[workload.MemoryProfileResult], len(profiles))
+	for i, p := range profiles {
+		p := p
+		jobs[i] = runner.Job[workload.MemoryProfileResult]{
+			Label: "memprofile: " + p.Name,
+			Run: func() (workload.MemoryProfileResult, error) {
+				mm := mem.New()
+				alloc := heap.New(mm, kernel.HeapBase, 1<<37)
+				var live []uint64
+				res := p.AllocSchedule(scale, func(isAlloc bool) {
+					if isAlloc {
+						size := p.ChunkSize[0]
+						ptr, err := alloc.Malloc(size)
+						if err == nil {
+							live = append(live, ptr)
+						}
+						return
+					}
+					if len(live) > 0 {
+						// FIFO frees mimic long-lived-first deallocation.
+						ptr := live[0]
+						live = live[1:]
+						_ = alloc.Free(ptr)
+					}
+				})
+				st := alloc.Stats()
+				res.Allocs = st.Allocs
+				res.Frees = st.Frees
+				res.MaxLive = st.MaxLive
+				res.EndLive = st.Live
+				return res, nil
+			},
+		}
+	}
+	results := runner.Run(jobs, o.runnerOptions())
+	if err := runner.Errs(results); err != nil {
+		return nil, err
+	}
+	out := make([]workload.MemoryProfileResult, len(results))
+	for i, r := range results {
+		out[i] = r.Value
 	}
 	return out, nil
 }

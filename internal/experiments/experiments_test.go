@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"errors"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -25,9 +27,15 @@ func TestRunMatrixShape(t *testing.T) {
 		if len(m.Runs[b]) != 5 {
 			t.Fatalf("%s: %d schemes", b, len(m.Runs[b]))
 		}
+		if len(m.Walls[b]) != 5 {
+			t.Fatalf("%s: %d wall times", b, len(m.Walls[b]))
+		}
 	}
 
-	f14 := Fig14(m)
+	f14, err := Fig14(m)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(f14.Rows) != 16 {
 		t.Errorf("fig14 rows = %d", len(f14.Rows))
 	}
@@ -51,7 +59,10 @@ func TestRunMatrixShape(t *testing.T) {
 		t.Error("fig14 rendering missing geomean row")
 	}
 
-	f16 := Fig16(m)
+	f16, err := Fig16(m)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, r := range f16 {
 		total := r.UnsignedLoad + r.UnsignedStore + r.SignedLoad + r.SignedStore
 		if total <= 0 {
@@ -67,7 +78,10 @@ func TestRunMatrixShape(t *testing.T) {
 		t.Error("empty fig16 rendering")
 	}
 
-	f17 := Fig17(m)
+	f17, err := Fig17(m)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, r := range f17 {
 		if r.AccessesPerInst < 1.0 && r.AccessesPerInst != 0 {
 			// Forwarding can push below 1.0 only slightly; a checked op
@@ -84,12 +98,163 @@ func TestRunMatrixShape(t *testing.T) {
 		t.Error("empty fig17 rendering")
 	}
 
-	f18 := Fig18(m)
+	f18, err := Fig18(m)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if f18.Geomean[instrument.Watchdog] < 1.0 {
 		t.Errorf("Watchdog traffic %v < baseline", f18.Geomean[instrument.Watchdog])
 	}
 	if !strings.Contains(f18.String(), "GEOMEAN") {
 		t.Error("fig18 rendering missing geomean")
+	}
+
+	doc, err := MatrixDocument(m, tinyOpts(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Schema != MatrixSchema || len(doc.Benchmarks) != 16 {
+		t.Errorf("doc shape: schema=%q benchmarks=%d", doc.Schema, len(doc.Benchmarks))
+	}
+	for _, b := range doc.Benchmarks {
+		if len(b.Runs) != 5 {
+			t.Fatalf("doc %s: %d runs", b.Name, len(b.Runs))
+		}
+		for _, r := range b.Runs {
+			if r.Cycles == 0 || r.IPC <= 0 {
+				t.Errorf("doc %s/%s: empty cells %+v", b.Name, r.Scheme, r)
+			}
+		}
+	}
+	out, err := doc.JSON()
+	if err != nil || !strings.Contains(string(out), "geomean_time") {
+		t.Errorf("doc JSON: %v", err)
+	}
+}
+
+// TestMatrixParallelEquivalence is the -j 1 vs -j N determinism contract:
+// identical Matrix contents (modulo wall times) and byte-identical
+// rendered figures.
+func TestMatrixParallelEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two matrix runs")
+	}
+	o := Options{Instructions: 8_000, Seed: 1}
+	o.Workers = 1
+	seq, err := RunMatrix(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Workers = 8
+	par, err := RunMatrix(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq.Benchmarks, par.Benchmarks) {
+		t.Fatalf("benchmark order differs: %v vs %v", seq.Benchmarks, par.Benchmarks)
+	}
+	if !reflect.DeepEqual(seq.Runs, par.Runs) {
+		for _, b := range seq.Benchmarks {
+			for _, s := range instrument.Schemes() {
+				if !reflect.DeepEqual(seq.Runs[b][s], par.Runs[b][s]) {
+					t.Errorf("%s/%v diverges:\n  -j1: %+v\n  -j8: %+v", b, s, seq.Runs[b][s], par.Runs[b][s])
+				}
+			}
+		}
+		t.Fatal("matrix contents differ between -j 1 and -j 8")
+	}
+	f14seq, err := Fig14(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f14par, err := Fig14(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f14seq.String() != f14par.String() {
+		t.Error("rendered Fig 14 differs between -j 1 and -j 8")
+	}
+	f18seq, _ := Fig18(seq)
+	f18par, _ := Fig18(par)
+	if f18seq.CSV() != f18par.CSV() {
+		t.Error("Fig 18 CSV differs between -j 1 and -j 8")
+	}
+}
+
+// TestMatrixFailureInjection proves one failed job doesn't discard the
+// other jobs' results.
+func TestMatrixFailureInjection(t *testing.T) {
+	boom := errors.New("injected failure")
+	orig := runJob
+	runJob = func(p *workload.Profile, s instrument.Scheme, v aosVariant, o Options) (runSummary, error) {
+		if p.Name == "gcc" && s == instrument.AOS {
+			return runSummary{}, boom
+		}
+		return orig(p, s, v, o)
+	}
+	defer func() { runJob = orig }()
+
+	o := Options{Instructions: 8_000, Seed: 1, Workers: 4}
+	m, err := RunMatrix(o)
+	if err == nil || !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want injected failure", err)
+	}
+	if m == nil {
+		t.Fatal("matrix discarded on job failure")
+	}
+	if len(m.Errors) != 1 || m.Errors[0].Spec.Benchmark != "gcc" || m.Errors[0].Spec.Scheme != instrument.AOS {
+		t.Fatalf("errors = %+v", m.Errors)
+	}
+	if _, ok := m.Runs["gcc"][instrument.AOS]; ok {
+		t.Error("failed job left a result behind")
+	}
+	// Every other job's result must have survived.
+	for _, b := range m.Benchmarks {
+		want := 5
+		if b == "gcc" {
+			want = 4
+		}
+		if len(m.Runs[b]) != want {
+			t.Errorf("%s: %d surviving runs, want %d", b, len(m.Runs[b]), want)
+		}
+	}
+	// The figure derivations refuse the incomplete matrix rather than
+	// emitting NaN/Inf rows.
+	if _, err := Fig16(m); err == nil {
+		t.Error("Fig16 accepted a matrix with a missing AOS run")
+	}
+	if _, err := Fig17(m); err == nil {
+		t.Error("Fig17 accepted a matrix with a missing AOS run")
+	}
+}
+
+// TestFigGuards exercises the NaN/Inf guards directly on a hand-built
+// matrix with a missing and a zero-cycle baseline.
+func TestFigGuards(t *testing.T) {
+	m := &Matrix{
+		Benchmarks: []string{"fake"},
+		Runs:       map[string]map[instrument.Scheme]runSummary{"fake": {}},
+	}
+	if _, err := Fig14(m); err == nil || !strings.Contains(err.Error(), "missing") {
+		t.Errorf("Fig14 missing-baseline guard: %v", err)
+	}
+	if _, err := Fig18(m); err == nil {
+		t.Errorf("Fig18 missing-baseline guard: %v", err)
+	}
+	for _, s := range instrument.Schemes() {
+		m.Runs["fake"][s] = runSummary{} // present but zero cycles/traffic
+	}
+	if _, err := Fig14(m); err == nil || !strings.Contains(err.Error(), "zero cycles") {
+		t.Errorf("Fig14 zero-cycle guard: %v", err)
+	}
+	if _, err := Fig18(m); err == nil || !strings.Contains(err.Error(), "zero traffic") {
+		t.Errorf("Fig18 zero-traffic guard: %v", err)
+	}
+	if _, err := Fig16(m); err == nil || !strings.Contains(err.Error(), "zero instructions") {
+		t.Errorf("Fig16 zero-total guard: %v", err)
+	}
+	if _, err := MatrixDocument(m, Options{}, 0); err == nil {
+		t.Error("MatrixDocument accepted a degenerate matrix")
 	}
 }
 
@@ -135,6 +300,14 @@ func TestMemProfilesSpec(t *testing.T) {
 	if r := byName["lbm"]; r.Allocs != 7 || r.MaxLive != 5 {
 		t.Errorf("lbm row = %+v", r)
 	}
+	// Parallel replay must preserve the profile order and contents.
+	par, err := MemProfiles("spec", 500, Options{Instructions: 15_000, Seed: 1, Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rows, par) {
+		t.Error("memory profiles differ between -j 1 and -j 8")
+	}
 	out := MemProfilesString("Table II", rows, workload.SPEC(), 500)
 	if !strings.Contains(out, "mcf") || !strings.Contains(out, "paper alloc") {
 		t.Error("rendering incomplete")
@@ -157,7 +330,9 @@ func TestFig15SmallRun(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-run experiment")
 	}
-	r, err := Fig15(tinyOpts())
+	o := tinyOpts()
+	o.Workers = 8
+	r, err := Fig15(o)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,5 +350,28 @@ func TestFig15SmallRun(t *testing.T) {
 	}
 	if !strings.Contains(r.String(), "GEOMEAN") {
 		t.Error("rendering missing geomean")
+	}
+}
+
+// TestProgressEvents checks that matrix runs emit per-job completions
+// with monotone counts and job labels.
+func TestProgressEvents(t *testing.T) {
+	var events []Event
+	o := Options{Instructions: 8_000, Seed: 1, Workers: 2}
+	o.Progress = func(ev Event) { events = append(events, ev) }
+	if _, err := MemProfiles("realworld", 500, o); err != nil {
+		t.Fatal(err)
+	}
+	n := len(workload.RealWorld())
+	if len(events) != n {
+		t.Fatalf("events = %d, want %d", len(events), n)
+	}
+	for i, ev := range events {
+		if ev.Completed != i+1 || ev.Total != n {
+			t.Errorf("event %d: %d/%d", i, ev.Completed, ev.Total)
+		}
+		if !strings.HasPrefix(ev.Label, "memprofile: ") {
+			t.Errorf("event %d label %q", i, ev.Label)
+		}
 	}
 }

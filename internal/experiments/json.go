@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"encoding/json"
+	"time"
+
+	"aos/internal/instrument"
+)
+
+// RunDoc is one (benchmark, scheme) cell of the machine-readable matrix.
+type RunDoc struct {
+	Scheme            string  `json:"scheme"`
+	Cycles            uint64  `json:"cycles"`
+	Instructions      uint64  `json:"instructions"`
+	IPC               float64 `json:"ipc"`
+	NormalizedTime    float64 `json:"normalized_time"`
+	NormalizedTraffic float64 `json:"normalized_traffic"`
+	WallSeconds       float64 `json:"wall_seconds"`
+}
+
+// BenchmarkDoc groups one benchmark's runs in scheme order.
+type BenchmarkDoc struct {
+	Name string   `json:"name"`
+	Runs []RunDoc `json:"runs"`
+}
+
+// MatrixDoc is the machine-readable form of the evaluation matrix, emitted
+// by `aosbench -json` so successive BENCH_*.json snapshots can track the
+// performance trajectory. Entries are keyed and ordered by (benchmark,
+// scheme); only the wall-time fields vary between repeat runs.
+type MatrixDoc struct {
+	Schema string `json:"schema"`
+	// Instructions is the per-benchmark budget override (0 = defaults).
+	Instructions uint64 `json:"instructions"`
+	Seed         int64  `json:"seed"`
+	Workers      int    `json:"workers"`
+	// WallSeconds is the whole matrix's wall-clock time.
+	WallSeconds    float64            `json:"wall_seconds"`
+	Benchmarks     []BenchmarkDoc     `json:"benchmarks"`
+	GeomeanTime    map[string]float64 `json:"geomean_time"`
+	GeomeanTraffic map[string]float64 `json:"geomean_traffic"`
+}
+
+// MatrixSchema versions the -json document layout.
+const MatrixSchema = "aosbench/matrix/v1"
+
+// MatrixDocument assembles the machine-readable matrix: per-run cycles,
+// IPC and wall time, the Fig 14 normalized times and the Fig 18 normalized
+// traffic, plus both geomean sets.
+func MatrixDocument(m *Matrix, o Options, wall time.Duration) (*MatrixDoc, error) {
+	f14, err := Fig14(m)
+	if err != nil {
+		return nil, err
+	}
+	f18, err := Fig18(m)
+	if err != nil {
+		return nil, err
+	}
+	normTime := make(map[string]map[instrument.Scheme]float64)
+	for _, row := range f14.Rows {
+		normTime[row.Name] = row.Normalized
+	}
+	normTraffic := make(map[string]map[instrument.Scheme]float64)
+	for _, row := range f18.Rows {
+		normTraffic[row.Name] = row.Normalized
+	}
+
+	doc := &MatrixDoc{
+		Schema:         MatrixSchema,
+		Instructions:   o.Instructions,
+		Seed:           o.seed(),
+		Workers:        o.Workers,
+		WallSeconds:    wall.Seconds(),
+		GeomeanTime:    make(map[string]float64),
+		GeomeanTraffic: make(map[string]float64),
+	}
+	for _, name := range m.Benchmarks {
+		bd := BenchmarkDoc{Name: name}
+		for _, s := range instrument.Schemes() {
+			r, err := m.run(name, s)
+			if err != nil {
+				return nil, err
+			}
+			bd.Runs = append(bd.Runs, RunDoc{
+				Scheme:            s.String(),
+				Cycles:            r.CPU.Cycles,
+				Instructions:      r.CPU.Insts,
+				IPC:               r.CPU.IPC(),
+				NormalizedTime:    normTime[name][s],
+				NormalizedTraffic: normTraffic[name][s],
+				WallSeconds:       m.Walls[name][s].Seconds(),
+			})
+		}
+		doc.Benchmarks = append(doc.Benchmarks, bd)
+	}
+	for s, g := range f14.Geomean {
+		doc.GeomeanTime[s.String()] = g
+	}
+	for s, g := range f18.Geomean {
+		doc.GeomeanTraffic[s.String()] = g
+	}
+	return doc, nil
+}
+
+// JSON renders the document with stable formatting (maps marshal with
+// sorted keys, so repeat runs differ only in the wall-time fields).
+func (d *MatrixDoc) JSON() ([]byte, error) {
+	return json.MarshalIndent(d, "", "  ")
+}

@@ -1,0 +1,135 @@
+// Package runner provides the bounded-parallel job pool the evaluation
+// harness fans its run matrix out over. Every job builds its own isolated
+// machine, so the matrix is embarrassingly parallel; the pool's only
+// obligations are to bound concurrency, capture per-job failures instead
+// of aborting the batch, and aggregate deterministically — results come
+// back in job-submission order regardless of completion order, so a
+// 1-worker and an N-worker run of the same jobs produce identical output.
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Event is one structured progress update. Per-job completions carry
+// Completed/Total and the job's wall time; stage announcements (emitted by
+// harness code between batches) carry only a Label with Completed == 0.
+type Event struct {
+	// Completed is the number of jobs finished so far in the current
+	// batch, including the one this event reports (0 for announcements).
+	Completed int
+	// Total is the batch size (0 for announcements).
+	Total int
+	// Label identifies the job or stage.
+	Label string
+	// Wall is the finished job's wall-clock time.
+	Wall time.Duration
+	// Err is the job's failure, if any.
+	Err error
+}
+
+// Options configures a Run.
+type Options struct {
+	// Workers bounds concurrent jobs; <= 0 uses runtime.GOMAXPROCS(0).
+	Workers int
+	// OnEvent, when non-nil, receives one Event per completed job. Events
+	// arrive in completion order (nondeterministic under parallelism) but
+	// with strictly increasing Completed counts; the callback is never
+	// invoked concurrently with itself.
+	OnEvent func(Event)
+}
+
+// Job is one unit of work: a display label and the work itself. Run must
+// be self-contained — it may not share mutable state with other jobs.
+type Job[R any] struct {
+	Label string
+	Run   func() (R, error)
+}
+
+// Result pairs a job with its outcome. Exactly one of Value/Err is
+// meaningful; Wall is always the job's wall-clock duration.
+type Result[R any] struct {
+	Label string
+	Value R
+	Err   error
+	Wall  time.Duration
+}
+
+// Run executes jobs over a bounded worker pool and returns one Result per
+// job, in job order. A failing (or panicking) job contributes an error
+// Result; it never aborts the batch, so every other job's value survives.
+func Run[R any](jobs []Job[R], o Options) []Result[R] {
+	results := make([]Result[R], len(jobs))
+	if len(jobs) == 0 {
+		return results
+	}
+	workers := o.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	var mu sync.Mutex // orders OnEvent invocations and the Completed count
+	completed := 0
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				start := time.Now()
+				v, err := runGuarded(jobs[i].Run)
+				// Disjoint indices: no two workers write the same slot.
+				results[i] = Result[R]{Label: jobs[i].Label, Value: v, Err: err, Wall: time.Since(start)}
+				if o.OnEvent != nil {
+					mu.Lock()
+					completed++
+					o.OnEvent(Event{
+						Completed: completed,
+						Total:     len(jobs),
+						Label:     jobs[i].Label,
+						Wall:      results[i].Wall,
+						Err:       err,
+					})
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := range jobs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return results
+}
+
+// runGuarded invokes fn, converting a panic into an error so one broken
+// job cannot take down the whole batch.
+func runGuarded[R any](fn func() (R, error)) (v R, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("job panicked: %v", r)
+		}
+	}()
+	return fn()
+}
+
+// Errs joins the failed jobs' errors in job order, each labeled with its
+// job, or returns nil if every job succeeded.
+func Errs[R any](results []Result[R]) error {
+	var errs []error
+	for _, r := range results {
+		if r.Err != nil {
+			errs = append(errs, fmt.Errorf("%s: %w", r.Label, r.Err))
+		}
+	}
+	return errors.Join(errs...)
+}

@@ -1,0 +1,126 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func squareJobs(n int) []Job[int] {
+	jobs := make([]Job[int], n)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job[int]{
+			Label: fmt.Sprintf("job-%d", i),
+			Run:   func() (int, error) { return i * i, nil },
+		}
+	}
+	return jobs
+}
+
+func TestDeterministicOrder(t *testing.T) {
+	jobs := squareJobs(50)
+	seq := Run(jobs, Options{Workers: 1})
+	par := Run(jobs, Options{Workers: 8})
+	if len(seq) != 50 || len(par) != 50 {
+		t.Fatalf("lengths: %d, %d", len(seq), len(par))
+	}
+	for i := range seq {
+		if seq[i].Value != i*i || par[i].Value != i*i {
+			t.Errorf("slot %d: seq=%d par=%d want %d", i, seq[i].Value, par[i].Value, i*i)
+		}
+		if seq[i].Label != par[i].Label {
+			t.Errorf("slot %d labels differ: %q vs %q", i, seq[i].Label, par[i].Label)
+		}
+	}
+}
+
+func TestErrorCaptureKeepsOtherResults(t *testing.T) {
+	boom := errors.New("boom")
+	jobs := squareJobs(10)
+	jobs[3].Run = func() (int, error) { return 0, boom }
+	jobs[7].Run = func() (int, error) { panic("kaput") }
+	res := Run(jobs, Options{Workers: 4})
+	for i, r := range res {
+		switch i {
+		case 3:
+			if !errors.Is(r.Err, boom) {
+				t.Errorf("slot 3: err = %v", r.Err)
+			}
+		case 7:
+			if r.Err == nil || !strings.Contains(r.Err.Error(), "kaput") {
+				t.Errorf("slot 7: panic not captured: %v", r.Err)
+			}
+		default:
+			if r.Err != nil || r.Value != i*i {
+				t.Errorf("slot %d lost: %+v", i, r)
+			}
+		}
+	}
+	err := Errs(res)
+	if err == nil || !strings.Contains(err.Error(), "job-3") || !strings.Contains(err.Error(), "job-7") {
+		t.Errorf("joined error incomplete: %v", err)
+	}
+	if Errs(res[:3]) != nil {
+		t.Error("Errs over clean prefix should be nil")
+	}
+}
+
+func TestWorkerBound(t *testing.T) {
+	var inFlight, peak atomic.Int64
+	jobs := make([]Job[struct{}], 32)
+	for i := range jobs {
+		jobs[i] = Job[struct{}]{Label: "j", Run: func() (struct{}, error) {
+			n := inFlight.Add(1)
+			for {
+				p := peak.Load()
+				if n <= p || peak.CompareAndSwap(p, n) {
+					break
+				}
+			}
+			time.Sleep(2 * time.Millisecond)
+			inFlight.Add(-1)
+			return struct{}{}, nil
+		}}
+	}
+	Run(jobs, Options{Workers: 3})
+	if p := peak.Load(); p > 3 {
+		t.Errorf("peak concurrency %d exceeds worker bound 3", p)
+	}
+}
+
+func TestProgressEvents(t *testing.T) {
+	var events []Event
+	jobs := squareJobs(12)
+	Run(jobs, Options{Workers: 5, OnEvent: func(ev Event) { events = append(events, ev) }})
+	if len(events) != 12 {
+		t.Fatalf("events = %d", len(events))
+	}
+	for i, ev := range events {
+		if ev.Completed != i+1 || ev.Total != 12 {
+			t.Errorf("event %d: completed=%d total=%d", i, ev.Completed, ev.Total)
+		}
+		if ev.Wall < 0 {
+			t.Errorf("event %d: negative wall %v", i, ev.Wall)
+		}
+	}
+}
+
+func TestEmptyAndDefaultWorkers(t *testing.T) {
+	if res := Run[int](nil, Options{}); len(res) != 0 {
+		t.Errorf("empty batch: %v", res)
+	}
+	res := Run(squareJobs(4), Options{}) // Workers 0 → GOMAXPROCS
+	want := []int{0, 1, 4, 9}
+	got := make([]int, len(res))
+	for i, r := range res {
+		got[i] = r.Value
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v want %v", got, want)
+	}
+}

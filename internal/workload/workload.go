@@ -81,6 +81,17 @@ type Profile struct {
 	Stride   uint64
 }
 
+// Clone returns an independent copy of the profile, safe to mutate (e.g.
+// an Instructions override) while other goroutines run the original.
+// Profile holds only value-typed fields (ChunkSize is an array, not a
+// slice), so a shallow copy IS a deep copy; TestProfileCloneIsDeep guards
+// that invariant with reflection so a future slice/map/pointer field
+// cannot silently reintroduce sharing between concurrent runs.
+func (p *Profile) Clone() *Profile {
+	q := *p
+	return &q
+}
+
 // Validate sanity-checks a profile.
 func (p *Profile) Validate() error {
 	frac := p.LoadFrac + p.StoreFrac + p.BranchFrac + p.FPFrac + p.MulFrac
@@ -109,6 +120,10 @@ func (p *Profile) Run(m *core.Machine, seed int64) error {
 // for the profile's full instruction budget. This mirrors the paper's
 // methodology of measuring a window of a much longer execution, removing
 // compulsory-miss noise from short scaled runs.
+//
+// RunWarm never mutates the profile, so many goroutines may run the same
+// *Profile concurrently (each run's state — RNG, chunk list, branch
+// biases — is local to the call).
 func (p *Profile) RunWarm(m *core.Machine, seed int64, warmupInsts uint64, onWarm func()) error {
 	if err := p.Validate(); err != nil {
 		return err

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"reflect"
 	"testing"
 
 	"aos/internal/core"
@@ -179,5 +180,37 @@ func TestAllocScheduleScaling(t *testing.T) {
 	res := p.AllocSchedule(1000, func(bool) {})
 	if res.Allocs != p.TableAllocs/1000 {
 		t.Errorf("scaled allocs = %d, want %d", res.Allocs, p.TableAllocs/1000)
+	}
+}
+
+// TestProfileCloneIsDeep guards Clone's shallow-copy-is-deep-copy
+// invariant: Profile must hold only value-typed fields. If a slice, map,
+// pointer, chan, func or interface field is ever added, this test fails
+// until Clone learns to copy it — otherwise concurrent runs over shared
+// workload.SPEC() profiles would silently alias mutable state.
+func TestProfileCloneIsDeep(t *testing.T) {
+	typ := reflect.TypeOf(Profile{})
+	var check func(t reflect.Type, path string)
+	check = func(ft reflect.Type, path string) {
+		switch ft.Kind() {
+		case reflect.Slice, reflect.Map, reflect.Ptr, reflect.Chan,
+			reflect.Func, reflect.Interface, reflect.UnsafePointer:
+			t.Errorf("Profile field %s has reference kind %v; Clone must deep-copy it", path, ft.Kind())
+		case reflect.Struct:
+			for i := 0; i < ft.NumField(); i++ {
+				check(ft.Field(i).Type, path+"."+ft.Field(i).Name)
+			}
+		case reflect.Array:
+			check(ft.Elem(), path+"[]")
+		}
+	}
+	check(typ, "Profile")
+
+	p, _ := ByName("gcc")
+	q := p.Clone()
+	q.Instructions = p.Instructions + 1
+	q.ChunkSize[0] = p.ChunkSize[0] + 1
+	if p.Instructions == q.Instructions || p.ChunkSize[0] == q.ChunkSize[0] {
+		t.Error("Clone shares state with the original")
 	}
 }
