@@ -28,6 +28,7 @@ import (
 	"aos/internal/instrument"
 	"aos/internal/isa"
 	"aos/internal/kernel"
+	"aos/internal/tracecheck"
 	"aos/internal/workload"
 )
 
@@ -118,6 +119,12 @@ type Options struct {
 	// before statistics start — mirroring the paper's measurement of a
 	// window within 3B-instruction executions).
 	NoWarmup bool
+
+	// Sanitize tees the instruction stream through the tracecheck protocol
+	// verifier; Run fails with a *tracecheck.Error when the functional
+	// machine emits a stream violating the scheme's instrumentation
+	// contract (internal/tracecheck documents the rules).
+	Sanitize bool
 }
 
 // System couples a functional AOS machine with a timing core. Every
@@ -126,6 +133,8 @@ type System struct {
 	machine *core.Machine
 	core    *cpu.Core
 	opts    Options
+	checker *tracecheck.Checker
+	extras  []isa.Sink
 }
 
 // NewSystem builds a machine+core pair for the given options.
@@ -149,7 +158,12 @@ func NewSystem(opts Options) (*System, error) {
 	cfg.MCU.Forwarding = !opts.DisableForwarding
 	c := cpu.New(cfg)
 	m.SetSink(c)
-	return &System{machine: m, core: c, opts: opts}, nil
+	s := &System{machine: m, core: c, opts: opts}
+	if opts.Sanitize {
+		s.checker = tracecheck.New(opts.Scheme)
+		s.TeeSink(s.checker)
+	}
+	return s, nil
 }
 
 // Machine-facing operations (see internal/core for semantics).
@@ -204,9 +218,27 @@ func (s *System) Machine() *core.Machine { return s.machine }
 func (s *System) Core() *cpu.Core { return s.core }
 
 // TeeSink duplicates the instruction stream to an additional sink (e.g. a
-// trace recorder) alongside the timing core.
+// trace recorder or protocol checker) alongside the timing core. Calling
+// it again adds further sinks; earlier tees keep receiving the stream.
 func (s *System) TeeSink(extra isa.Sink) {
-	s.machine.SetSink(isa.MultiSink{s.core, extra})
+	s.extras = append(s.extras, extra)
+	s.machine.SetSink(append(isa.MultiSink{s.core}, s.extras...))
+}
+
+// Sanitizer returns the protocol checker when Options.Sanitize was set,
+// else nil. SanitizeErr is the usual entry point; the checker itself
+// exposes the structured violations.
+func (s *System) Sanitizer() *tracecheck.Checker { return s.checker }
+
+// SanitizeErr finishes the protocol checker and returns its verdict: nil
+// without Options.Sanitize or on a clean stream, a *tracecheck.Error
+// otherwise. Call after the run's final operation.
+func (s *System) SanitizeErr() error {
+	if s.checker == nil {
+		return nil
+	}
+	s.checker.Finish()
+	return s.checker.Err()
 }
 
 // Result summarizes a finished run.
@@ -255,5 +287,9 @@ func Run(w *Workload, opts Options) (Result, error) {
 	if err := p.RunWarm(sys.machine, opts.Seed, warmup, onWarm); err != nil {
 		return Result{}, fmt.Errorf("aos: workload %s under %v: %w", p.Name, opts.Scheme, err)
 	}
-	return sys.Finalize(), nil
+	res := sys.Finalize()
+	if err := sys.SanitizeErr(); err != nil {
+		return res, fmt.Errorf("aos: workload %s under %v: %w", p.Name, opts.Scheme, err)
+	}
+	return res, nil
 }

@@ -1,0 +1,65 @@
+// Command aoslint runs the repo's custom analyzers (internal/lint) over
+// the module: exhaustive scheme/op switches, no order-dependent map
+// iteration, no wall-clock/randomness outside the seeding sites, and
+// stats.Table arity checks.
+//
+// Usage:
+//
+//	go run ./cmd/aoslint ./...
+//	go run ./cmd/aoslint ./internal/experiments ./cmd/...
+//
+// Findings print as path:line:col: [analyzer] message; the exit status is
+// 1 when anything is found. Suppress an individual finding with an
+// annotation on its line or the line above:
+//
+//	//aoslint:allow mapiter — keys are sorted below
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"aos/internal/lint"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: aoslint [packages]\n\npackages default to ./...\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	root, err := lint.FindModuleRoot(cwd)
+	if err != nil {
+		fatal(err)
+	}
+	pkgs, err := lint.Load(root, patterns...)
+	if err != nil {
+		fatal(err)
+	}
+	if len(pkgs) == 0 {
+		fatal(fmt.Errorf("no packages match %v", patterns))
+	}
+	diags := lint.Run(pkgs, lint.All())
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "aoslint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "aoslint:", err)
+	os.Exit(1)
+}

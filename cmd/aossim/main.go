@@ -13,6 +13,7 @@ import (
 	"aos/internal/cpu"
 	"aos/internal/isa"
 	"aos/internal/trace"
+	"aos/internal/tracecheck"
 )
 
 func main() {
@@ -28,12 +29,8 @@ func main() {
 	record := flag.String("record", "", "record the dynamic instruction stream to this trace file")
 	pipetrace := flag.Int("pipetrace", 0, "print pipeline timestamps for the first N instructions")
 	replay := flag.String("replay", "", "replay a recorded trace through the timing core (ignores -workload)")
+	nocheck := flag.Bool("nocheck", false, "disable the always-on tracecheck protocol sanitizer")
 	flag.Parse()
-
-	if *replay != "" {
-		replayTrace(*replay)
-		return
-	}
 
 	if *list {
 		var names []string
@@ -49,11 +46,6 @@ func main() {
 		return
 	}
 
-	w, ok := aos.WorkloadByName(*wl)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "aossim: unknown workload %q (try -list)\n", *wl)
-		os.Exit(1)
-	}
 	var scheme aos.Scheme
 	switch *schemeName {
 	case "Baseline":
@@ -71,6 +63,19 @@ func main() {
 		os.Exit(1)
 	}
 
+	if *replay != "" {
+		// The trace format does not record the scheme; -scheme tells the
+		// checker which contract the recorded stream promised.
+		replayTrace(*replay, scheme, !*nocheck)
+		return
+	}
+
+	w, ok := aos.WorkloadByName(*wl)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "aossim: unknown workload %q (try -list)\n", *wl)
+		os.Exit(1)
+	}
+
 	opts := aos.Options{
 		Scheme:             scheme,
 		Seed:               *seed,
@@ -79,6 +84,7 @@ func main() {
 		DisableCompression: *noComp,
 		DisableBWB:         *noBWB,
 		DisableForwarding:  *noFwd,
+		Sanitize:           !*nocheck,
 	}
 	var r aos.Result
 	var err error
@@ -153,12 +159,16 @@ func runRecorded(w *aos.Workload, opts aos.Options, path string) (aos.Result, er
 	if err := tw.Close(); err != nil {
 		return aos.Result{}, err
 	}
+	if err := sys.SanitizeErr(); err != nil {
+		return aos.Result{}, err
+	}
 	fmt.Printf("recorded %d instructions to %s\n", tw.Count(), path)
 	return sys.Finalize(), nil
 }
 
-// replayTrace replays a trace file through a fresh timing core.
-func replayTrace(path string) {
+// replayTrace replays a trace file through a fresh timing core, checking
+// the recorded stream against the scheme's protocol unless disabled.
+func replayTrace(path string, scheme aos.Scheme, check bool) {
 	f, err := os.Open(path)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "aossim:", err)
@@ -171,7 +181,24 @@ func replayTrace(path string) {
 		os.Exit(1)
 	}
 	c := cpu.New(cpu.DefaultConfig())
-	n := trace.Replay(tr, isa.Sink(c))
+	sink := isa.Sink(c)
+	var chk *tracecheck.Checker
+	if check {
+		chk = tracecheck.New(scheme)
+		sink = isa.MultiSink{c, chk}
+	}
+	n := trace.Replay(tr, sink)
+	if err := tr.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "aossim: trace corrupt:", err)
+		os.Exit(1)
+	}
+	if chk != nil {
+		chk.Finish()
+		if err := chk.Err(); err != nil {
+			fmt.Fprintf(os.Stderr, "aossim: %v\n%s", err, err.(*tracecheck.Error).Report())
+			os.Exit(1)
+		}
+	}
 	r := c.Finalize()
 	fmt.Printf("replayed %d instructions: cycles=%d IPC=%.3f bounds=%d\n",
 		n, r.Cycles, r.IPC(), r.BoundsAccesses)
@@ -204,6 +231,9 @@ func runPipetrace(w *aos.Workload, opts aos.Options, n int) (aos.Result, error) 
 		prof.Instructions = opts.Instructions
 	}
 	if err := prof.Run(sys.Machine(), opts.Seed); err != nil {
+		return aos.Result{}, err
+	}
+	if err := sys.SanitizeErr(); err != nil {
 		return aos.Result{}, err
 	}
 	return sys.Finalize(), nil

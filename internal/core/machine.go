@@ -430,11 +430,12 @@ func (m *Machine) freeAOS(p Ptr) error {
 		excErr = m.OS.RaiseException(kernel.ExcBoundsClear, p.Raw,
 			"bndclr found no bounds: double free or invalid free()")
 	}
-	dPtr := m.allocReg()
+	// The freed pointer arrives through the load chain, same convention as
+	// signAndStore's pacma operand.
 	m.emit(isa.Inst{Op: isa.OpBndclr, Addr: p.Raw, Signed: p.Signed(),
 		PAC: pacv, AHC: pa.AHC(p.Raw), HomeWay: homeWay,
 		Assoc: uint8(table.Assoc()), RowAddr: table.RowAddr(pacv),
-		Dest: isa.RegNone, Src1: dPtr, Src2: isa.RegNone})
+		Dest: isa.RegNone, Src1: m.lastLoad, Src2: isa.RegNone})
 	if excErr != nil {
 		return excErr
 	}
@@ -446,7 +447,8 @@ func (m *Machine) freeAOS(p Ptr) error {
 
 	// xpacm: strip so the allocator's neighbour-metadata walks are not
 	// bounds-checked.
-	m.emit(isa.Inst{Op: isa.OpXpacm, Dest: dPtr, Src1: dPtr, Src2: isa.RegNone})
+	dPtr := m.allocReg()
+	m.emit(isa.Inst{Op: isa.OpXpacm, Dest: dPtr, Src1: m.lastLoad, Src2: isa.RegNone})
 
 	m.Call()
 	err := m.Heap.Free(va)

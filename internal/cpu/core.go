@@ -318,7 +318,7 @@ func (c *Core) prunePorts() {
 		below = c.lastCommit - 4096
 	}
 	if below > c.portFloor {
-		for cyc := range c.portUsed {
+		for cyc := range c.portUsed { //aoslint:allow mapiter — order-free prune: each key tested independently
 			if cyc < below {
 				delete(c.portUsed, cyc)
 			}
@@ -326,7 +326,7 @@ func (c *Core) prunePorts() {
 		c.portFloor = below
 	}
 	if below > c.dPortFloor {
-		for cyc := range c.dPortUsed {
+		for cyc := range c.dPortUsed { //aoslint:allow mapiter — order-free prune: each key tested independently
 			if cyc < below {
 				delete(c.dPortUsed, cyc)
 			}
@@ -575,6 +575,8 @@ func (c *Core) Emit(in *isa.Inst) {
 			c.mcuAccess(commit+1, in.RowAddr+uint64(in.HomeWay)<<6, true)
 		}
 		release = commit + 1
+	default:
+		// Other classes have no post-commit memory effects.
 	}
 
 	if c.observer != nil {

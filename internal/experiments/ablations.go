@@ -60,7 +60,7 @@ func ResizeStudy(o Options) (*ResizeResult, error) {
 			return runSummary{}, nil, err
 		}
 		c := cpu.New(cpu.DefaultConfig())
-		m.SetSink(c)
+		chk := o.sanitizer(instrument.AOS, m, c)
 		var ptrs []core.Ptr
 		const liveTarget = 300_000
 		for i := 0; i < liveTarget; i++ {
@@ -80,6 +80,9 @@ func ResizeStudy(o Options) (*ResizeResult, error) {
 			if err := m.Free(p); err != nil {
 				return runSummary{}, nil, err
 			}
+		}
+		if err := sanitizeErr(chk, "resize-stress", instrument.AOS); err != nil {
+			return runSummary{}, nil, err
 		}
 		return runSummary{CPU: c.Finalize(), Resizes: len(m.OS.Resizes())}, m, nil
 	}
@@ -223,12 +226,15 @@ func runCustom(p *workload.Profile, o Options, mutate func(*cpu.Config), initial
 		mutate(&cfg)
 	}
 	c := cpu.New(cfg)
-	m.SetSink(c)
+	chk := o.sanitizer(instrument.AOS, m, c)
 	prof := p.Clone()
 	if o.Instructions != 0 {
 		prof.Instructions = o.Instructions
 	}
 	if err := prof.RunWarm(m, o.seed(), prof.Instructions/2, c.ResetStats); err != nil {
+		return 0, err
+	}
+	if err := sanitizeErr(chk, p.Name, instrument.AOS); err != nil {
 		return 0, err
 	}
 	return float64(c.Finalize().Cycles), nil

@@ -29,6 +29,7 @@ import (
 	"aos/internal/qarma"
 	"aos/internal/runner"
 	"aos/internal/stats"
+	"aos/internal/tracecheck"
 	"aos/internal/workload"
 )
 
@@ -51,6 +52,9 @@ type Options struct {
 	Workers int
 	// Progress, when non-nil, receives structured progress events.
 	Progress func(Event)
+	// Sanitize tees every job's instruction stream through the tracecheck
+	// protocol verifier and fails the job on any violation.
+	Sanitize bool
 }
 
 func (o Options) seed() int64 {
@@ -69,6 +73,31 @@ func (o Options) announce(format string, args ...interface{}) {
 
 func (o Options) runnerOptions() runner.Options {
 	return runner.Options{Workers: o.Workers, OnEvent: o.Progress}
+}
+
+// sanitizer wires the machine's sink: straight to the timing core, or teed
+// through a fresh protocol checker when Options.Sanitize is set.
+func (o Options) sanitizer(scheme instrument.Scheme, m *core.Machine, c *cpu.Core) *tracecheck.Checker {
+	if !o.Sanitize {
+		m.SetSink(c)
+		return nil
+	}
+	chk := tracecheck.New(scheme)
+	m.SetSink(isa.MultiSink{c, chk})
+	return chk
+}
+
+// sanitizeErr finishes a checker (nil is fine) and decorates its verdict
+// with the job identity.
+func sanitizeErr(chk *tracecheck.Checker, benchmark string, scheme instrument.Scheme) error {
+	if chk == nil {
+		return nil
+	}
+	chk.Finish()
+	if err := chk.Err(); err != nil {
+		return fmt.Errorf("%s under %v: %w", benchmark, scheme, err)
+	}
+	return nil
 }
 
 // runOne executes a profile under a scheme with optional AOS feature
@@ -105,7 +134,7 @@ func runOne(p *workload.Profile, scheme instrument.Scheme, v aosVariant, o Optio
 	cfg.MCU.UseBWB = !v.disableBWB
 	cfg.MCU.Forwarding = !v.disableForwarding
 	c := cpu.New(cfg)
-	m.SetSink(c)
+	chk := o.sanitizer(scheme, m, c)
 
 	prof := p.Clone() // independent copy: jobs may share *p across workers
 	if o.Instructions != 0 {
@@ -118,6 +147,9 @@ func runOne(p *workload.Profile, scheme instrument.Scheme, v aosVariant, o Optio
 		c.ResetStats()
 		warmCounts = m.Counts()
 	}); err != nil {
+		return runSummary{}, err
+	}
+	if err := sanitizeErr(chk, p.Name, scheme); err != nil {
 		return runSummary{}, err
 	}
 	counts := m.Counts()

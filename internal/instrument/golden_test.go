@@ -1,0 +1,189 @@
+package instrument_test
+
+// Golden per-scheme op-count tests: one fixed program, five schemes, exact
+// counts for every protocol instruction class. The numbers are fully
+// derivable from the instrumentation contract (package doc and Fig 7), so a
+// drift in any scheme's inserted-op sequence fails here with the class name
+// and the arithmetic that was violated.
+
+import (
+	"testing"
+
+	"aos/internal/core"
+	"aos/internal/instrument"
+	"aos/internal/isa"
+)
+
+// opCounter tallies the emitted stream by instruction class.
+type opCounter struct {
+	byOp [isa.NumOps]uint64
+}
+
+func (c *opCounter) Emit(in *isa.Inst) {
+	if int(in.Op) < isa.NumOps {
+		c.byOp[in.Op]++
+	}
+}
+
+// protocolOps are the instruction classes inserted by instrumentation (as
+// opposed to the program's own compute, memory, and control traffic). The
+// golden table pins an exact count for every one of them, so any class a
+// scheme is not documented to emit is asserted to stay at zero.
+var protocolOps = []isa.Op{
+	isa.OpPacma, isa.OpXpacm, isa.OpAutm,
+	isa.OpPacia, isa.OpAutia,
+	isa.OpBndstr, isa.OpBndclr,
+	isa.OpWDCheck, isa.OpWDMeta, isa.OpWDSetID, isa.OpWDClrID,
+}
+
+// runGoldenProgram drives the fixed allocation/access/call pattern:
+//
+//	3 mallocs (32, 64, 4096) ......... 3 Call/Ret pairs from the allocator
+//	3 plain loads + 3 plain stores ... 6 checked accesses
+//	1 pointer store + 1 pointer load . PA pre-store sign / on-load auth
+//	1 pointer-arith + 1 load ......... Watchdog metadata propagation
+//	1 explicit Call/Compute/Ret ...... 1 more Call/Ret pair
+//	3 frees .......................... 3 more Call/Ret pairs
+func runGoldenProgram(t *testing.T, scheme instrument.Scheme) *opCounter {
+	t.Helper()
+	m, err := core.New(core.Config{Scheme: scheme})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cnt := &opCounter{}
+	m.SetSink(cnt)
+
+	p1, err := m.Malloc(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := m.Malloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p3, err := m.Malloc(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []core.Ptr{p1, p2, p3} {
+		if err := m.Load(p, 0, core.AccessOpts{}); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Store(p, 8, core.AccessOpts{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Store(p1, 16, core.AccessOpts{Pointer: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Load(p1, 16, core.AccessOpts{Pointer: true}); err != nil {
+		t.Fatal(err)
+	}
+	q := m.PointerArith(p2, 8)
+	if err := m.Load(q, 0, core.AccessOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	m.Call()
+	m.Compute(4, core.DepFree)
+	m.Ret()
+	for _, p := range []core.Ptr{p1, p2, p3} {
+		if err := m.Free(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return cnt
+}
+
+// The fixed program's event counts the goldens derive from.
+const (
+	allocs    = 3
+	frees     = 3
+	accesses  = 9 // 6 plain + 1 ptr store + 1 ptr load + 1 post-arith load
+	callPairs = allocs + frees + 1
+)
+
+func TestGoldenOpCounts(t *testing.T) {
+	// golden[scheme][op]: exact expected count; absent op = must be zero.
+	golden := map[instrument.Scheme]map[isa.Op]uint64{
+		instrument.Baseline: {},
+		instrument.Watchdog: {
+			isa.OpWDCheck: accesses, // one check micro-op per memory access
+			isa.OpWDMeta:  1,        // identifier propagation on pointer arithmetic
+			isa.OpWDSetID: allocs,   // lock allocate at malloc
+			isa.OpWDClrID: frees,    // lock invalidate at free
+		},
+		instrument.PA: {
+			isa.OpPacia: callPairs + 1, // RAS on every call + pre-store data sign
+			isa.OpAutia: callPairs + 1, // RAS on every return + on-load data auth
+		},
+		instrument.AOS: {
+			isa.OpPacma:  allocs + frees, // sign at malloc + re-sign lock at free
+			isa.OpBndstr: allocs,
+			isa.OpBndclr: frees,
+			isa.OpXpacm:  frees, // strip before the allocator touches the chunk
+		},
+		instrument.PAAOS: {
+			isa.OpPacma:  allocs + frees,
+			isa.OpBndstr: allocs,
+			isa.OpBndclr: frees,
+			isa.OpXpacm:  frees,
+			isa.OpPacia:  callPairs, // RAS only: pacma already signed data pointers
+			isa.OpAutia:  callPairs,
+			isa.OpAutm:   1, // cheap AHC check replaces autia on pointer load (Fig 13)
+		},
+	}
+
+	for _, scheme := range instrument.Schemes() {
+		scheme := scheme
+		t.Run(scheme.String(), func(t *testing.T) {
+			want, ok := golden[scheme]
+			if !ok {
+				t.Fatalf("no golden table for scheme %v", scheme)
+			}
+			cnt := runGoldenProgram(t, scheme)
+			for _, op := range protocolOps {
+				if got := cnt.byOp[op]; got != want[op] {
+					t.Errorf("%v count = %d, want %d", op, got, want[op])
+				}
+			}
+			// Every scheme funnels the same program structure: the explicit
+			// pair plus one per allocator entry (malloc and free).
+			if got := cnt.byOp[isa.OpCall]; got != callPairs {
+				t.Errorf("call count = %d, want %d", got, callPairs)
+			}
+			if got := cnt.byOp[isa.OpRet]; got != callPairs {
+				t.Errorf("ret count = %d, want %d", got, callPairs)
+			}
+			if cnt.byOp[isa.OpLoad] == 0 || cnt.byOp[isa.OpStore] == 0 {
+				t.Error("program emitted no memory traffic")
+			}
+		})
+	}
+}
+
+// TestGoldenSchemeIsolation asserts the complement: an op documented for
+// exactly one scheme family never leaks into another. This is what the
+// tracecheck sanitizer's TC01 whitelist enforces at run time; the golden
+// keeps the static table honest.
+func TestGoldenSchemeIsolation(t *testing.T) {
+	owners := map[isa.Op]func(instrument.Scheme) bool{
+		isa.OpPacma:   instrument.Scheme.SignsDataPointers,
+		isa.OpBndstr:  instrument.Scheme.SignsDataPointers,
+		isa.OpBndclr:  instrument.Scheme.SignsDataPointers,
+		isa.OpXpacm:   instrument.Scheme.SignsDataPointers,
+		isa.OpWDCheck: instrument.Scheme.HasWatchdogChecks,
+		isa.OpWDMeta:  instrument.Scheme.HasWatchdogChecks,
+		isa.OpWDSetID: instrument.Scheme.HasWatchdogChecks,
+		isa.OpWDClrID: instrument.Scheme.HasWatchdogChecks,
+		isa.OpAutm:    instrument.Scheme.UsesAutm,
+	}
+	for _, scheme := range instrument.Schemes() {
+		cnt := runGoldenProgram(t, scheme)
+		for op, belongs := range owners {
+			if !belongs(scheme) && cnt.byOp[op] != 0 {
+				t.Errorf("%v: %v emitted %d times but the scheme does not document it",
+					scheme, op, cnt.byOp[op])
+			}
+		}
+	}
+}

@@ -70,6 +70,10 @@ const (
 	opCount
 )
 
+// NumOps is the number of defined instruction classes; op bytes at or above
+// it are outside the ISA (corrupt traces).
+const NumOps = int(opCount)
+
 var opNames = [opCount]string{
 	"nop", "alu", "mul", "fp", "load", "store", "branch", "call", "ret",
 	"pacma", "xpacm", "autm", "pacia", "autia", "bndstr", "bndclr",
@@ -254,6 +258,8 @@ func (c *Counts) Add(in *Inst) {
 		} else {
 			c.UnsignedStore++
 		}
+	default:
+		// Non-memory classes carry no signedness split.
 	}
 }
 

@@ -1,0 +1,325 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// enumTypes are the named types whose switches must be exhaustive. Members
+// are discovered from the defining package's scope (exported constants of
+// the exact type), so adding a scheme or op class automatically tightens
+// every dispatch site.
+var enumTypes = map[string]bool{
+	"aos/internal/isa.Op":            true,
+	"aos/internal/instrument.Scheme": true,
+}
+
+// Exhaustive checks that switches over the configured enum types either
+// cover every member or declare a default clause.
+var Exhaustive = &Analyzer{
+	Name: "exhaustive",
+	Doc:  "switches over instrument.Scheme and isa.Op must cover all members or have a default",
+	Run: func(p *Pass) {
+		info := p.Pkg.Info
+		if info == nil {
+			return
+		}
+		inspectAll(p, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			named, ok := info.TypeOf(sw.Tag).(*types.Named)
+			if !ok || named.Obj().Pkg() == nil {
+				return true
+			}
+			key := named.Obj().Pkg().Path() + "." + named.Obj().Name()
+			if !enumTypes[key] {
+				return true
+			}
+			members := enumMembers(named)
+			covered := map[string]bool{}
+			hasDefault := false
+			for _, stmt := range sw.Body.List {
+				cc, ok := stmt.(*ast.CaseClause)
+				if !ok {
+					continue
+				}
+				if cc.List == nil {
+					hasDefault = true
+					continue
+				}
+				for _, e := range cc.List {
+					v := info.Types[e].Value
+					if v == nil {
+						continue
+					}
+					for _, m := range members {
+						if constant.Compare(v, token.EQL, m.val) {
+							covered[m.name] = true
+						}
+					}
+				}
+			}
+			if hasDefault {
+				return true
+			}
+			var missing []string
+			for _, m := range members {
+				if !covered[m.name] {
+					missing = append(missing, m.name)
+				}
+			}
+			if len(missing) > 0 {
+				p.Reportf(sw.Pos(), "switch over %s not exhaustive: missing %s (add the cases or a default)",
+					key, strings.Join(missing, ", "))
+			}
+			return true
+		})
+	},
+}
+
+type enumMember struct {
+	name string
+	val  constant.Value
+}
+
+// enumMembers lists the exported constants of exactly the named type,
+// declared in its defining package, sorted by name for stable reports.
+func enumMembers(named *types.Named) []enumMember {
+	scope := named.Obj().Pkg().Scope()
+	var members []enumMember
+	for _, name := range scope.Names() { // Names() is sorted
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !c.Exported() || !types.Identical(c.Type(), named) {
+			continue
+		}
+		members = append(members, enumMember{name: name, val: c.Val()})
+	}
+	return members
+}
+
+// MapIter flags range statements over maps unless the loop body is an
+// order-free fold (every statement only assigns through map-index
+// expressions, so iteration order cannot be observed) or the site carries
+// an //aoslint:allow mapiter annotation. Deterministic alternatives:
+// iterate stats.SortedKeys(m), or collect-and-sort explicitly.
+var MapIter = &Analyzer{
+	Name: "mapiter",
+	Doc:  "no order-dependent iteration over maps (sort keys first)",
+	Run: func(p *Pass) {
+		info := p.Pkg.Info
+		if info == nil {
+			return
+		}
+		inspectAll(p, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := info.TypeOf(rng.X)
+			if t == nil {
+				return true
+			}
+			if _, ok := t.Underlying().(*types.Map); !ok {
+				return true
+			}
+			if orderFreeFold(info, rng.Body) {
+				return true
+			}
+			p.Reportf(rng.For,
+				"iteration order over this map is observable; sort the keys (stats.SortedKeys) or annotate //aoslint:allow mapiter")
+			return true
+		})
+	},
+}
+
+// orderFreeFold reports whether every statement in the body only writes
+// through map-index expressions (or blank), making the loop's effect
+// independent of iteration order.
+func orderFreeFold(info *types.Info, body *ast.BlockStmt) bool {
+	for _, stmt := range body.List {
+		switch s := stmt.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range s.Lhs {
+				if !mapIndexOrBlank(info, lhs) {
+					return false
+				}
+			}
+		case *ast.IncDecStmt:
+			if !mapIndexOrBlank(info, s.X) {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// mapIndexOrBlank reports whether e is m[k] for a map m, or the blank
+// identifier.
+func mapIndexOrBlank(info *types.Info, e ast.Expr) bool {
+	if id, ok := e.(*ast.Ident); ok {
+		return id.Name == "_"
+	}
+	ix, ok := e.(*ast.IndexExpr)
+	if !ok {
+		return false
+	}
+	t := info.TypeOf(ix.X)
+	if t == nil {
+		return false
+	}
+	_, isMap := t.Underlying().(*types.Map)
+	return isMap
+}
+
+// detrandAllowedPkgs may use wall-clock time and math/rand: the runner
+// reports wall durations, the workload generator is the one seeded
+// randomness source.
+var detrandAllowedPkgs = map[string]bool{
+	"aos/internal/runner":   true,
+	"aos/internal/workload": true,
+}
+
+// DetRand flags nondeterminism sources outside the allowlisted packages:
+// math/rand imports and time.Now/Since/Until calls. Simulated results must
+// be pure functions of (workload, scheme, seed).
+var DetRand = &Analyzer{
+	Name: "detrand",
+	Doc:  "no time.Now/math/rand outside runner/workload seeding sites",
+	Run: func(p *Pass) {
+		if detrandAllowedPkgs[p.Pkg.Path] {
+			return
+		}
+		info := p.Pkg.Info
+		for _, f := range p.Pkg.Files {
+			for _, imp := range f.Imports {
+				path := strings.Trim(imp.Path.Value, `"`)
+				if path == "math/rand" || path == "math/rand/v2" {
+					p.Reportf(imp.Pos(), "import of %s outside the allowlisted seeding sites (runner, workload)", path)
+				}
+			}
+		}
+		if info == nil {
+			return
+		}
+		inspectAll(p, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			x, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := info.Uses[x].(*types.PkgName)
+			if !ok || pn.Imported().Path() != "time" {
+				return true
+			}
+			switch sel.Sel.Name {
+			case "Now", "Since", "Until":
+				p.Reportf(call.Pos(), "time.%s leaks wall-clock nondeterminism; results must be pure in (workload, scheme, seed)", sel.Sel.Name)
+			}
+			return true
+		})
+	},
+}
+
+// StatsTable checks that every stats.Table.AddRow call passes exactly as
+// many cells as the table's NewTable header declared (a longer row would
+// misalign — historically even panic — the rendered table). Calls spreading
+// a slice (AddRow(cells...)) are skipped: their arity is dynamic.
+var StatsTable = &Analyzer{
+	Name: "statstable",
+	Doc:  "stats.Table rows must match the header arity declared at NewTable",
+	Run: func(p *Pass) {
+		info := p.Pkg.Info
+		if info == nil {
+			return
+		}
+		// First pass: tables created in this package, keyed by the variable
+		// object they are assigned to. Header arity -1 means unknown.
+		headers := map[types.Object]int{}
+		inspectAll(p, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+				return true
+			}
+			call, ok := as.Rhs[0].(*ast.CallExpr)
+			if !ok || !isStatsNewTable(info, call.Fun) {
+				return true
+			}
+			id, ok := as.Lhs[0].(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := info.Defs[id]
+			if obj == nil {
+				obj = info.Uses[id]
+			}
+			if obj == nil {
+				return true
+			}
+			if call.Ellipsis.IsValid() {
+				headers[obj] = -1
+			} else {
+				headers[obj] = len(call.Args)
+			}
+			return true
+		})
+		if len(headers) == 0 {
+			return
+		}
+		inspectAll(p, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "AddRow" {
+				return true
+			}
+			x, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := info.Uses[x]
+			want, tracked := headers[obj]
+			if !tracked || want < 0 || call.Ellipsis.IsValid() {
+				return true
+			}
+			if len(call.Args) != want {
+				p.Reportf(call.Pos(), "AddRow passes %d cells to a table with %d header columns", len(call.Args), want)
+			}
+			return true
+		})
+	},
+}
+
+// isStatsNewTable matches stats.NewTable (qualified) and NewTable inside
+// the stats package itself.
+func isStatsNewTable(info *types.Info, fun ast.Expr) bool {
+	switch f := fun.(type) {
+	case *ast.SelectorExpr:
+		x, ok := f.X.(*ast.Ident)
+		if !ok || f.Sel.Name != "NewTable" {
+			return false
+		}
+		pn, ok := info.Uses[x].(*types.PkgName)
+		return ok && pn.Imported().Path() == "aos/internal/stats"
+	case *ast.Ident:
+		obj := info.Uses[f]
+		return obj != nil && obj.Name() == "NewTable" &&
+			obj.Pkg() != nil && obj.Pkg().Path() == "aos/internal/stats"
+	}
+	return false
+}

@@ -1,0 +1,149 @@
+// Package lint is a self-contained go/analysis-style framework plus the
+// repo's custom analyzers. It deliberately mirrors the golang.org/x/tools
+// analysis API shape (Analyzer, Pass, Diagnostic) while depending only on
+// the standard library's go/ast, go/parser and go/types — the module is
+// dependency-free and stays that way.
+//
+// The analyzers encode invariants the compiler cannot check:
+//
+//   - exhaustive: every switch over instrument.Scheme or isa.Op covers all
+//     members or carries a default clause, so adding a scheme or op class
+//     fails the lint until every dispatch site is revisited.
+//   - mapiter: no order-dependent iteration over maps — the determinism
+//     the parallel runner guarantees (byte-identical -j1 vs -jN output)
+//     dies the moment a result path ranges over a map unsorted.
+//   - detrand: no time.Now/time.Since/time.Until or math/rand outside the
+//     allowlisted runner/workload seeding sites; wall-clock and global
+//     randomness are the other classic determinism leaks.
+//   - statstable: stats.Table rows must match the header arity declared at
+//     NewTable, statically preventing the misrendered-column class of bug.
+//
+// A finding is suppressed by an annotation comment on the same line or the
+// line above: //aoslint:allow <analyzer> — reason.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one lint check.
+type Analyzer struct {
+	// Name is the identifier used in reports and allow-annotations.
+	Name string
+	// Doc is a one-line description.
+	Doc string
+	// Run inspects one package through the pass.
+	Run func(*Pass)
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	// Analyzer is the reporting analyzer's name.
+	Analyzer string
+	// Pos locates the finding.
+	Pos token.Position
+	// Message explains it.
+	Message string
+}
+
+// String renders the finding in the familiar path:line:col style.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Pass carries one (package, analyzer) execution.
+type Pass struct {
+	// Analyzer is the running check.
+	Analyzer *Analyzer
+	// Pkg is the package under inspection.
+	Pkg *Package
+
+	diags *[]Diagnostic
+	// allowLines caches, per filename, the lines covered by an
+	// //aoslint:allow annotation for this analyzer.
+	allowLines map[string]map[int]bool
+}
+
+// Reportf records a finding unless an allow-annotation covers its line.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	position := p.Pkg.Fset.Position(pos)
+	if p.allowedAt(position) {
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      position,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// allowedAt reports whether //aoslint:allow <analyzer> covers the position:
+// the annotation suppresses findings on its own line and the line below.
+func (p *Pass) allowedAt(pos token.Position) bool {
+	lines, ok := p.allowLines[pos.Filename]
+	if !ok {
+		lines = map[int]bool{}
+		marker := "aoslint:allow " + p.Analyzer.Name
+		for _, f := range p.Pkg.Files {
+			if p.Pkg.Fset.Position(f.Pos()).Filename != pos.Filename {
+				continue
+			}
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					if strings.Contains(c.Text, marker) {
+						line := p.Pkg.Fset.Position(c.Pos()).Line
+						lines[line] = true
+						lines[line+1] = true
+					}
+				}
+			}
+		}
+		if p.allowLines == nil {
+			p.allowLines = map[string]map[int]bool{}
+		}
+		p.allowLines[pos.Filename] = lines
+	}
+	return lines[pos.Line]
+}
+
+// All returns the repo's analyzer suite.
+func All() []*Analyzer {
+	return []*Analyzer{Exhaustive, MapIter, DetRand, StatsTable}
+}
+
+// Run applies the analyzers to the packages and returns the findings
+// sorted by position (deterministic output regardless of load order).
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Pkg: pkg, diags: &diags}
+			a.Run(pass)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}
+
+// inspectAll walks every file of the pass's package.
+func inspectAll(p *Pass, fn func(ast.Node) bool) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, fn)
+	}
+}

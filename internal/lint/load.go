@@ -1,0 +1,266 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Package is one parsed and typechecked module package.
+type Package struct {
+	// Path is the import path (module path + relative directory).
+	Path string
+	// Dir is the directory relative to the module root ("." for the root).
+	Dir string
+	// Fset is the file set shared by every package of the load.
+	Fset *token.FileSet
+	// Files are the parsed non-test sources, in filename order.
+	Files []*ast.File
+	// Types is the typechecked package object. Typechecking runs with stub
+	// imports for out-of-module packages, so it is usually partial: objects
+	// and expression types rooted in the standard library may be missing.
+	// Analyzers must tolerate nil results from Info lookups.
+	Types *types.Package
+	// Info holds the typechecker's maps for the package's files.
+	Info *types.Info
+}
+
+// FindModuleRoot walks up from dir to the directory containing go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("lint: no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// modulePath extracts the module declaration from go.mod.
+func modulePath(root string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			rest = strings.TrimSpace(rest)
+			if p, err := strconv.Unquote(rest); err == nil {
+				return p, nil
+			}
+			return rest, nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module declaration in %s/go.mod", root)
+}
+
+// skipDir reports whether a directory never contributes module packages.
+func skipDir(name string) bool {
+	return name == "testdata" || name == "vendor" ||
+		strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")
+}
+
+// Load parses and typechecks the module rooted at root. Patterns select
+// packages by their root-relative directory: "./..." matches everything,
+// "./x/..." a subtree, "./x" one directory, "." the root package. Test
+// files are excluded — they may form external test packages and routinely
+// use time/rand legitimately.
+//
+// Out-of-module imports resolve to empty stub packages; the resulting type
+// errors are swallowed and typechecking continues, so in-module types,
+// constants and map types resolve fully while stdlib-rooted expressions
+// may lack type info.
+func Load(root string, patterns ...string) ([]*Package, error) {
+	modPath, err := modulePath(root)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+
+	// Discover every package directory and parse its sources.
+	parsed := map[string]*Package{} // import path -> package
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		if path != root && skipDir(d.Name()) {
+			return filepath.SkipDir
+		}
+		entries, err := os.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		var files []*ast.File
+		for _, e := range entries {
+			name := e.Name()
+			if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+				strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+				continue
+			}
+			f, err := parser.ParseFile(fset, filepath.Join(path, name), nil, parser.ParseComments)
+			if err != nil {
+				return fmt.Errorf("lint: parse %s: %w", filepath.Join(path, name), err)
+			}
+			files = append(files, f)
+		}
+		if len(files) == 0 {
+			return nil
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		rel = filepath.ToSlash(rel)
+		imp := modPath
+		if rel != "." {
+			imp = modPath + "/" + rel
+		}
+		parsed[imp] = &Package{Path: imp, Dir: rel, Fset: fset, Files: files}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Typecheck in dependency order so in-module imports resolve to real
+	// packages. Valid Go has no import cycles; a cycle would surface as a
+	// stubbed (partial) import, not an infinite loop.
+	im := &importerState{modPkgs: parsed, done: map[string]*types.Package{}, stubs: map[string]*types.Package{}}
+	order := make([]string, 0, len(parsed))
+	for p := range parsed { //aoslint:allow mapiter — sorted before use
+		order = append(order, p)
+	}
+	sort.Strings(order)
+	for _, imp := range order {
+		im.check(imp)
+	}
+
+	// Select by pattern.
+	selected := make([]*Package, 0, len(order))
+	for _, imp := range order {
+		if matchesAny(parsed[imp].Dir, patterns) {
+			selected = append(selected, parsed[imp])
+		}
+	}
+	return selected, nil
+}
+
+// matchesAny applies the root-relative directory patterns.
+func matchesAny(dir string, patterns []string) bool {
+	if len(patterns) == 0 {
+		return true
+	}
+	for _, p := range patterns {
+		p = strings.TrimPrefix(filepath.ToSlash(p), "./")
+		switch {
+		case p == "..." || p == "":
+			return true
+		case strings.HasSuffix(p, "/..."):
+			base := strings.TrimSuffix(p, "/...")
+			if dir == base || strings.HasPrefix(dir, base+"/") {
+				return true
+			}
+		case p == ".":
+			if dir == "." {
+				return true
+			}
+		default:
+			if dir == p {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// importerState typechecks module packages on demand and stubs everything
+// else.
+type importerState struct {
+	modPkgs map[string]*Package
+	done    map[string]*types.Package
+	stubs   map[string]*types.Package
+	busy    map[string]bool
+}
+
+// check typechecks one module package (memoized).
+func (im *importerState) check(path string) *types.Package {
+	if p, ok := im.done[path]; ok {
+		return p
+	}
+	pkg := im.modPkgs[path]
+	if im.busy == nil {
+		im.busy = map[string]bool{}
+	}
+	if im.busy[path] {
+		return nil // import cycle: let the typechecker report it
+	}
+	im.busy[path] = true
+	defer delete(im.busy, path)
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+	cfg := types.Config{
+		Importer:    importerFunc(func(p string) (*types.Package, error) { return im.resolve(p), nil }),
+		FakeImportC: true,
+		// Stubbed stdlib imports produce a stream of "undefined" errors;
+		// swallow them and keep whatever type info still resolves.
+		Error: func(error) {},
+	}
+	tpkg, _ := cfg.Check(path, pkg.Fset, pkg.Files, info)
+	pkg.Types, pkg.Info = tpkg, info
+	im.done[path] = tpkg
+	return tpkg
+}
+
+// resolve returns a real module package or a stub for everything else.
+func (im *importerState) resolve(path string) *types.Package {
+	if path == "unsafe" {
+		return types.Unsafe
+	}
+	if _, ok := im.modPkgs[path]; ok {
+		if p := im.check(path); p != nil {
+			return p
+		}
+	}
+	if p, ok := im.stubs[path]; ok {
+		return p
+	}
+	name := path
+	if i := strings.LastIndex(name, "/"); i >= 0 {
+		name = name[i+1:]
+	}
+	p := types.NewPackage(path, name)
+	p.MarkComplete()
+	im.stubs[path] = p
+	return p
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

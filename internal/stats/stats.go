@@ -137,7 +137,11 @@ func (t *Table) String() string {
 			if i > 0 {
 				b.WriteString("  ")
 			}
-			fmt.Fprintf(&b, "%-*s", widths[i], c)
+			w := 0
+			if i < len(widths) {
+				w = widths[i]
+			}
+			fmt.Fprintf(&b, "%-*s", w, c)
 		}
 		b.WriteByte('\n')
 	}
@@ -157,7 +161,7 @@ func (t *Table) String() string {
 // printing).
 func SortedKeys[K ~string, V any](m map[K]V) []K {
 	keys := make([]K, 0, len(m))
-	for k := range m {
+	for k := range m { //aoslint:allow mapiter — keys are sorted below; this is the canonical sorted-iteration helper
 		keys = append(keys, k)
 	}
 	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })

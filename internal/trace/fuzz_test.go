@@ -1,0 +1,212 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"testing"
+
+	"aos/internal/isa"
+)
+
+// memSeeker is an in-memory io.WriteSeeker so the fuzz round trip exercises
+// the header-count patch path without touching the filesystem.
+type memSeeker struct {
+	buf []byte
+	pos int64
+}
+
+func (m *memSeeker) Write(p []byte) (int, error) {
+	if grow := m.pos + int64(len(p)) - int64(len(m.buf)); grow > 0 {
+		m.buf = append(m.buf, make([]byte, grow)...)
+	}
+	copy(m.buf[m.pos:], p)
+	m.pos += int64(len(p))
+	return len(p), nil
+}
+
+func (m *memSeeker) Seek(off int64, whence int) (int64, error) {
+	switch whence {
+	case io.SeekStart:
+		m.pos = off
+	case io.SeekCurrent:
+		m.pos += off
+	case io.SeekEnd:
+		m.pos = int64(len(m.buf)) + off
+	}
+	return m.pos, nil
+}
+
+// validTraceBytes builds a small well-formed trace for seeding the corpus.
+func validTraceBytes(tb testing.TB) []byte {
+	ms := &memSeeker{}
+	w, err := NewWriter(ms)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	src := sampleInsts()
+	for i := range src {
+		w.Emit(&src[i])
+	}
+	if err := w.Close(); err != nil {
+		tb.Fatal(err)
+	}
+	return ms.buf
+}
+
+// FuzzReader throws arbitrary bytes at the decoder. The contract: NewReader
+// and Next never panic; a header that promises more records than the stream
+// delivers must surface through Err, and the reader never yields more
+// records than the header count.
+func FuzzReader(f *testing.F) {
+	valid := validTraceBytes(f)
+	clone := func(b []byte) []byte { return append([]byte(nil), b...) }
+
+	f.Add([]byte{})
+	f.Add(valid)
+	f.Add(valid[:headerSize-3])              // short header
+	f.Add(valid[:headerSize+recordSize/2])   // truncated record
+	f.Add(valid[:headerSize+recordSize*2+7]) // later record cut mid-way
+
+	badMagic := clone(valid)
+	badMagic[0] ^= 0xFF
+	f.Add(badMagic)
+
+	badVersion := clone(valid)
+	badVersion[4] = 99
+	f.Add(badVersion)
+
+	overPromise := clone(valid)
+	binary.LittleEndian.PutUint64(overPromise[8:], 1<<20)
+	f.Add(overPromise)
+
+	headerless := clone(valid) // count 0: read-to-EOF mode, cut mid-record
+	binary.LittleEndian.PutUint64(headerless[8:], 0)
+	f.Add(headerless[:len(headerless)-5])
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return // rejected header: the decoder's job is done
+		}
+		n := Replay(r, isa.NullSink{})
+		if c := r.Count(); c != 0 {
+			if n > c {
+				t.Fatalf("yielded %d records, header promised %d", n, c)
+			}
+			if n < c && r.Err() == nil {
+				t.Fatalf("stream ends after %d of %d promised records but Err() == nil", n, c)
+			}
+		}
+	})
+}
+
+// FuzzRoundTrip encodes fuzzer-chosen instruction fields and requires the
+// decode to reproduce them bit-for-bit, including the patched header count.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add(uint8(4), uint8(3), uint8(1), uint8(0xFF), true, false, true,
+		uint8(2), int8(-1), uint8(4), uint64(0x400000), uint64(0x2000_0000_1234),
+		uint64(0x3000_0000_0000), uint32(64), uint16(0xBEEF), uint32(7), uint8(3))
+	f.Add(uint8(0), uint8(0), uint8(0), uint8(0), false, false, false,
+		uint8(0), int8(0), uint8(0), uint64(0), uint64(0), uint64(0),
+		uint32(0), uint16(0), uint32(0), uint8(0))
+
+	f.Fuzz(func(t *testing.T, op, dest, src1, src2 uint8, signed, taken, resize bool,
+		ahc uint8, homeWay int8, assoc uint8, pc, addr, rowAddr uint64,
+		size uint32, pac uint16, branchID uint32, n uint8) {
+		in := isa.Inst{
+			Op: isa.Op(op), Dest: dest, Src1: src1, Src2: src2,
+			Signed: signed, Taken: taken, Resize: resize,
+			AHC: ahc, HomeWay: homeWay, Assoc: assoc,
+			PC: pc, Addr: addr, RowAddr: rowAddr,
+			Size: size, PAC: pac, BranchID: branchID,
+		}
+		count := int(n%8) + 1
+		ms := &memSeeker{}
+		w, err := NewWriter(ms)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < count; i++ {
+			rec := in
+			rec.PC = pc + uint64(i)*4
+			w.Emit(&rec)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+
+		r, err := NewReader(bytes.NewReader(ms.buf))
+		if err != nil {
+			t.Fatalf("decode own encoding: %v", err)
+		}
+		if r.Count() != uint64(count) {
+			t.Fatalf("header count %d, wrote %d", r.Count(), count)
+		}
+		var got isa.Inst
+		for i := 0; i < count; i++ {
+			if !r.Next(&got) {
+				t.Fatalf("record %d: Next = false (Err: %v)", i, r.Err())
+			}
+			want := in
+			want.PC = pc + uint64(i)*4
+			if got != want {
+				t.Fatalf("record %d mismatch:\n got %+v\nwant %+v", i, got, want)
+			}
+		}
+		if r.Next(&got) {
+			t.Fatal("reader yielded a record past the header count")
+		}
+		if err := r.Err(); err != nil {
+			t.Fatalf("clean stream ended with Err: %v", err)
+		}
+	})
+}
+
+// TestReaderErrClassification pins the three Err outcomes: a short stream
+// against a promising header, a mid-record cut in read-to-EOF mode, and a
+// clean record-boundary EOF.
+func TestReaderErrClassification(t *testing.T) {
+	valid := validTraceBytes(t)
+
+	t.Run("header promises more", func(t *testing.T) {
+		r, err := NewReader(bytes.NewReader(valid[:headerSize+recordSize]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n := Replay(r, isa.NullSink{}); n != 1 {
+			t.Fatalf("replayed %d records", n)
+		}
+		if r.Err() == nil {
+			t.Fatal("truncated stream reported no error")
+		}
+	})
+
+	t.Run("mid-record cut, count unknown", func(t *testing.T) {
+		raw := append([]byte(nil), valid[:headerSize+recordSize+9]...)
+		binary.LittleEndian.PutUint64(raw[8:], 0)
+		r, err := NewReader(bytes.NewReader(raw))
+		if err != nil {
+			t.Fatal(err)
+		}
+		Replay(r, isa.NullSink{})
+		if r.Err() == nil {
+			t.Fatal("partial record reported no error")
+		}
+	})
+
+	t.Run("record-boundary EOF, count unknown", func(t *testing.T) {
+		raw := append([]byte(nil), valid[:headerSize+2*recordSize]...)
+		binary.LittleEndian.PutUint64(raw[8:], 0)
+		r, err := NewReader(bytes.NewReader(raw))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n := Replay(r, isa.NullSink{}); n != 2 {
+			t.Fatalf("replayed %d records", n)
+		}
+		if err := r.Err(); err != nil {
+			t.Fatalf("clean EOF classified as error: %v", err)
+		}
+	})
+}

@@ -123,11 +123,14 @@ func (t *Writer) Close() error {
 	return nil
 }
 
-// Reader decodes a trace; it implements isa.Stream.
+// Reader decodes a trace; it implements isa.Stream. Next returns false at
+// the end of the stream OR on a decode failure — consult Err afterwards to
+// distinguish a clean end from truncation or I/O trouble.
 type Reader struct {
 	r     *bufio.Reader
 	count uint64 // 0 = unknown, read to EOF
 	read  uint64
+	err   error
 	buf   [recordSize]byte
 }
 
@@ -152,10 +155,23 @@ func (t *Reader) Count() uint64 { return t.count }
 
 // Next implements isa.Stream.
 func (t *Reader) Next(out *isa.Inst) bool {
+	if t.err != nil {
+		return false
+	}
 	if t.count != 0 && t.read >= t.count {
 		return false
 	}
 	if _, err := io.ReadFull(t.r, t.buf[:]); err != nil {
+		switch {
+		case err == io.EOF && t.count == 0:
+			// Headerless count: EOF on a record boundary is the clean end.
+		case err == io.EOF:
+			t.err = fmt.Errorf("trace: truncated: header promises %d records, stream ends after %d", t.count, t.read)
+		case err == io.ErrUnexpectedEOF:
+			t.err = fmt.Errorf("trace: truncated record %d: %w", t.read, err)
+		default:
+			t.err = fmt.Errorf("trace: read record %d: %w", t.read, err)
+		}
 		return false
 	}
 	b := t.buf[:]
@@ -180,6 +196,10 @@ func (t *Reader) Next(out *isa.Inst) bool {
 	t.read++
 	return true
 }
+
+// Err reports why Next stopped: nil after a clean end of stream, otherwise
+// the truncation or I/O error. Valid once Next has returned false.
+func (t *Reader) Err() error { return t.err }
 
 // Replay feeds every instruction of the stream into sink and returns how
 // many were delivered.

@@ -1,0 +1,394 @@
+package tracecheck_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"aos"
+	"aos/internal/core"
+	"aos/internal/instrument"
+	"aos/internal/isa"
+	"aos/internal/pa"
+	"aos/internal/tracecheck"
+)
+
+// capture records a copy of every emitted instruction.
+type capture struct{ insts []isa.Inst }
+
+func (c *capture) Emit(in *isa.Inst) { c.insts = append(c.insts, *in) }
+
+// replay feeds a recorded stream through a fresh checker.
+func replay(t *testing.T, scheme instrument.Scheme, insts []isa.Inst) *tracecheck.Checker {
+	t.Helper()
+	c := tracecheck.New(scheme)
+	for i := range insts {
+		c.Emit(&insts[i])
+	}
+	c.Finish()
+	return c
+}
+
+// rules collects the distinct rule IDs a checker recorded.
+func rules(c *tracecheck.Checker) map[string]int {
+	m := map[string]int{}
+	for _, v := range c.Violations() {
+		m[v.Rule]++
+	}
+	return m
+}
+
+// wantRule asserts the checker recorded at least one violation under the
+// given rule, and none under any other rule unless allowCascade is set
+// (mutations legitimately break downstream invariants too).
+func wantRule(t *testing.T, c *tracecheck.Checker, rule string, allowCascade bool) {
+	t.Helper()
+	got := rules(c)
+	if got[rule] == 0 {
+		t.Fatalf("expected a %s violation, got %v\nreport:\n%s",
+			rule, got, (&tracecheck.Error{Violations: c.Violations(), Total: c.Total()}).Report())
+	}
+	if !allowCascade && len(got) > 1 {
+		t.Fatalf("expected only %s violations, got %v", rule, got)
+	}
+}
+
+// aosStream runs a small deterministic AOS program on the real machine and
+// returns its recorded stream: three mallocs, accesses, a call/ret pair,
+// pointer arithmetic, and three frees.
+func aosStream(t *testing.T, scheme instrument.Scheme) []isa.Inst {
+	t.Helper()
+	m, err := core.New(core.Config{Scheme: scheme})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cap := &capture{}
+	m.SetSink(cap)
+	var ptrs []core.Ptr
+	for _, size := range []uint64{32, 64, 4096} {
+		p, err := m.Malloc(size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ptrs = append(ptrs, p)
+	}
+	for _, p := range ptrs {
+		if err := m.Load(p, 8, core.AccessOpts{}); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Store(p, 16, core.AccessOpts{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.Call()
+	m.Compute(4, core.DepChain)
+	m.Ret()
+	q := m.PointerArith(ptrs[2], 128)
+	if err := m.Load(q, 0, core.AccessOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range ptrs {
+		if err := m.Free(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return cap.insts
+}
+
+// TestCleanMachineStreams verifies the real functional machine satisfies
+// the protocol under every scheme.
+func TestCleanMachineStreams(t *testing.T) {
+	for _, s := range instrument.Schemes() {
+		s := s
+		t.Run(s.String(), func(t *testing.T) {
+			c := replay(t, s, aosStream(t, s))
+			if c.Total() != 0 {
+				t.Fatalf("clean %s stream flagged:\n%s", s,
+					(&tracecheck.Error{Violations: c.Violations(), Total: c.Total()}).Report())
+			}
+			if err := c.Err(); err != nil {
+				t.Fatalf("Err() = %v on a clean stream", err)
+			}
+		})
+	}
+}
+
+// TestMutationDroppedBndstr is the acceptance-criteria mutation: deleting
+// the first bndstr from a valid AOS stream must be caught as a
+// pacma-pairing violation.
+func TestMutationDroppedBndstr(t *testing.T) {
+	insts := aosStream(t, instrument.AOS)
+	mutated := insts[:0:0]
+	dropped := false
+	for _, in := range insts {
+		if !dropped && in.Op == isa.OpBndstr {
+			dropped = true
+			continue
+		}
+		mutated = append(mutated, in)
+	}
+	if !dropped {
+		t.Fatal("no bndstr in the AOS stream")
+	}
+	c := replay(t, instrument.AOS, mutated)
+	wantRule(t, c, tracecheck.RulePacmaBndstr, true)
+}
+
+// TestMutationDroppedXpacm: deleting the xpacm after a successful bndclr
+// breaks the free protocol.
+func TestMutationDroppedXpacm(t *testing.T) {
+	insts := aosStream(t, instrument.AOS)
+	mutated := insts[:0:0]
+	dropped := false
+	for i, in := range insts {
+		if !dropped && in.Op == isa.OpXpacm && i > 0 && insts[i-1].Op == isa.OpBndclr {
+			dropped = true
+			continue
+		}
+		mutated = append(mutated, in)
+	}
+	if !dropped {
+		t.Fatal("no bndclr-adjacent xpacm in the AOS stream")
+	}
+	c := replay(t, instrument.AOS, mutated)
+	wantRule(t, c, tracecheck.RuleFreeProtocol, true)
+}
+
+// TestMutationDroppedResign: deleting the re-signing pacma after a free
+// leaves the temporal-safety lock missing; the next allocation's pacma (or
+// the stream end) must expose it.
+func TestMutationDroppedResign(t *testing.T) {
+	insts := aosStream(t, instrument.AOS)
+	// The re-signing pacma is the pacma not followed by a bndstr.
+	mutated := insts[:0:0]
+	dropped := false
+	for i, in := range insts {
+		if !dropped && in.Op == isa.OpPacma &&
+			(i+1 >= len(insts) || insts[i+1].Op != isa.OpBndstr) {
+			dropped = true
+			continue
+		}
+		mutated = append(mutated, in)
+	}
+	if !dropped {
+		t.Fatal("no re-signing pacma in the AOS stream")
+	}
+	c := replay(t, instrument.AOS, mutated)
+	got := rules(c)
+	if got[tracecheck.RuleFreeProtocol] == 0 && got[tracecheck.RuleStreamEnd] == 0 {
+		t.Fatalf("dropped re-sign not caught: %v", got)
+	}
+}
+
+// TestOpWhitelist: a Watchdog stream must never contain pacma; a Baseline
+// stream must not contain Watchdog micro-ops.
+func TestOpWhitelist(t *testing.T) {
+	c := tracecheck.New(instrument.Watchdog)
+	c.Emit(&isa.Inst{Op: isa.OpPacma, Addr: pa.Compose(0x1000, 7, 1),
+		Dest: isa.RegNone, Src1: isa.RegNone, Src2: isa.RegNone})
+	got := rules(c)
+	if got[tracecheck.RuleOpWhitelist] == 0 {
+		t.Fatalf("pacma in a Watchdog stream not flagged: %v", got)
+	}
+
+	c = tracecheck.New(instrument.Baseline)
+	c.Emit(&isa.Inst{Op: isa.OpWDCheck, Dest: isa.RegNone, Src1: isa.RegNone, Src2: isa.RegNone})
+	if rules(c)[tracecheck.RuleOpWhitelist] == 0 {
+		t.Fatal("wdcheck in a Baseline stream not flagged")
+	}
+
+	// An op byte outside the ISA entirely (corrupt trace).
+	c = tracecheck.New(instrument.AOS)
+	c.Emit(&isa.Inst{Op: isa.Op(200), Dest: isa.RegNone, Src1: isa.RegNone, Src2: isa.RegNone})
+	if rules(c)[tracecheck.RuleOpWhitelist] == 0 {
+		t.Fatal("out-of-ISA op byte not flagged")
+	}
+}
+
+// Hand-crafted geometry for synthetic streams.
+const (
+	synthBase = uint64(0x7000_0000)
+	synthVA   = uint64(0x2000_0000_0000)
+)
+
+// synthAlloc returns a valid pacma+bndstr pair for a 64-byte chunk.
+func synthAlloc(pac uint16, way int8, assoc uint8) [2]isa.Inst {
+	addr := pa.Compose(synthVA, pac, 2)
+	row := synthBase + uint64(pac)<<6*uint64(assoc)
+	_ = row
+	return [2]isa.Inst{
+		{Op: isa.OpPacma, Addr: addr, Size: 64, Dest: 1, Src1: isa.RegNone, Src2: isa.RegNone},
+		{Op: isa.OpBndstr, Addr: addr, Size: 64, Signed: true, PAC: pac, AHC: 2,
+			HomeWay: way, Assoc: assoc, RowAddr: rowAddr(pac, assoc),
+			Dest: isa.RegNone, Src1: 1, Src2: isa.RegNone},
+	}
+}
+
+// rowAddr mirrors Eq. 1+2 for the synthetic table base.
+func rowAddr(pac uint16, assoc uint8) uint64 {
+	shift := uint(6)
+	for a := assoc; a > 1; a >>= 1 {
+		shift++
+	}
+	return synthBase + uint64(pac)<<shift
+}
+
+func TestUseAfterClear(t *testing.T) {
+	pair := synthAlloc(7, 0, 1)
+	addr := pair[0].Addr
+	insts := []isa.Inst{
+		pair[0], pair[1],
+		// bndclr + xpacm + re-sign: a complete, legal free.
+		{Op: isa.OpBndclr, Addr: addr, Signed: true, PAC: 7, AHC: 2,
+			HomeWay: 0, Assoc: 1, RowAddr: rowAddr(7, 1), Dest: isa.RegNone, Src1: 1, Src2: isa.RegNone},
+		{Op: isa.OpXpacm, Dest: 1, Src1: 1, Src2: isa.RegNone},
+		{Op: isa.OpPacma, Addr: pa.Compose(synthVA, 3, 3), Dest: 1, Src1: 1, Src2: isa.RegNone},
+		// The machine then claims a signed access still hits way 0: UAF
+		// missed by the simulated hardware.
+		{Op: isa.OpLoad, Addr: addr, Size: 8, Signed: true, PAC: 7, AHC: 2,
+			HomeWay: 0, Assoc: 1, RowAddr: rowAddr(7, 1), Dest: 2, Src1: isa.RegNone, Src2: isa.RegNone},
+	}
+	// The re-sign pacma must target the freed VA; Compose with pac 3 above
+	// deliberately keeps the same VA (the lock re-signs the same chunk).
+	insts[4].Addr = pa.Compose(synthVA, 3, 3)
+	c := replay(t, instrument.AOS, insts)
+	wantRule(t, c, tracecheck.RuleUseAfterClear, true)
+}
+
+func TestSignedAccessWithoutBounds(t *testing.T) {
+	addr := pa.Compose(synthVA, 9, 1)
+	c := replay(t, instrument.AOS, []isa.Inst{
+		{Op: isa.OpLoad, Addr: addr, Size: 8, Signed: true, PAC: 9, AHC: 1,
+			HomeWay: 2, Assoc: 4, RowAddr: rowAddr(9, 4), Dest: 1, Src1: isa.RegNone, Src2: isa.RegNone},
+	})
+	wantRule(t, c, tracecheck.RuleSignedAccess, true)
+}
+
+func TestWayRange(t *testing.T) {
+	pair := synthAlloc(5, 3, 2) // way 3 in a 2-way row
+	c := replay(t, instrument.AOS, pair[:])
+	wantRule(t, c, tracecheck.RuleWayRange, true)
+}
+
+func TestAssocShrink(t *testing.T) {
+	a := synthAlloc(1, 0, 4)
+	b := synthAlloc(2, 0, 2) // table shrank: impossible
+	c := replay(t, instrument.AOS, []isa.Inst{a[0], a[1], b[0], b[1]})
+	if rules(c)[tracecheck.RuleAssoc] == 0 {
+		t.Fatalf("assoc shrink not flagged: %v", rules(c))
+	}
+}
+
+func TestAssocGrowthNeedsResizeFlag(t *testing.T) {
+	a := synthAlloc(1, 0, 1)
+	b := synthAlloc(2, 1, 2) // grew 1->2 without Resize
+	c := replay(t, instrument.AOS, []isa.Inst{a[0], a[1], b[0], b[1]})
+	if rules(c)[tracecheck.RuleAssoc] == 0 {
+		t.Fatalf("unflagged resize not caught: %v", rules(c))
+	}
+	// With the flag set the growth is legal.
+	b[1].Resize = true
+	c = replay(t, instrument.AOS, []isa.Inst{a[0], a[1], b[0], b[1]})
+	if c.Total() != 0 {
+		t.Fatalf("flagged resize wrongly rejected:\n%s",
+			(&tracecheck.Error{Violations: c.Violations(), Total: c.Total()}).Report())
+	}
+}
+
+func TestPACFieldMismatch(t *testing.T) {
+	pair := synthAlloc(4, 0, 1)
+	pair[1].PAC = 5 // bndstr metadata disagrees with the address bits
+	c := replay(t, instrument.AOS, pair[:])
+	got := rules(c)
+	if got[tracecheck.RulePACFields] == 0 && got[tracecheck.RuleBndstr] == 0 {
+		t.Fatalf("PAC field mismatch not flagged: %v", got)
+	}
+}
+
+func TestRegUseBeforeDef(t *testing.T) {
+	c := replay(t, instrument.Baseline, []isa.Inst{
+		{Op: isa.OpALU, Dest: 3, Src1: 17, Src2: isa.RegNone}, // r17 never defined
+	})
+	wantRule(t, c, tracecheck.RuleRegDef, true)
+	// Register 0 is the machine's initial/zero register: always legal.
+	c = replay(t, instrument.Baseline, []isa.Inst{
+		{Op: isa.OpALU, Dest: 3, Src1: 0, Src2: isa.RegNone},
+	})
+	if c.Total() != 0 {
+		t.Fatal("register 0 wrongly flagged as undefined")
+	}
+}
+
+func TestCallRetNesting(t *testing.T) {
+	c := replay(t, instrument.Baseline, []isa.Inst{
+		{Op: isa.OpRet, Dest: isa.RegNone, Src1: 0, Src2: isa.RegNone},
+	})
+	wantRule(t, c, tracecheck.RuleCallRet, true)
+}
+
+func TestRASPairing(t *testing.T) {
+	c := replay(t, instrument.PA, []isa.Inst{
+		{Op: isa.OpCall, Dest: isa.RegNone, Src1: isa.RegNone, Src2: isa.RegNone},
+	})
+	got := rules(c)
+	if got[tracecheck.RuleRASPairing] == 0 {
+		t.Fatalf("unpaired call under PA not flagged: %v", got)
+	}
+}
+
+func TestStreamEndMidProtocol(t *testing.T) {
+	addr := pa.Compose(synthVA, 2, 1)
+	c := replay(t, instrument.AOS, []isa.Inst{
+		{Op: isa.OpPacma, Addr: addr, Size: 32, Dest: 1, Src1: isa.RegNone, Src2: isa.RegNone},
+	})
+	wantRule(t, c, tracecheck.RuleStreamEnd, true)
+}
+
+// TestViolationCap: the checker keeps counting past the recording cap.
+func TestViolationCap(t *testing.T) {
+	c := tracecheck.New(instrument.Baseline)
+	c.SetMaxViolations(3)
+	for i := 0; i < 10; i++ {
+		c.Emit(&isa.Inst{Op: isa.OpWDCheck, Dest: isa.RegNone, Src1: isa.RegNone, Src2: isa.RegNone})
+	}
+	if len(c.Violations()) != 3 || c.Total() != 10 {
+		t.Fatalf("cap: recorded %d, total %d; want 3, 10", len(c.Violations()), c.Total())
+	}
+	err := c.Err()
+	if err == nil || !strings.Contains(err.Error(), "10 protocol violation") {
+		t.Fatalf("Err() = %v", err)
+	}
+}
+
+// TestSchemeWorkloadSweep runs every scheme over every standard workload
+// with the sanitizer teed in: the full functional machine must satisfy the
+// protocol everywhere, not just in toy programs.
+func TestSchemeWorkloadSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep is the long e2e test")
+	}
+	profiles := append(aos.SPECWorkloads(), aos.RealWorldWorkloads()...)
+	for _, s := range aos.Schemes() {
+		for _, w := range profiles {
+			s, w := s, w
+			t.Run(fmt.Sprintf("%s/%s", s, w.Name), func(t *testing.T) {
+				t.Parallel()
+				sys, err := aos.NewSystem(aos.Options{Scheme: s, Seed: 1})
+				if err != nil {
+					t.Fatal(err)
+				}
+				chk := tracecheck.New(s)
+				sys.TeeSink(chk)
+				p := w.Clone()
+				p.Instructions = 12_000
+				if err := p.Run(sys.Machine(), 1); err != nil {
+					t.Fatal(err)
+				}
+				chk.Finish()
+				if err := chk.Err(); err != nil {
+					t.Fatalf("%v\n%s", err, err.(*tracecheck.Error).Report())
+				}
+			})
+		}
+	}
+}
