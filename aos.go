@@ -20,6 +20,7 @@
 package aos
 
 import (
+	"context"
 	"fmt"
 
 	"aos/internal/core"
@@ -271,6 +272,15 @@ func (s *System) Finalize() Result {
 // Run executes one workload profile under the given options and returns
 // the timing result.
 func Run(w *Workload, opts Options) (Result, error) {
+	return RunContext(context.Background(), w, opts)
+}
+
+// RunContext is Run with cooperative cancellation: the workload emission
+// loop polls ctx mid-run, so a deadline or client abandon aborts the
+// simulation within a few thousand emitted instructions. An aborted run
+// returns ctx's error (wrapped with the workload identity); its partial
+// statistics are discarded.
+func RunContext(ctx context.Context, w *Workload, opts Options) (Result, error) {
 	sys, err := NewSystem(opts)
 	if err != nil {
 		return Result{}, err
@@ -284,7 +294,7 @@ func Run(w *Workload, opts Options) (Result, error) {
 	if opts.NoWarmup {
 		warmup, onWarm = 0, nil
 	}
-	if err := p.RunWarm(sys.machine, opts.Seed, warmup, onWarm); err != nil {
+	if err := p.RunCtx(ctx, sys.machine, opts.Seed, warmup, onWarm); err != nil {
 		return Result{}, fmt.Errorf("aos: workload %s under %v: %w", p.Name, opts.Scheme, err)
 	}
 	res := sys.Finalize()

@@ -19,6 +19,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -40,9 +41,16 @@ func main() {
 	noAnsi := flag.Bool("no-ansi", false, "plain newline-delimited progress even on a terminal")
 	csv := flag.Bool("csv", false, "emit fig14/fig18 as CSV for plotting")
 	sanitize := flag.Bool("sanitize", false, "tee every run through the tracecheck protocol verifier; any violation fails the experiment")
+	timeout := flag.Duration("timeout", 0, "abort in-flight experiments after this duration (0 = no limit); canceled jobs fail with context errors")
 	flag.Parse()
 
-	o := experiments.Options{Instructions: *insts, Seed: *seed, Workers: *workers, Sanitize: *sanitize}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	o := experiments.Options{Instructions: *insts, Seed: *seed, Workers: *workers, Sanitize: *sanitize, Context: ctx}
 	ansi := !*noAnsi && stderrIsTerminal()
 	if !*quiet {
 		o.Progress = func(ev experiments.Event) {

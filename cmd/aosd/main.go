@@ -1,0 +1,100 @@
+// Command aosd serves the AOS simulator as a long-lived JSON HTTP
+// service with job scheduling, content-addressed result caching and
+// Prometheus metrics.
+//
+// Usage:
+//
+//	aosd -addr :8080                       # serve with defaults
+//	aosd -addr :8080 -j 4 -queue 128       # 4 sim workers, 128-deep queue
+//	aosd -cachedir /var/cache/aosd         # spill results to disk
+//	aosd -job-timeout 2m -max-insts 5e6    # interactive-scale guard rails
+//
+// Because a simulation's result is a pure function of its spec
+// (benchmark, scheme, instruction budget, seed, sanitize), aosd caches
+// results under the SHA-256 of the spec's canonical JSON: resubmitting an
+// identical spec returns the exact cached bytes without re-simulating.
+// When the queue is full, submissions get HTTP 429 with Retry-After
+// rather than unbounded buffering. SIGINT/SIGTERM drains in-flight jobs
+// before exit (bounded by -drain).
+//
+// See EXPERIMENTS.md for curl recipes (including composing Fig 14 from
+// cached cells) and DESIGN.md §9 for the architecture.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"aos/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
+	workers := flag.Int("j", 0, "simulation workers (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 64, "pending-job queue depth (full queue -> HTTP 429)")
+	cacheBytes := flag.Int64("cachebytes", 64<<20, "in-memory result-cache budget in bytes")
+	cacheDir := flag.String("cachedir", "", "spill cached results to this directory (survives restarts)")
+	jobTimeout := flag.Duration("job-timeout", 0, "per-job wall-time limit (0 = none)")
+	maxInsts := flag.Uint64("max-insts", 0, "reject specs above this instruction budget (0 = none)")
+	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown budget before canceling jobs")
+	flag.Parse()
+
+	if err := run(*addr, service.Config{
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		CacheBytes:      *cacheBytes,
+		CacheDir:        *cacheDir,
+		JobTimeout:      *jobTimeout,
+		MaxInstructions: *maxInsts,
+	}, *drain); err != nil {
+		fmt.Fprintln(os.Stderr, "aosd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, cfg service.Config, drain time.Duration) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	// BaseContext stays Background: a signal must drain jobs gracefully,
+	// not cancel them outright — svc.Close force-cancels only once the
+	// drain budget expires.
+
+	svc, err := service.New(cfg)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Addr: addr, Handler: svc.Handler()}
+
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "aosd: serving on %s\n", addr)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: stop accepting connections, let queued and running
+	// jobs finish, then force-cancel whatever remains past the budget.
+	fmt.Fprintln(os.Stderr, "aosd: shutting down; draining jobs")
+	stop() // a second signal now kills the process immediately
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintln(os.Stderr, "aosd: http shutdown:", err)
+	}
+	svc.Close(shutdownCtx)
+	<-errc // ListenAndServe has returned ErrServerClosed
+	fmt.Fprintln(os.Stderr, "aosd: drained")
+	return nil
+}

@@ -44,7 +44,7 @@ func ResizeStudy(o Options) (*ResizeResult, error) {
 			Run:   func() (runSummary, error) { return runJob(p, instrument.AOS, aosVariant{}, o) },
 		}
 	}
-	results := runner.Run(jobs, o.runnerOptions())
+	results := runner.Run(o.ctx(), jobs, o.runnerOptions())
 	if err := runner.Errs(results); err != nil {
 		return nil, err
 	}
@@ -185,7 +185,7 @@ func Ablations(o Options) (*AblationResult, error) {
 			})
 		}
 	}
-	results := runner.Run(jobs, o.runnerOptions())
+	results := runner.Run(o.ctx(), jobs, o.runnerOptions())
 	if err := runner.Errs(results); err != nil {
 		return nil, err
 	}

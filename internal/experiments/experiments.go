@@ -12,6 +12,7 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -55,6 +56,19 @@ type Options struct {
 	// Sanitize tees every job's instruction stream through the tracecheck
 	// protocol verifier and fails the job on any violation.
 	Sanitize bool
+	// Context, when non-nil, cancels in-flight experiments: pool workers
+	// observe it between jobs, and each job's emission loop polls it
+	// mid-run, so a timeout or client abandon stops the whole matrix
+	// promptly. Canceled jobs surface context errors in the usual per-job
+	// error aggregation. Nil means context.Background().
+	Context context.Context
+}
+
+func (o Options) ctx() context.Context {
+	if o.Context == nil {
+		return context.Background()
+	}
+	return o.Context
 }
 
 func (o Options) seed() int64 {
@@ -143,7 +157,7 @@ func runOne(p *workload.Profile, scheme instrument.Scheme, v aosVariant, o Optio
 	// Warm the caches, predictor and BWB over half a budget, then measure.
 	var warmCounts isa.Counts
 	warmup := prof.Instructions / 2
-	if err := prof.RunWarm(m, o.seed(), warmup, func() {
+	if err := prof.RunCtx(o.ctx(), m, o.seed(), warmup, func() {
 		c.ResetStats()
 		warmCounts = m.Counts()
 	}); err != nil {
@@ -227,6 +241,18 @@ func (m *Matrix) run(name string, s instrument.Scheme) (runSummary, error) {
 	return r, nil
 }
 
+// MatrixBenchmarks returns the evaluation matrix's benchmark names in
+// matrix order (the paper's SPEC ordering). Services composing figures
+// cell-by-cell iterate this list rather than re-deriving it.
+func MatrixBenchmarks() []string {
+	profiles := workload.SPEC()
+	names := make([]string, len(profiles))
+	for i, p := range profiles {
+		names[i] = p.Name
+	}
+	return names
+}
+
 // RunMatrix executes the full evaluation matrix over the worker pool.
 // On job failures it returns the partial matrix alongside the joined
 // error, so callers can still inspect (or render) the surviving runs.
@@ -246,7 +272,7 @@ func RunMatrix(o Options) (*Matrix, error) {
 			})
 		}
 	}
-	results := runner.Run(jobs, o.runnerOptions())
+	results := runner.Run(o.ctx(), jobs, o.runnerOptions())
 
 	m := &Matrix{
 		Runs:  make(map[string]map[instrument.Scheme]runSummary),
@@ -399,7 +425,7 @@ func Fig15(o Options) (*Fig15Result, error) {
 			addJob(p, instrument.AOS, string(v), variants[v])
 		}
 	}
-	results := runner.Run(jobs, o.runnerOptions())
+	results := runner.Run(o.ctx(), jobs, o.runnerOptions())
 	if err := runner.Errs(results); err != nil {
 		return nil, err
 	}
@@ -732,7 +758,7 @@ func MemProfiles(set string, scale uint64, o Options) ([]workload.MemoryProfileR
 			},
 		}
 	}
-	results := runner.Run(jobs, o.runnerOptions())
+	results := runner.Run(o.ctx(), jobs, o.runnerOptions())
 	if err := runner.Errs(results); err != nil {
 		return nil, err
 	}

@@ -1,10 +1,15 @@
 package experiments
 
 import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
+	"fmt"
 	"time"
 
 	"aos/internal/instrument"
+	"aos/internal/workload"
 )
 
 // RunDoc is one (benchmark, scheme) cell of the machine-readable matrix.
@@ -106,4 +111,138 @@ func MatrixDocument(m *Matrix, o Options, wall time.Duration) (*MatrixDoc, error
 // sorted keys, so repeat runs differ only in the wall-time fields).
 func (d *MatrixDoc) JSON() ([]byte, error) {
 	return json.MarshalIndent(d, "", "  ")
+}
+
+// SimSpec is the content-addressable identity of one simulation cell: a
+// benchmark run under a scheme with an explicit budget, seed and sanitizer
+// setting. Runs are pure functions of this tuple (DESIGN §4), which is
+// what makes a content-addressed result cache sound: two processes that
+// agree on the canonical encoding of a SimSpec agree on the result bytes.
+type SimSpec struct {
+	// Benchmark names a workload profile (Table II/III).
+	Benchmark string `json:"benchmark"`
+	// Scheme is the protection scheme's canonical name (instrument
+	// package spelling: Baseline, Watchdog, PA, AOS, PA+AOS).
+	Scheme string `json:"scheme"`
+	// Instructions is the program-instruction budget. Zero normalizes to
+	// the profile's default budget, so an explicit default and an elided
+	// one address the same cache entry.
+	Instructions uint64 `json:"instructions"`
+	// Seed drives the deterministic workload generator (0 normalizes to 1).
+	Seed int64 `json:"seed"`
+	// Sanitize tees the run through the tracecheck protocol verifier.
+	Sanitize bool `json:"sanitize"`
+}
+
+// Normalize validates the spec and resolves its defaults (profile budget,
+// seed 1), returning the canonical form whose Hash identifies the cell.
+func (s SimSpec) Normalize() (SimSpec, error) {
+	p, ok := workload.ByName(s.Benchmark)
+	if !ok {
+		return SimSpec{}, fmt.Errorf("spec: unknown benchmark %q", s.Benchmark)
+	}
+	scheme, err := instrument.ParseScheme(s.Scheme)
+	if err != nil {
+		return SimSpec{}, fmt.Errorf("spec: %w", err)
+	}
+	s.Scheme = scheme.String()
+	if s.Instructions == 0 {
+		s.Instructions = p.Instructions
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	return s, nil
+}
+
+// Canonical returns the spec's canonical JSON encoding: keys sorted,
+// no insignificant whitespace, and only string/integer/bool values (no
+// floats, so no formatting drift across architectures or processes).
+// The encoding is the preimage of Hash and is pinned by TestSimSpecCanonical;
+// changing it invalidates every existing cache entry.
+func (s SimSpec) Canonical() []byte {
+	// encoding/json marshals map keys in sorted order; every value below
+	// is an exact type (string, uint64, int64, bool), so the byte stream
+	// is a pure function of the field values.
+	b, err := json.Marshal(map[string]any{
+		"benchmark":    s.Benchmark,
+		"instructions": s.Instructions,
+		"sanitize":     s.Sanitize,
+		"scheme":       s.Scheme,
+		"seed":         s.Seed,
+	})
+	if err != nil {
+		// Unreachable: the value set above cannot fail to marshal.
+		panic(err)
+	}
+	return b
+}
+
+// Hash is the spec's content address: hex SHA-256 of Canonical. Callers
+// should hash the Normalized spec so equivalent specs share an address.
+func (s SimSpec) Hash() string {
+	sum := sha256.Sum256(s.Canonical())
+	return hex.EncodeToString(sum[:])
+}
+
+// SimResult is the machine-readable outcome of one simulation cell — the
+// value stored under SimSpec.Hash in a result cache. Everything a matrix
+// or figure composition needs from a cell (cycles for Fig 14, traffic for
+// Fig 18) is here, and the encoding is deterministic: a struct marshals
+// in declaration order and the only floats are derived once from integer
+// counters, so re-running the same spec reproduces identical bytes.
+type SimResult struct {
+	Spec         SimSpec `json:"spec"`
+	Cycles       uint64  `json:"cycles"`
+	Instructions uint64  `json:"instructions"`
+	IPC          float64 `json:"ipc"`
+	TrafficBytes uint64  `json:"traffic_bytes"`
+	HeapAllocs   uint64  `json:"heap_allocs"`
+	HeapFrees    uint64  `json:"heap_frees"`
+	HeapMaxLive  uint64  `json:"heap_max_live"`
+	HBTResizes   int     `json:"hbt_resizes"`
+	Exceptions   int     `json:"exceptions"`
+}
+
+// JSON renders the result deterministically (the cached representation).
+func (r *SimResult) JSON() ([]byte, error) { return json.Marshal(r) }
+
+// RunSpec executes one simulation cell. The spec is normalized first, so
+// callers may pass defaults; ctx cancels mid-run (the workload emission
+// loop polls it). The result is a pure function of the normalized spec.
+func RunSpec(ctx context.Context, spec SimSpec) (*SimResult, error) {
+	spec, err := spec.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	p, ok := workload.ByName(spec.Benchmark)
+	if !ok {
+		return nil, fmt.Errorf("spec: unknown benchmark %q", spec.Benchmark)
+	}
+	scheme, err := instrument.ParseScheme(spec.Scheme)
+	if err != nil {
+		return nil, err
+	}
+	o := Options{
+		Instructions: spec.Instructions,
+		Seed:         spec.Seed,
+		Sanitize:     spec.Sanitize,
+		Context:      ctx,
+	}
+	sum, err := runOne(p, scheme, aosVariant{}, o)
+	if err != nil {
+		return nil, fmt.Errorf("spec %s/%s: %w", spec.Benchmark, spec.Scheme, err)
+	}
+	return &SimResult{
+		Spec:         spec,
+		Cycles:       sum.CPU.Cycles,
+		Instructions: sum.CPU.Insts,
+		IPC:          sum.CPU.IPC(),
+		TrafficBytes: sum.CPU.Traffic.Total(),
+		HeapAllocs:   sum.Heap.Allocs,
+		HeapFrees:    sum.Heap.Frees,
+		HeapMaxLive:  sum.Heap.MaxLive,
+		HBTResizes:   sum.Resizes,
+		Exceptions:   sum.Excs,
+	}, nil
 }

@@ -180,10 +180,13 @@ func mapIndexOrBlank(info *types.Info, e ast.Expr) bool {
 
 // detrandAllowedPkgs may use wall-clock time and math/rand: the runner
 // reports wall durations, the workload generator is the one seeded
-// randomness source.
+// randomness source, and the serving layer measures job wall time for its
+// metrics histogram (wall time is operational metadata, never part of a
+// simulation result).
 var detrandAllowedPkgs = map[string]bool{
 	"aos/internal/runner":   true,
 	"aos/internal/workload": true,
+	"aos/internal/service":  true,
 }
 
 // DetRand flags nondeterminism sources outside the allowlisted packages:

@@ -1,0 +1,117 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Submit failure modes. ErrQueueFull is the pool's backpressure signal:
+// callers (e.g. the aosd service) translate it into an explicit retry
+// hint instead of buffering unboundedly.
+var (
+	ErrQueueFull  = errors.New("runner: queue full")
+	ErrPoolClosed = errors.New("runner: pool closed")
+)
+
+// Task is one unit of daemon work for a persistent Pool. Unlike the batch
+// Job, a Task carries its own context — the pool passes it to Run so the
+// task body can observe per-task deadlines and client-abandon cancellation.
+// Bookkeeping (status, results) lives in the closure, not the pool.
+type Task struct {
+	// Label identifies the task (diagnostics only).
+	Label string
+	// Ctx is the task's context; nil means context.Background(). A task
+	// whose context is already done is still handed to Run — the body
+	// decides how to record the cancellation.
+	Ctx context.Context
+	// Run is the work. It must be self-contained.
+	Run func(ctx context.Context)
+}
+
+// Pool is the persistent counterpart of Run: a fixed set of workers
+// draining a bounded queue of Tasks for the lifetime of a daemon. Submit
+// never blocks — a full queue is reported as ErrQueueFull so callers can
+// shed load explicitly.
+type Pool struct {
+	queue    chan Task
+	wg       sync.WaitGroup
+	inFlight atomic.Int64
+
+	mu     sync.Mutex // guards closed vs. Submit's queue send
+	closed bool
+}
+
+// NewPool starts workers goroutines (<= 0 uses runtime.GOMAXPROCS) behind
+// a queue holding up to queueDepth pending tasks (minimum 1).
+func NewPool(workers, queueDepth int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if queueDepth < 1 {
+		queueDepth = 1
+	}
+	p := &Pool{queue: make(chan Task, queueDepth)}
+	for w := 0; w < workers; w++ {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			for t := range p.queue {
+				ctx := t.Ctx
+				if ctx == nil {
+					ctx = context.Background()
+				}
+				p.inFlight.Add(1)
+				runTaskGuarded(t.Run, ctx)
+				p.inFlight.Add(-1)
+			}
+		}()
+	}
+	return p
+}
+
+// runTaskGuarded invokes fn, swallowing a panic so one broken task cannot
+// take down a pool worker (the task body is responsible for recording its
+// own failure before panicking can matter).
+func runTaskGuarded(fn func(context.Context), ctx context.Context) {
+	defer func() { _ = recover() }()
+	fn(ctx)
+}
+
+// Submit enqueues a task without blocking. It returns ErrQueueFull when
+// the pending queue is at capacity and ErrPoolClosed after Close.
+func (p *Pool) Submit(t Task) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return ErrPoolClosed
+	}
+	select {
+	case p.queue <- t:
+		return nil
+	default:
+		return ErrQueueFull
+	}
+}
+
+// Queued returns the number of tasks waiting for a worker.
+func (p *Pool) Queued() int { return len(p.queue) }
+
+// InFlight returns the number of tasks currently executing.
+func (p *Pool) InFlight() int { return int(p.inFlight.Load()) }
+
+// Close stops accepting tasks, drains the already-queued ones and waits
+// for every worker to finish. It is idempotent. To abandon queued work
+// instead of draining it, cancel the tasks' contexts first — the task
+// bodies then observe cancellation and return quickly.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		close(p.queue)
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}

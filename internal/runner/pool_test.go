@@ -1,0 +1,176 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestRunContextCancel: once the context is canceled, not-yet-started jobs
+// complete with the context error, in job order, without running.
+func TestRunContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	started := make(chan struct{})
+	release := make(chan struct{})
+	jobs := make([]Job[int], 16)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job[int]{Label: "j", Run: func() (int, error) {
+			if i == 0 {
+				close(started)
+				<-release
+			}
+			ran.Add(1)
+			return i, nil
+		}}
+	}
+	go func() {
+		<-started
+		cancel()
+		close(release)
+	}()
+	res := Run(ctx, jobs, Options{Workers: 1})
+	if len(res) != 16 {
+		t.Fatalf("results = %d", len(res))
+	}
+	if res[0].Err != nil || res[0].Value != 0 {
+		t.Errorf("in-flight job should finish normally: %+v", res[0])
+	}
+	for i := 1; i < 16; i++ {
+		if !errors.Is(res[i].Err, context.Canceled) {
+			t.Errorf("slot %d: err = %v, want context.Canceled", i, res[i].Err)
+		}
+	}
+	if n := ran.Load(); n != 1 {
+		t.Errorf("%d jobs ran after cancel, want 1", n)
+	}
+	if err := Errs(res); !errors.Is(err, context.Canceled) {
+		t.Errorf("Errs = %v", err)
+	}
+}
+
+// TestRunNilContext: a nil context behaves like context.Background().
+func TestRunNilContext(t *testing.T) {
+	res := Run(nil, squareJobs(3), Options{Workers: 2})
+	for i, r := range res {
+		if r.Err != nil || r.Value != i*i {
+			t.Errorf("slot %d: %+v", i, r)
+		}
+	}
+}
+
+func TestPoolRunsTasks(t *testing.T) {
+	p := NewPool(2, 8)
+	defer p.Close()
+	var sum atomic.Int64
+	done := make(chan struct{}, 8)
+	for i := 1; i <= 8; i++ {
+		i := i
+		err := p.Submit(Task{Label: "t", Run: func(context.Context) {
+			sum.Add(int64(i))
+			done <- struct{}{}
+		}})
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	for i := 0; i < 8; i++ {
+		<-done
+	}
+	if sum.Load() != 36 {
+		t.Errorf("sum = %d, want 36", sum.Load())
+	}
+}
+
+// TestPoolBackpressure: a saturated queue reports ErrQueueFull instead of
+// blocking, and frees up once tasks drain.
+func TestPoolBackpressure(t *testing.T) {
+	p := NewPool(1, 2)
+	defer p.Close()
+	release := make(chan struct{})
+	started := make(chan struct{})
+	block := func(context.Context) {
+		select {
+		case started <- struct{}{}:
+		default:
+		}
+		<-release
+	}
+	if err := p.Submit(Task{Label: "running", Run: block}); err != nil {
+		t.Fatal(err)
+	}
+	<-started // worker busy; queue is empty again
+	for i := 0; i < 2; i++ {
+		if err := p.Submit(Task{Label: "queued", Run: block}); err != nil {
+			t.Fatalf("queued submit %d: %v", i, err)
+		}
+	}
+	if err := p.Submit(Task{Label: "over", Run: block}); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("overflow submit: err = %v, want ErrQueueFull", err)
+	}
+	if p.Queued() != 2 {
+		t.Errorf("Queued = %d, want 2", p.Queued())
+	}
+	close(release)
+	// Eventually capacity returns.
+	deadline := time.After(5 * time.Second)
+	for {
+		if err := p.Submit(Task{Label: "later", Run: func(context.Context) {}}); err == nil {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("queue never drained")
+		case <-time.After(time.Millisecond):
+		}
+	}
+}
+
+// TestPoolClose drains queued tasks, passes each task its context, and
+// rejects submissions afterwards.
+func TestPoolClose(t *testing.T) {
+	p := NewPool(1, 8)
+	var ran atomic.Int64
+	type key struct{}
+	ctx := context.WithValue(context.Background(), key{}, "v")
+	for i := 0; i < 5; i++ {
+		err := p.Submit(Task{Label: "t", Ctx: ctx, Run: func(c context.Context) {
+			if c.Value(key{}) != "v" {
+				t.Error("task context not propagated")
+			}
+			ran.Add(1)
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.Close()
+	if ran.Load() != 5 {
+		t.Errorf("ran = %d, want 5 (Close must drain)", ran.Load())
+	}
+	if err := p.Submit(Task{Label: "late", Run: func(context.Context) {}}); !errors.Is(err, ErrPoolClosed) {
+		t.Errorf("post-Close submit: %v", err)
+	}
+	p.Close() // idempotent
+}
+
+// TestPoolPanicGuard: a panicking task must not kill its worker.
+func TestPoolPanicGuard(t *testing.T) {
+	p := NewPool(1, 4)
+	defer p.Close()
+	if err := p.Submit(Task{Label: "boom", Run: func(context.Context) { panic("kaput") }}); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	if err := p.Submit(Task{Label: "after", Run: func(context.Context) { close(done) }}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("worker died after task panic")
+	}
+}

@@ -8,6 +8,7 @@
 package runner
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -62,10 +63,18 @@ type Result[R any] struct {
 // Run executes jobs over a bounded worker pool and returns one Result per
 // job, in job order. A failing (or panicking) job contributes an error
 // Result; it never aborts the batch, so every other job's value survives.
-func Run[R any](jobs []Job[R], o Options) []Result[R] {
+//
+// Workers observe ctx between jobs: once ctx is done, every not-yet-started
+// job completes immediately with ctx's error as its Result (still in job
+// order), while already-running jobs finish normally. A nil ctx means
+// context.Background().
+func Run[R any](ctx context.Context, jobs []Job[R], o Options) []Result[R] {
 	results := make([]Result[R], len(jobs))
 	if len(jobs) == 0 {
 		return results
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	workers := o.Workers
 	if workers <= 0 {
@@ -85,7 +94,11 @@ func Run[R any](jobs []Job[R], o Options) []Result[R] {
 			defer wg.Done()
 			for i := range idx {
 				start := time.Now()
-				v, err := runGuarded(jobs[i].Run)
+				var v R
+				err := ctx.Err()
+				if err == nil {
+					v, err = runGuarded(jobs[i].Run)
+				}
 				// Disjoint indices: no two workers write the same slot.
 				results[i] = Result[R]{Label: jobs[i].Label, Value: v, Err: err, Wall: time.Since(start)}
 				if o.OnEvent != nil {

@@ -1,6 +1,7 @@
 package runner
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"reflect"
@@ -24,8 +25,8 @@ func squareJobs(n int) []Job[int] {
 
 func TestDeterministicOrder(t *testing.T) {
 	jobs := squareJobs(50)
-	seq := Run(jobs, Options{Workers: 1})
-	par := Run(jobs, Options{Workers: 8})
+	seq := Run(context.Background(), jobs, Options{Workers: 1})
+	par := Run(context.Background(), jobs, Options{Workers: 8})
 	if len(seq) != 50 || len(par) != 50 {
 		t.Fatalf("lengths: %d, %d", len(seq), len(par))
 	}
@@ -44,7 +45,7 @@ func TestErrorCaptureKeepsOtherResults(t *testing.T) {
 	jobs := squareJobs(10)
 	jobs[3].Run = func() (int, error) { return 0, boom }
 	jobs[7].Run = func() (int, error) { panic("kaput") }
-	res := Run(jobs, Options{Workers: 4})
+	res := Run(context.Background(), jobs, Options{Workers: 4})
 	for i, r := range res {
 		switch i {
 		case 3:
@@ -87,7 +88,7 @@ func TestWorkerBound(t *testing.T) {
 			return struct{}{}, nil
 		}}
 	}
-	Run(jobs, Options{Workers: 3})
+	Run(context.Background(), jobs, Options{Workers: 3})
 	if p := peak.Load(); p > 3 {
 		t.Errorf("peak concurrency %d exceeds worker bound 3", p)
 	}
@@ -96,7 +97,7 @@ func TestWorkerBound(t *testing.T) {
 func TestProgressEvents(t *testing.T) {
 	var events []Event
 	jobs := squareJobs(12)
-	Run(jobs, Options{Workers: 5, OnEvent: func(ev Event) { events = append(events, ev) }})
+	Run(context.Background(), jobs, Options{Workers: 5, OnEvent: func(ev Event) { events = append(events, ev) }})
 	if len(events) != 12 {
 		t.Fatalf("events = %d", len(events))
 	}
@@ -111,10 +112,10 @@ func TestProgressEvents(t *testing.T) {
 }
 
 func TestEmptyAndDefaultWorkers(t *testing.T) {
-	if res := Run[int](nil, Options{}); len(res) != 0 {
+	if res := Run[int](context.Background(), nil, Options{}); len(res) != 0 {
 		t.Errorf("empty batch: %v", res)
 	}
-	res := Run(squareJobs(4), Options{}) // Workers 0 → GOMAXPROCS
+	res := Run(context.Background(), squareJobs(4), Options{}) // Workers 0 → GOMAXPROCS
 	want := []int{0, 1, 4, 9}
 	got := make([]int, len(res))
 	for i, r := range res {

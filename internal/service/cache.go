@@ -1,0 +1,166 @@
+package service
+
+import (
+	"container/list"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// CacheStats is a point-in-time snapshot of the cache counters. Hits
+// includes DiskHits (a disk hit is a miss in memory but a hit for the
+// service — the simulation is not re-run either way).
+type CacheStats struct {
+	Hits      uint64
+	DiskHits  uint64
+	Misses    uint64
+	Evictions uint64
+	Entries   int
+	Bytes     int64
+}
+
+// HitRate returns Hits/(Hits+Misses), or 0 for an untouched cache.
+func (s CacheStats) HitRate() float64 {
+	t := s.Hits + s.Misses
+	if t == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(t)
+}
+
+// Cache is the content-addressed result store: values are keyed by the
+// SHA-256 of their job spec's canonical encoding, so identical specs
+// address identical bytes. In memory it is an LRU bounded by a byte
+// budget; with a spill directory configured, every entry is also written
+// to disk, evictions keep their disk copy, and a memory miss re-promotes
+// the disk copy — results then survive both memory pressure and restarts.
+type Cache struct {
+	mu     sync.Mutex
+	budget int64
+	dir    string // "" = memory only
+
+	ll    *list.List               // front = most recently used
+	byKey map[string]*list.Element // key -> element holding *centry
+	bytes int64
+
+	hits, diskHits, misses, evictions uint64
+}
+
+type centry struct {
+	key string
+	val []byte
+}
+
+// NewCache builds a cache with the given in-memory byte budget (<= 0 uses
+// 64 MiB) and optional spill directory (created if missing).
+func NewCache(budget int64, dir string) (*Cache, error) {
+	if budget <= 0 {
+		budget = 64 << 20
+	}
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("cache: spill dir: %w", err)
+		}
+	}
+	return &Cache{
+		budget: budget,
+		dir:    dir,
+		ll:     list.New(),
+		byKey:  make(map[string]*list.Element),
+	}, nil
+}
+
+// validKey guards the disk path: keys are hex hashes, never path elements.
+func validKey(key string) bool {
+	if key == "" || strings.ContainsAny(key, "/\\.") {
+		return false
+	}
+	return filepath.Base(key) == key
+}
+
+// Get returns the cached value for key. Callers must treat the returned
+// bytes as immutable (they are shared with the cache).
+func (c *Cache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		return el.Value.(*centry).val, true
+	}
+	if c.dir != "" && validKey(key) {
+		if val, err := os.ReadFile(filepath.Join(c.dir, key)); err == nil {
+			c.hits++
+			c.diskHits++
+			c.insertLocked(key, val)
+			return val, true
+		}
+	}
+	c.misses++
+	return nil, false
+}
+
+// Put stores val under key, evicting least-recently-used entries from
+// memory to stay under the byte budget (the newest entry is always kept,
+// even when it alone exceeds the budget). With a spill directory, the
+// value is also persisted (atomically, via rename) before eviction can
+// drop the memory copy.
+func (c *Cache) Put(key string, val []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		e := el.Value.(*centry)
+		c.bytes += int64(len(val)) - int64(len(e.val))
+		e.val = val
+		c.ll.MoveToFront(el)
+	} else {
+		c.insertLocked(key, val)
+	}
+	if c.dir != "" && validKey(key) {
+		c.spillLocked(key, val)
+	}
+}
+
+// insertLocked adds a fresh entry at the LRU front and trims to budget.
+func (c *Cache) insertLocked(key string, val []byte) {
+	c.byKey[key] = c.ll.PushFront(&centry{key: key, val: val})
+	c.bytes += int64(len(val))
+	for c.bytes > c.budget && c.ll.Len() > 1 {
+		back := c.ll.Back()
+		victim := back.Value.(*centry)
+		c.ll.Remove(back)
+		delete(c.byKey, victim.key)
+		c.bytes -= int64(len(victim.val))
+		c.evictions++
+	}
+}
+
+// spillLocked writes val to the spill directory. Spill failures are
+// deliberately silent: the cache is an optimization, and the in-memory
+// copy is already in place.
+func (c *Cache) spillLocked(key string, val []byte) {
+	path := filepath.Join(c.dir, key)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, val, 0o644); err != nil {
+		return
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		_ = os.Remove(tmp)
+	}
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits:      c.hits,
+		DiskHits:  c.diskHits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Entries:   c.ll.Len(),
+		Bytes:     c.bytes,
+	}
+}

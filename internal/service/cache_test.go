@@ -1,0 +1,177 @@
+package service
+
+import (
+	"bytes"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func TestCacheBasic(t *testing.T) {
+	c, err := NewCache(1<<20, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get("k1"); ok {
+		t.Fatal("empty cache returned a value")
+	}
+	c.Put("k1", []byte("v1"))
+	got, ok := c.Get("k1")
+	if !ok || string(got) != "v1" {
+		t.Fatalf("Get(k1) = %q, %v", got, ok)
+	}
+	c.Put("k1", []byte("v1-updated"))
+	got, _ = c.Get("k1")
+	if string(got) != "v1-updated" {
+		t.Fatalf("update lost: %q", got)
+	}
+	s := c.Stats()
+	if s.Hits != 2 || s.Misses != 1 || s.Entries != 1 {
+		t.Errorf("stats = %+v, want 2 hits, 1 miss, 1 entry", s)
+	}
+	if s.Bytes != int64(len("v1-updated")) {
+		t.Errorf("bytes = %d after update, want %d", s.Bytes, len("v1-updated"))
+	}
+	if got, want := s.HitRate(), 2.0/3.0; got != want {
+		t.Errorf("hit rate = %g, want %g", got, want)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c, err := NewCache(100, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	val := bytes.Repeat([]byte("x"), 40)
+	c.Put("a", val)
+	c.Put("b", val)
+	c.Get("a") // refresh a; b is now the LRU victim
+	c.Put("c", val)
+
+	if _, ok := c.Get("b"); ok {
+		t.Error("LRU victim b survived")
+	}
+	for _, k := range []string{"a", "c"} {
+		if _, ok := c.Get(k); !ok {
+			t.Errorf("%s evicted, want resident", k)
+		}
+	}
+	s := c.Stats()
+	if s.Evictions != 1 {
+		t.Errorf("evictions = %d, want 1", s.Evictions)
+	}
+	if s.Bytes > 100 {
+		t.Errorf("bytes = %d over budget 100", s.Bytes)
+	}
+
+	// An entry larger than the whole budget is still kept (newest wins).
+	huge := bytes.Repeat([]byte("y"), 500)
+	c.Put("huge", huge)
+	if got, ok := c.Get("huge"); !ok || !bytes.Equal(got, huge) {
+		t.Error("oversized newest entry dropped")
+	}
+}
+
+func TestCacheDiskSpill(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewCache(100, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	val := bytes.Repeat([]byte("z"), 80)
+	c.Put("deadbeef", val)
+	c.Put("cafebabe", val) // evicts deadbeef from memory; disk copy remains
+
+	got, ok := c.Get("deadbeef")
+	if !ok || !bytes.Equal(got, val) {
+		t.Fatal("evicted entry not recovered from disk")
+	}
+	s := c.Stats()
+	if s.DiskHits != 1 || s.Hits != 1 {
+		t.Errorf("stats = %+v, want 1 disk hit", s)
+	}
+
+	// A fresh cache over the same directory sees the results (restart).
+	c2, err := NewCache(1<<20, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"deadbeef", "cafebabe"} {
+		if got, ok := c2.Get(k); !ok || !bytes.Equal(got, val) {
+			t.Errorf("restart lost %s", k)
+		}
+	}
+
+	// No stray temp files left behind.
+	if m, _ := filepath.Glob(filepath.Join(dir, "*.tmp")); len(m) != 0 {
+		t.Errorf("leftover temp files: %v", m)
+	}
+}
+
+// TestCacheKeySafety: keys that could escape the spill directory are never
+// used as paths (they stay memory-only).
+func TestCacheKeySafety(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewCache(1<<20, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"../escape", "a/b", `a\b`, "dot.file", ""} {
+		c.Put(k, []byte("v"))
+		if k != "" {
+			if got, ok := c.Get(k); !ok || string(got) != "v" {
+				t.Errorf("memory copy of %q lost", k)
+			}
+		}
+	}
+	if m, _ := filepath.Glob(filepath.Join(dir, "*")); len(m) != 0 {
+		t.Errorf("unsafe keys reached disk: %v", m)
+	}
+	if _, ok := c.Get("never-put"); ok {
+		t.Error("phantom disk entry")
+	}
+}
+
+// TestCacheHammer drives concurrent mixed Put/Get traffic over a tiny
+// budget (forcing constant eviction) so `go test -race` can catch any
+// locking mistake, and checks counter consistency afterwards.
+func TestCacheHammer(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewCache(4<<10, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		workers = 8
+		ops     = 400
+		keys    = 50
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < ops; i++ {
+				k := fmt.Sprintf("key%02d", (w*13+i*7)%keys)
+				if (w+i)%3 == 0 {
+					c.Put(k, bytes.Repeat([]byte{byte(w)}, 256))
+				} else if v, ok := c.Get(k); ok {
+					// Values are immutable views; length is the invariant.
+					if len(v) != 256 {
+						t.Errorf("corrupt value for %s: %d bytes", k, len(v))
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := c.Stats()
+	if s.Hits+s.Misses == 0 {
+		t.Fatal("no lookups recorded")
+	}
+	if s.Bytes > 4<<10 && s.Entries > 1 {
+		t.Errorf("budget exceeded with %d entries resident (%d bytes)", s.Entries, s.Bytes)
+	}
+}

@@ -1,0 +1,117 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// wallBuckets are the job wall-time histogram's upper bounds in seconds.
+// Scaled interactive cells land in the millisecond buckets; full-budget
+// paper cells in the seconds-to-minutes tail.
+var wallBuckets = []float64{0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120}
+
+// metrics aggregates the daemon's counters for the Prometheus-text
+// /metrics endpoint. Queue depth, in-flight jobs and cache statistics are
+// sampled live at render time from the pool and cache; only job outcomes
+// and the wall-time histogram accumulate here.
+type metrics struct {
+	mu           sync.Mutex
+	jobsDone     uint64
+	jobsFailed   uint64
+	jobsCanceled uint64
+	simCycles    uint64 // cycles simulated by fresh (non-cached) runs
+
+	wallCounts []uint64 // len(wallBuckets)+1 slots; last is the +Inf overflow
+	wallSum    float64
+	wallTotal  uint64
+}
+
+// observeJob records one finished pool job.
+func (m *metrics) observeJob(status string, wall time.Duration, cycles uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	switch status {
+	case statusDone:
+		m.jobsDone++
+		m.simCycles += cycles
+	case statusCanceled:
+		m.jobsCanceled++
+	default:
+		m.jobsFailed++
+	}
+	if m.wallCounts == nil {
+		m.wallCounts = make([]uint64, len(wallBuckets)+1)
+	}
+	secs := wall.Seconds()
+	i := 0
+	for i < len(wallBuckets) && secs > wallBuckets[i] {
+		i++
+	}
+	m.wallCounts[i]++
+	m.wallSum += secs
+	m.wallTotal++
+}
+
+// render writes the Prometheus text exposition. queued/inFlight and cs are
+// the live gauges sampled by the caller.
+func (m *metrics) render(w io.Writer, queued, inFlight int, cs CacheStats) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	fmt.Fprintf(w, "# HELP aosd_queue_depth Simulation jobs waiting for a worker.\n")
+	fmt.Fprintf(w, "# TYPE aosd_queue_depth gauge\n")
+	fmt.Fprintf(w, "aosd_queue_depth %d\n", queued)
+	fmt.Fprintf(w, "# HELP aosd_inflight_jobs Simulation jobs currently executing.\n")
+	fmt.Fprintf(w, "# TYPE aosd_inflight_jobs gauge\n")
+	fmt.Fprintf(w, "aosd_inflight_jobs %d\n", inFlight)
+
+	fmt.Fprintf(w, "# HELP aosd_jobs_total Finished jobs by outcome.\n")
+	fmt.Fprintf(w, "# TYPE aosd_jobs_total counter\n")
+	fmt.Fprintf(w, "aosd_jobs_total{status=\"done\"} %d\n", m.jobsDone)
+	fmt.Fprintf(w, "aosd_jobs_total{status=\"failed\"} %d\n", m.jobsFailed)
+	fmt.Fprintf(w, "aosd_jobs_total{status=\"canceled\"} %d\n", m.jobsCanceled)
+
+	fmt.Fprintf(w, "# HELP aosd_cache_hits_total Result-cache hits (including disk hits).\n")
+	fmt.Fprintf(w, "# TYPE aosd_cache_hits_total counter\n")
+	fmt.Fprintf(w, "aosd_cache_hits_total %d\n", cs.Hits)
+	fmt.Fprintf(w, "# HELP aosd_cache_disk_hits_total Result-cache hits served from the spill directory.\n")
+	fmt.Fprintf(w, "# TYPE aosd_cache_disk_hits_total counter\n")
+	fmt.Fprintf(w, "aosd_cache_disk_hits_total %d\n", cs.DiskHits)
+	fmt.Fprintf(w, "# HELP aosd_cache_misses_total Result-cache misses.\n")
+	fmt.Fprintf(w, "# TYPE aosd_cache_misses_total counter\n")
+	fmt.Fprintf(w, "aosd_cache_misses_total %d\n", cs.Misses)
+	fmt.Fprintf(w, "# HELP aosd_cache_evictions_total Entries evicted from the in-memory LRU.\n")
+	fmt.Fprintf(w, "# TYPE aosd_cache_evictions_total counter\n")
+	fmt.Fprintf(w, "aosd_cache_evictions_total %d\n", cs.Evictions)
+	fmt.Fprintf(w, "# HELP aosd_cache_entries Entries resident in memory.\n")
+	fmt.Fprintf(w, "# TYPE aosd_cache_entries gauge\n")
+	fmt.Fprintf(w, "aosd_cache_entries %d\n", cs.Entries)
+	fmt.Fprintf(w, "# HELP aosd_cache_bytes Bytes resident in memory.\n")
+	fmt.Fprintf(w, "# TYPE aosd_cache_bytes gauge\n")
+	fmt.Fprintf(w, "aosd_cache_bytes %d\n", cs.Bytes)
+	fmt.Fprintf(w, "# HELP aosd_cache_hit_rate Hits over lookups since start.\n")
+	fmt.Fprintf(w, "# TYPE aosd_cache_hit_rate gauge\n")
+	fmt.Fprintf(w, "aosd_cache_hit_rate %g\n", cs.HitRate())
+
+	fmt.Fprintf(w, "# HELP aosd_sim_cycles_total Simulated cycles computed by fresh runs.\n")
+	fmt.Fprintf(w, "# TYPE aosd_sim_cycles_total counter\n")
+	fmt.Fprintf(w, "aosd_sim_cycles_total %d\n", m.simCycles)
+
+	fmt.Fprintf(w, "# HELP aosd_job_wall_seconds Wall time of finished jobs.\n")
+	fmt.Fprintf(w, "# TYPE aosd_job_wall_seconds histogram\n")
+	counts := m.wallCounts
+	if counts == nil {
+		counts = make([]uint64, len(wallBuckets)+1)
+	}
+	cum := uint64(0)
+	for i, le := range wallBuckets {
+		cum += counts[i]
+		fmt.Fprintf(w, "aosd_job_wall_seconds_bucket{le=\"%g\"} %d\n", le, cum)
+	}
+	cum += counts[len(wallBuckets)]
+	fmt.Fprintf(w, "aosd_job_wall_seconds_bucket{le=\"+Inf\"} %d\n", cum)
+	fmt.Fprintf(w, "aosd_job_wall_seconds_sum %g\n", m.wallSum)
+	fmt.Fprintf(w, "aosd_job_wall_seconds_count %d\n", m.wallTotal)
+}

@@ -1,0 +1,650 @@
+// Package service is the aosd serving layer: a stdlib-only JSON HTTP API
+// that turns the one-shot evaluation harness into a queryable, memoized
+// simulation service. Jobs (benchmark, scheme, budget, seed, sanitize)
+// are scheduled on a persistent internal/runner pool behind a bounded
+// queue with explicit backpressure (429 + Retry-After when full), and
+// results are memoized in a content-addressed cache keyed by the SHA-256
+// of the spec's canonical JSON (internal/experiments.SimSpec). Because
+// simulations are pure functions of their spec, a warm cache answers
+// repeat requests — including whole-figure compositions — without
+// re-simulating anything.
+//
+// Endpoints:
+//
+//	POST /v1/jobs                  submit a spec; 202 while scheduled, 200 from cache
+//	GET  /v1/jobs/{id}             poll a job (id = spec hash)
+//	GET  /v1/results?...           synchronous cached lookup (runs on miss)
+//	GET  /v1/experiments/fig14     figure composed from per-cell cached results
+//	GET  /v1/experiments/fig18     traffic figure, same cells
+//	GET  /healthz                  liveness
+//	GET  /metrics                  Prometheus text exposition
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"aos/internal/experiments"
+	"aos/internal/instrument"
+	"aos/internal/runner"
+	"aos/internal/stats"
+)
+
+// Job lifecycle states.
+const (
+	statusQueued   = "queued"
+	statusRunning  = "running"
+	statusDone     = "done"
+	statusFailed   = "failed"
+	statusCanceled = "canceled"
+)
+
+// runSpec is the simulation entry point, indirected so tests can inject
+// slow or counting run bodies.
+var runSpec = experiments.RunSpec
+
+// Config sizes the service.
+type Config struct {
+	// Workers bounds concurrent simulations (<= 0 uses GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the pending-job queue (<= 0 uses 64). A full
+	// queue is surfaced as HTTP 429 with a Retry-After hint.
+	QueueDepth int
+	// CacheBytes is the in-memory result-cache budget (<= 0 uses 64 MiB).
+	CacheBytes int64
+	// CacheDir, when non-empty, spills every result to disk so the cache
+	// survives restarts and memory-pressure evictions.
+	CacheDir string
+	// JobTimeout caps each job's run time (0 = unlimited). Timed-out jobs
+	// finish as canceled.
+	JobTimeout time.Duration
+	// MaxInstructions rejects specs whose normalized instruction budget
+	// exceeds it (0 = unlimited) — the service's overload guard against
+	// full-paper-scale runs on an interactive daemon.
+	MaxInstructions uint64
+	// BaseContext is the daemon lifetime; async jobs run under it (nil =
+	// context.Background()).
+	BaseContext context.Context
+}
+
+// job is one scheduled simulation, identified by its spec hash. Fields
+// after the immutable header are guarded by Server.mu.
+type job struct {
+	id   string
+	spec experiments.SimSpec
+
+	status  string
+	errMsg  string
+	result  []byte // canonical SimResult JSON when done
+	wall    time.Duration
+	done    chan struct{}
+	cancel  context.CancelFunc
+	refs    int  // live sync waiters
+	pinned  bool // an async submitter wants the result regardless of waiters
+}
+
+// Server is the aosd daemon core, embeddable in tests via Handler.
+type Server struct {
+	cfg     Config
+	pool    *runner.Pool
+	cache   *Cache
+	metrics *metrics
+	mux     *http.ServeMux
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	mu   sync.Mutex
+	jobs map[string]*job
+}
+
+// New builds a Server (starting its worker pool) from cfg.
+func New(cfg Config) (*Server, error) {
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	cache, err := NewCache(cfg.CacheBytes, cfg.CacheDir)
+	if err != nil {
+		return nil, err
+	}
+	base := cfg.BaseContext
+	if base == nil {
+		base = context.Background()
+	}
+	baseCtx, baseCancel := context.WithCancel(base)
+	s := &Server{
+		cfg:        cfg,
+		pool:       runner.NewPool(cfg.Workers, cfg.QueueDepth),
+		cache:      cache,
+		metrics:    &metrics{},
+		baseCtx:    baseCtx,
+		baseCancel: baseCancel,
+		jobs:       make(map[string]*job),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/results", s.handleResults)
+	mux.HandleFunc("GET /v1/experiments/{fig}", s.handleExperiment)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux = mux
+	return s, nil
+}
+
+// Handler returns the HTTP handler tree.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close drains the service: no new tasks are accepted and queued plus
+// in-flight jobs run to completion. If ctx expires first, the remaining
+// jobs are canceled and Close waits for the workers to observe it.
+func (s *Server) Close(ctx context.Context) {
+	done := make(chan struct{})
+	go func() { s.pool.Close(); close(done) }()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		s.baseCancel() // cancel every job context; bodies return promptly
+		<-done
+	}
+	s.baseCancel()
+}
+
+// CacheStats exposes the cache counters (smoke tests, introspection).
+func (s *Server) CacheStats() CacheStats { return s.cache.Stats() }
+
+// ---------- scheduling ----------
+
+// normalize validates a spec against the service limits.
+func (s *Server) normalize(spec experiments.SimSpec) (experiments.SimSpec, error) {
+	spec, err := spec.Normalize()
+	if err != nil {
+		return spec, err
+	}
+	if s.cfg.MaxInstructions > 0 && spec.Instructions > s.cfg.MaxInstructions {
+		return spec, fmt.Errorf("spec: instruction budget %d exceeds the service limit %d (pass a smaller \"instructions\")",
+			spec.Instructions, s.cfg.MaxInstructions)
+	}
+	return spec, nil
+}
+
+// getOrSubmit returns the job for a normalized spec, scheduling a fresh
+// one when none is live; fresh reports whether this call scheduled it.
+// pinned marks an async submitter (POST /v1/jobs): the job then runs to
+// completion even with no waiter attached. A cached result short-circuits
+// into an already-done job. Failed or canceled jobs are replaced on
+// resubmission (retry semantics). The caller must pair a non-pinned
+// acquisition with release().
+func (s *Server) getOrSubmit(spec experiments.SimSpec, pinned bool) (j *job, fresh bool, err error) {
+	id := spec.Hash()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j, ok := s.jobs[id]; ok && j.status != statusFailed && j.status != statusCanceled {
+		if j.status == statusDone {
+			// Route the lookup through the cache so the hit is counted
+			// and the entry's LRU position refreshed; the cache holds the
+			// same bytes runJob stored (the job keeps its own copy in
+			// case the entry was evicted meanwhile).
+			if b, hit := s.cache.Get(id); hit {
+				j.result = b
+			}
+		}
+		if pinned {
+			j.pinned = true
+		} else {
+			j.refs++
+		}
+		return j, false, nil
+	}
+	if b, ok := s.cache.Get(id); ok {
+		j := &job{id: id, spec: spec, status: statusDone, result: b, done: make(chan struct{})}
+		close(j.done)
+		s.jobs[id] = j
+		return j, false, nil
+	}
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	if s.cfg.JobTimeout > 0 {
+		inner := ctx
+		var tcancel context.CancelFunc
+		inner, tcancel = context.WithTimeout(inner, s.cfg.JobTimeout)
+		prev := cancel
+		cancel = func() { tcancel(); prev() }
+		ctx = inner
+	}
+	j = &job{id: id, spec: spec, status: statusQueued, done: make(chan struct{}), cancel: cancel, pinned: pinned}
+	if !pinned {
+		j.refs = 1
+	}
+	if err := s.pool.Submit(runner.Task{
+		Label: spec.Benchmark + "/" + spec.Scheme,
+		Ctx:   ctx,
+		Run:   func(ctx context.Context) { s.runJob(ctx, j) },
+	}); err != nil {
+		cancel()
+		return nil, false, err
+	}
+	s.jobs[id] = j
+	return j, true, nil
+}
+
+// release detaches a sync waiter. When the last waiter leaves an unpinned,
+// unfinished job, its context is canceled: nobody wants the result, so the
+// worker (or the queue slot) is handed back — the client-abandon path.
+func (s *Server) release(j *job) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j.refs > 0 {
+		j.refs--
+	}
+	if j.refs == 0 && !j.pinned && j.status != statusDone && j.status != statusFailed && j.status != statusCanceled {
+		j.cancel()
+	}
+}
+
+// runJob is the pool task body: run the simulation, cache and record the
+// outcome, wake the waiters.
+func (s *Server) runJob(ctx context.Context, j *job) {
+	s.mu.Lock()
+	j.status = statusRunning
+	s.mu.Unlock()
+
+	start := time.Now()
+	res, err := runSpec(ctx, j.spec)
+	wall := time.Since(start)
+
+	status := statusDone
+	var msg string
+	var body []byte
+	var cycles uint64
+	if err != nil {
+		status = statusFailed
+		if ctx.Err() != nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			status = statusCanceled
+		}
+		msg = err.Error()
+	} else if body, err = res.JSON(); err != nil {
+		status = statusFailed
+		msg = err.Error()
+	} else {
+		s.cache.Put(j.id, body)
+		cycles = res.Cycles
+	}
+
+	s.mu.Lock()
+	j.status = status
+	j.errMsg = msg
+	j.result = body
+	j.wall = wall
+	if j.cancel != nil {
+		j.cancel() // release the timeout timer
+	}
+	s.mu.Unlock()
+	s.metrics.observeJob(status, wall, cycles)
+	close(j.done)
+}
+
+// snapshot copies a job's mutable state under the lock.
+func (s *Server) snapshot(j *job) (status, errMsg string, result []byte, wall time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return j.status, j.errMsg, j.result, j.wall
+}
+
+// ---------- HTTP plumbing ----------
+
+type jobDoc struct {
+	ID          string              `json:"id"`
+	Spec        experiments.SimSpec `json:"spec"`
+	Status      string              `json:"status"`
+	Cached      bool                `json:"cached,omitempty"`
+	Error       string              `json:"error,omitempty"`
+	WallSeconds float64             `json:"wall_seconds,omitempty"`
+	Result      json.RawMessage     `json:"result,omitempty"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// writeBackpressure is the explicit 429 path for a saturated queue.
+func writeBackpressure(w http.ResponseWriter) {
+	w.Header().Set("Retry-After", "1")
+	writeError(w, http.StatusTooManyRequests, "job queue full; retry later")
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"queued":   s.pool.Queued(),
+		"inflight": s.pool.InFlight(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.metrics.render(w, s.pool.Queued(), s.pool.InFlight(), s.cache.Stats())
+}
+
+// handleSubmit accepts a job spec and schedules it (or answers from
+// cache). 200 done (cached), 202 scheduled, 400 bad spec, 429 queue full.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec experiments.SimSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "bad job spec: %v", err)
+		return
+	}
+	spec, err := s.normalize(spec)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	j, fresh, err := s.getOrSubmit(spec, true)
+	if errors.Is(err, runner.ErrQueueFull) || errors.Is(err, runner.ErrPoolClosed) {
+		writeBackpressure(w)
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	status, errMsg, result, wall := s.snapshot(j)
+	doc := jobDoc{ID: j.id, Spec: j.spec, Status: status, Error: errMsg, WallSeconds: wall.Seconds()}
+	code := http.StatusAccepted
+	if status == statusDone {
+		code = http.StatusOK
+		doc.Cached = !fresh
+		doc.Result = result
+	}
+	writeJSON(w, code, doc)
+}
+
+// handleJob reports a job's state; the result rides along once done.
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job %q", id)
+		return
+	}
+	status, errMsg, result, wall := s.snapshot(j)
+	writeJSON(w, http.StatusOK, jobDoc{
+		ID: j.id, Spec: j.spec, Status: status, Error: errMsg,
+		WallSeconds: wall.Seconds(), Result: result,
+	})
+}
+
+// specFromQuery builds a SimSpec from URL parameters.
+func specFromQuery(r *http.Request) (experiments.SimSpec, error) {
+	q := r.URL.Query()
+	spec := experiments.SimSpec{
+		Benchmark: q.Get("benchmark"),
+		Scheme:    q.Get("scheme"),
+	}
+	if v := q.Get("insts"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			return spec, fmt.Errorf("bad insts %q", v)
+		}
+		spec.Instructions = n
+	}
+	if v := q.Get("seed"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			return spec, fmt.Errorf("bad seed %q", v)
+		}
+		spec.Seed = n
+	}
+	if v := q.Get("sanitize"); v != "" {
+		b, err := strconv.ParseBool(v)
+		if err != nil {
+			return spec, fmt.Errorf("bad sanitize %q", v)
+		}
+		spec.Sanitize = b
+	}
+	return spec, nil
+}
+
+// handleResults is the synchronous path: cache hit returns immediately
+// (X-Cache: hit); a miss schedules the job and waits. The waiter's request
+// context is the job's client-abandon signal.
+func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
+	spec, err := specFromQuery(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	spec, err = s.normalize(spec)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	id := spec.Hash()
+	if b, ok := s.cache.Get(id); ok {
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("X-Cache", "hit")
+		_, _ = w.Write(b)
+		return
+	}
+	j, _, err := s.getOrSubmit(spec, false)
+	if errors.Is(err, runner.ErrQueueFull) || errors.Is(err, runner.ErrPoolClosed) {
+		writeBackpressure(w)
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	defer s.release(j)
+	select {
+	case <-j.done:
+	case <-r.Context().Done():
+		// Client gone; release (deferred) cancels the job if unwanted.
+		return
+	}
+	status, errMsg, result, _ := s.snapshot(j)
+	switch status {
+	case statusDone:
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("X-Cache", "miss")
+		_, _ = w.Write(result)
+	case statusCanceled:
+		writeError(w, http.StatusServiceUnavailable, "job canceled: %s", errMsg)
+	default:
+		writeError(w, http.StatusInternalServerError, "job failed: %s", errMsg)
+	}
+}
+
+// ---------- figure composition ----------
+
+// figDoc is a figure assembled from per-cell cached results.
+type figDoc struct {
+	Schema       string             `json:"schema"`
+	Instructions uint64             `json:"instructions"`
+	Seed         int64              `json:"seed"`
+	Cells        int                `json:"cells"`
+	CachedCells  int                `json:"cached_cells"`
+	Rows         []figRow           `json:"rows"`
+	Geomean      map[string]float64 `json:"geomean"`
+}
+
+type figRow struct {
+	Benchmark  string             `json:"benchmark"`
+	Normalized map[string]float64 `json:"normalized"`
+}
+
+// handleExperiment composes fig14 (normalized execution time) or fig18
+// (normalized traffic) from the 16x5 evaluation matrix, cell by cell:
+// cached cells are free, missing cells are scheduled on the pool with
+// queue-aware pacing. Repeating the request against a warm daemon touches
+// no simulator at all.
+func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
+	fig := r.PathValue("fig")
+	var metric func(*experiments.SimResult) float64
+	switch fig {
+	case "fig14":
+		metric = func(res *experiments.SimResult) float64 { return float64(res.Cycles) }
+	case "fig18":
+		metric = func(res *experiments.SimResult) float64 { return float64(res.TrafficBytes) }
+	default:
+		writeError(w, http.StatusNotFound, "unknown experiment %q (have fig14, fig18)", fig)
+		return
+	}
+	base, err := specFromQuery(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if base.Benchmark != "" || base.Scheme != "" {
+		writeError(w, http.StatusBadRequest, "experiments take insts/seed/sanitize only; benchmark and scheme are fixed by the matrix")
+		return
+	}
+
+	var specs []experiments.SimSpec
+	for _, p := range experiments.MatrixBenchmarks() {
+		for _, scheme := range instrument.Schemes() {
+			spec := base
+			spec.Benchmark = p
+			spec.Scheme = scheme.String()
+			spec, err := s.normalize(spec)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, "%v", err)
+				return
+			}
+			specs = append(specs, spec)
+		}
+	}
+	cells, cachedCells, err := s.collect(r.Context(), specs)
+	if errors.Is(err, runner.ErrQueueFull) || errors.Is(err, runner.ErrPoolClosed) {
+		writeBackpressure(w)
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+
+	doc := figDoc{
+		Schema:       "aosd/" + fig + "/v1",
+		Instructions: specs[0].Instructions,
+		Seed:         specs[0].Seed,
+		Cells:        len(specs),
+		CachedCells:  cachedCells,
+		Geomean:      map[string]float64{},
+	}
+	series := map[string][]float64{}
+	baselineName := instrument.Baseline.String()
+	for _, p := range experiments.MatrixBenchmarks() {
+		baseRes := cells[cellKey(p, baselineName)]
+		baseVal := metric(baseRes)
+		if baseVal == 0 {
+			writeError(w, http.StatusInternalServerError, "%s: %s baseline is zero; cannot normalize", fig, p)
+			return
+		}
+		row := figRow{Benchmark: p, Normalized: map[string]float64{}}
+		for _, scheme := range instrument.Schemes() {
+			n := metric(cells[cellKey(p, scheme.String())]) / baseVal
+			row.Normalized[scheme.String()] = n
+			if scheme != instrument.Baseline {
+				series[scheme.String()] = append(series[scheme.String()], n)
+			}
+		}
+		doc.Rows = append(doc.Rows, row)
+	}
+	for _, k := range stats.SortedKeys(series) {
+		doc.Geomean[k] = stats.Geomean(series[k])
+	}
+	writeJSON(w, http.StatusOK, doc)
+}
+
+func cellKey(benchmark, scheme string) string { return benchmark + "/" + scheme }
+
+// collect gathers one SimResult per spec: from cache when possible,
+// otherwise scheduled on the pool. Backpressure-aware: when the queue is
+// full it waits for one of its own pending cells before submitting more,
+// and only reports ErrQueueFull once it has nothing left to wait on (the
+// queue is saturated by other clients). ctx abandons the whole collection.
+func (s *Server) collect(ctx context.Context, specs []experiments.SimSpec) (map[string]*experiments.SimResult, int, error) {
+	out := make(map[string]*experiments.SimResult, len(specs))
+	cached := 0
+	var pending []*job
+	defer func() {
+		for _, j := range pending {
+			s.release(j)
+		}
+	}()
+
+	decode := func(b []byte) (*experiments.SimResult, error) {
+		var res experiments.SimResult
+		if err := json.Unmarshal(b, &res); err != nil {
+			return nil, fmt.Errorf("corrupt cached result: %w", err)
+		}
+		return &res, nil
+	}
+
+	waitIdx := 0
+	for _, spec := range specs {
+		if b, ok := s.cache.Get(spec.Hash()); ok {
+			res, err := decode(b)
+			if err != nil {
+				return nil, 0, err
+			}
+			out[cellKey(spec.Benchmark, spec.Scheme)] = res
+			cached++
+			continue
+		}
+		for {
+			j, _, err := s.getOrSubmit(spec, false)
+			if err == nil {
+				pending = append(pending, j)
+				break
+			}
+			if !errors.Is(err, runner.ErrQueueFull) {
+				return nil, 0, err
+			}
+			if waitIdx >= len(pending) {
+				return nil, 0, err // saturated by other clients
+			}
+			select {
+			case <-pending[waitIdx].done:
+				waitIdx++
+			case <-ctx.Done():
+				return nil, 0, ctx.Err()
+			}
+		}
+	}
+	for _, j := range pending {
+		select {
+		case <-j.done:
+		case <-ctx.Done():
+			return nil, 0, ctx.Err()
+		}
+		status, errMsg, result, _ := s.snapshot(j)
+		if status != statusDone {
+			return nil, 0, fmt.Errorf("cell %s/%s %s: %s", j.spec.Benchmark, j.spec.Scheme, status, errMsg)
+		}
+		res, err := decode(result)
+		if err != nil {
+			return nil, 0, err
+		}
+		out[cellKey(j.spec.Benchmark, j.spec.Scheme)] = res
+	}
+	return out, cached, nil
+}

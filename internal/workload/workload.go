@@ -9,6 +9,7 @@
 package workload
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -125,8 +126,26 @@ func (p *Profile) Run(m *core.Machine, seed int64) error {
 // *Profile concurrently (each run's state — RNG, chunk list, branch
 // biases — is local to the call).
 func (p *Profile) RunWarm(m *core.Machine, seed int64, warmupInsts uint64, onWarm func()) error {
+	return p.RunCtx(context.Background(), m, seed, warmupInsts, onWarm)
+}
+
+// ctxCheckEvery is how many program instructions may elapse between
+// cancellation checks in RunCtx: frequent enough that a timed-out or
+// client-abandoned job stops within microseconds of real time, rare
+// enough to stay invisible in the emission hot loop.
+const ctxCheckEvery = 8192
+
+// RunCtx is RunWarm with cooperative cancellation: the emission loop polls
+// ctx every ctxCheckEvery program instructions and returns ctx's error
+// (wrapped with the profile identity and progress) once it is done. A run
+// aborted this way leaves the machine in a consistent but unfinished
+// state; callers must discard, not report, its statistics.
+func (p *Profile) RunCtx(ctx context.Context, m *core.Machine, seed int64, warmupInsts uint64, onWarm func()) error {
 	if err := p.Validate(); err != nil {
 		return err
+	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("workload %s: canceled before start: %w", p.Name, err)
 	}
 	rng := rand.New(rand.NewSource(seed))
 
@@ -250,7 +269,15 @@ func (p *Profile) RunWarm(m *core.Machine, seed int64, warmupInsts uint64, onWar
 
 	target := p.Instructions + warmupInsts
 	warmed := onWarm == nil
+	nextCtxCheck := uint64(ctxCheckEvery)
 	for produced < target {
+		if produced >= nextCtxCheck {
+			nextCtxCheck = produced + ctxCheckEvery
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("workload %s: canceled after %d of %d instructions: %w",
+					p.Name, produced, target, err)
+			}
+		}
 		if !warmed && produced >= warmupInsts {
 			warmed = true
 			onWarm()
