@@ -126,6 +126,13 @@ type Options struct {
 	// machine emits a stream violating the scheme's instrumentation
 	// contract (internal/tracecheck documents the rules).
 	Sanitize bool
+
+	// ScalarEmit disables the batched emission path in Run: instructions
+	// are delivered to the timing core one Emit call at a time instead of
+	// in EmitBatch chunks. Results are identical either way (the golden
+	// equivalence test pins this); the scalar path exists for debugging
+	// and for that test.
+	ScalarEmit bool
 }
 
 // System couples a functional AOS machine with a timing core. Every
@@ -257,8 +264,10 @@ type Result struct {
 	HBTResizes int
 }
 
-// Finalize stops the system and returns its results.
+// Finalize stops the system and returns its results. Any batched
+// instructions still buffered in the machine are flushed first.
 func (s *System) Finalize() Result {
+	s.machine.Flush()
 	return Result{
 		Result:     s.core.Finalize(),
 		Counts:     s.machine.Counts(),
@@ -284,6 +293,9 @@ func RunContext(ctx context.Context, w *Workload, opts Options) (Result, error) 
 	sys, err := NewSystem(opts)
 	if err != nil {
 		return Result{}, err
+	}
+	if !opts.ScalarEmit {
+		sys.machine.SetBatch(core.EmitBatchSize)
 	}
 	p := w.Clone() // so an Instructions override does not mutate a shared profile
 	if opts.Instructions != 0 {

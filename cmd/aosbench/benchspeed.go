@@ -1,0 +1,118 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"aos"
+)
+
+// The -benchspeed harness measures the simulator itself: raw simulation
+// throughput (sim-insts/s) and heap allocations per simulated instruction
+// on a fixed workload/scheme pair. It writes a machine-readable document
+// for CI trending and optionally gates on the allocation figure, which —
+// unlike wall time — is hardware-independent and therefore safe to fail
+// a build on.
+
+// simspeedSchema versions the BENCH_simspeed.json layout.
+const simspeedSchema = "aosbench/simspeed/v1"
+
+type simspeedRun struct {
+	Insts         uint64  `json:"insts"`
+	WallNS        int64   `json:"wall_ns"`
+	InstsPerSec   float64 `json:"insts_per_sec"`
+	Allocs        uint64  `json:"allocs"`
+	AllocsPerInst float64 `json:"allocs_per_inst"`
+	AllocBytes    uint64  `json:"alloc_bytes"`
+}
+
+type simspeedDoc struct {
+	Schema    string        `json:"schema"`
+	Benchmark string        `json:"benchmark"`
+	Scheme    string        `json:"scheme"`
+	GoVersion string        `json:"go_version"`
+	GOOS      string        `json:"goos"`
+	GOARCH    string        `json:"goarch"`
+	Runs      []simspeedRun `json:"runs"`
+	// Best-of-runs figures: the trend lines CI cares about. Throughput
+	// takes the max (least-disturbed run), allocations the min (steady
+	// state with the fewest one-off growths).
+	BestInstsPerSec  float64 `json:"best_insts_per_sec"`
+	MinAllocsPerInst float64 `json:"min_allocs_per_inst"`
+}
+
+// benchSpeed runs the throughput harness and writes the JSON document.
+// A non-negative maxAllocsPerInst turns the allocation figure into a
+// gate: exceeding it returns an error (CI exits nonzero).
+func benchSpeed(insts uint64, runs int, out string, maxAllocsPerInst float64) error {
+	if insts == 0 {
+		insts = 300_000
+	}
+	if runs <= 0 {
+		runs = 3
+	}
+	const benchmark, scheme = "milc", "AOS"
+	w, ok := aos.WorkloadByName(benchmark)
+	if !ok {
+		return fmt.Errorf("benchspeed: workload %q not found", benchmark)
+	}
+	doc := simspeedDoc{
+		Schema:    simspeedSchema,
+		Benchmark: benchmark,
+		Scheme:    scheme,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+	}
+	var before, after runtime.MemStats
+	for i := 0; i < runs; i++ {
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		start := time.Now() //aoslint:allow detrand — the harness's whole purpose is wall measurement; results never feed a figure
+		r, err := aos.Run(w, aos.Options{Scheme: aos.AOS, Instructions: insts, NoWarmup: true})
+		wall := time.Since(start) //aoslint:allow detrand — see above
+		if err != nil {
+			return fmt.Errorf("benchspeed: %w", err)
+		}
+		runtime.ReadMemStats(&after)
+		run := simspeedRun{
+			Insts:      r.Insts,
+			WallNS:     wall.Nanoseconds(),
+			Allocs:     after.Mallocs - before.Mallocs,
+			AllocBytes: after.TotalAlloc - before.TotalAlloc,
+		}
+		if wall > 0 {
+			run.InstsPerSec = float64(r.Insts) / wall.Seconds()
+		}
+		if r.Insts > 0 {
+			run.AllocsPerInst = float64(run.Allocs) / float64(r.Insts)
+		}
+		doc.Runs = append(doc.Runs, run)
+		if run.InstsPerSec > doc.BestInstsPerSec {
+			doc.BestInstsPerSec = run.InstsPerSec
+		}
+		if i == 0 || run.AllocsPerInst < doc.MinAllocsPerInst {
+			doc.MinAllocsPerInst = run.AllocsPerInst
+		}
+		fmt.Printf("benchspeed: run %d/%d: %d insts in %v (%.0f insts/s, %.4f allocs/inst)\n",
+			i+1, runs, r.Insts, wall.Round(time.Millisecond), run.InstsPerSec, run.AllocsPerInst)
+	}
+	payload, err := json.MarshalIndent(&doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	payload = append(payload, '\n')
+	if err := os.WriteFile(out, payload, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("benchspeed: best %.0f sim-insts/s, min %.4f allocs/inst -> %s\n",
+		doc.BestInstsPerSec, doc.MinAllocsPerInst, out)
+	if maxAllocsPerInst >= 0 && doc.MinAllocsPerInst > maxAllocsPerInst {
+		return fmt.Errorf("benchspeed: allocation regression: %.4f allocs/inst exceeds budget %.4f",
+			doc.MinAllocsPerInst, maxAllocsPerInst)
+	}
+	return nil
+}

@@ -7,6 +7,8 @@
 //	aosbench -exp fig14 -insts 200000 # quicker, scaled run
 //	aosbench -exp fig14 -j 8          # matrix over 8 workers
 //	aosbench -exp fig14 -json         # machine-readable matrix document
+//	aosbench -benchspeed              # simulator throughput + alloc gate
+//	aosbench -exp all -cpuprofile cpu.pb.gz  # profile a full regeneration
 //
 // Matrix-style experiments fan out over a bounded worker pool (-j, default
 // GOMAXPROCS); results are keyed and ordered by (benchmark, scheme), so -j 1
@@ -42,7 +44,28 @@ func main() {
 	csv := flag.Bool("csv", false, "emit fig14/fig18 as CSV for plotting")
 	sanitize := flag.Bool("sanitize", false, "tee every run through the tracecheck protocol verifier; any violation fails the experiment")
 	timeout := flag.Duration("timeout", 0, "abort in-flight experiments after this duration (0 = no limit); canceled jobs fail with context errors")
+	benchspeed := flag.Bool("benchspeed", false, "measure simulator throughput and allocations instead of running an experiment")
+	benchout := flag.String("benchout", "BENCH_simspeed.json", "output file for -benchspeed results")
+	benchruns := flag.Int("benchruns", 3, "measurement repetitions for -benchspeed")
+	maxAllocs := flag.Float64("max-allocs-per-inst", -1, "with -benchspeed: exit 1 when the best run allocates more than this per simulated instruction (<0 = no gate)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
+	traceFile := flag.String("trace", "", "write a runtime execution trace to this file")
 	flag.Parse()
+
+	stopProf, err := startProfiling(*cpuprofile, *memprofile, *traceFile)
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProf()
+
+	if *benchspeed {
+		if err := benchSpeed(*insts, *benchruns, *benchout, *maxAllocs); err != nil {
+			stopProf()
+			fatal(err)
+		}
+		return
+	}
 
 	ctx := context.Background()
 	if *timeout > 0 {

@@ -8,6 +8,7 @@
 //	aosd -addr :8080 -j 4 -queue 128       # 4 sim workers, 128-deep queue
 //	aosd -cachedir /var/cache/aosd         # spill results to disk
 //	aosd -job-timeout 2m -max-insts 5e6    # interactive-scale guard rails
+//	aosd -pprof                            # mount /debug/pprof/ (opt-in)
 //
 // Because a simulation's result is a pure function of its spec
 // (benchmark, scheme, instruction budget, seed, sanitize), aosd caches
@@ -27,6 +28,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	netpprof "net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -44,6 +46,7 @@ func main() {
 	jobTimeout := flag.Duration("job-timeout", 0, "per-job wall-time limit (0 = none)")
 	maxInsts := flag.Uint64("max-insts", 0, "reject specs above this instruction budget (0 = none)")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown budget before canceling jobs")
+	pprof := flag.Bool("pprof", false, "expose net/http/pprof profiling handlers under /debug/pprof/")
 	flag.Parse()
 
 	if err := run(*addr, service.Config{
@@ -53,13 +56,13 @@ func main() {
 		CacheDir:        *cacheDir,
 		JobTimeout:      *jobTimeout,
 		MaxInstructions: *maxInsts,
-	}, *drain); err != nil {
+	}, *drain, *pprof); err != nil {
 		fmt.Fprintln(os.Stderr, "aosd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, cfg service.Config, drain time.Duration) error {
+func run(addr string, cfg service.Config, drain time.Duration, pprof bool) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	// BaseContext stays Background: a signal must drain jobs gracefully,
@@ -70,7 +73,22 @@ func run(addr string, cfg service.Config, drain time.Duration) error {
 	if err != nil {
 		return err
 	}
-	httpSrv := &http.Server{Addr: addr, Handler: svc.Handler()}
+	handler := svc.Handler()
+	if pprof {
+		// Profiling is opt-in: the handlers expose stack traces and heap
+		// contents, so they never ride along on a default deployment. The
+		// service mux owns every other path.
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", netpprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", netpprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", netpprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", netpprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", netpprof.Trace)
+		mux.Handle("/", handler)
+		handler = mux
+		fmt.Fprintf(os.Stderr, "aosd: pprof enabled at http://%s/debug/pprof/\n", addr)
+	}
+	httpSrv := &http.Server{Addr: addr, Handler: handler}
 
 	errc := make(chan error, 1)
 	go func() {

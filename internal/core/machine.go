@@ -89,6 +89,11 @@ type Machine struct {
 
 	sink   isa.Sink
 	counts isa.Counts
+	// batch, when non-nil, buffers emitted instructions so the sink
+	// receives them in EmitBatch-sized chunks (see SetBatch). counts are
+	// still updated per instruction at emit time, so Counts() — and the
+	// warmup boundary derived from it — are independent of batching.
+	batch []isa.Inst
 
 	pc       uint64
 	codeSize uint64
@@ -139,11 +144,45 @@ func New(cfg Config) (*Machine, error) {
 }
 
 // SetSink directs the emitted instruction stream (nil restores discard).
+// Pending batched instructions are flushed to the old sink first.
 func (m *Machine) SetSink(s isa.Sink) {
+	m.Flush()
 	if s == nil {
 		s = isa.NullSink{}
 	}
 	m.sink = s
+}
+
+// EmitBatchSize is the default emission batch capacity: large enough to
+// amortize the per-batch interface dispatch into noise, small enough that
+// the buffer stays L1/L2-resident.
+const EmitBatchSize = 512
+
+// SetBatch switches emission batching: n > 1 buffers up to n instructions
+// and delivers them through the sink's EmitBatch (isa.BatchSink) — or
+// one-at-a-time Emit for plain sinks — while n <= 1 restores immediate
+// per-instruction delivery. Pending instructions are flushed on every
+// transition. Batching reorders nothing: each sink sees the exact scalar
+// instruction order, just in chunks, so timing results are unchanged.
+// Callers that read sink-side state mid-stream (e.g. resetting timing
+// statistics at a warmup boundary) must Flush first; workload.RunCtx does.
+func (m *Machine) SetBatch(n int) {
+	m.Flush()
+	if n <= 1 {
+		m.batch = nil
+		return
+	}
+	m.batch = make([]isa.Inst, 0, n)
+}
+
+// Flush delivers any buffered instructions to the sink. It is a no-op
+// when batching is off or the buffer is empty.
+func (m *Machine) Flush() {
+	if len(m.batch) == 0 {
+		return
+	}
+	isa.EmitAll(m.sink, m.batch)
+	m.batch = m.batch[:0]
 }
 
 // Counts returns the dynamic instruction statistics accumulated so far
@@ -162,6 +201,22 @@ func (m *Machine) emit(in isa.Inst) {
 	if m.pc >= m.codeSize {
 		m.pc = 0
 	}
+	if m.batch != nil {
+		m.batch = append(m.batch, in)
+		m.counts.Add(&m.batch[len(m.batch)-1])
+		if len(m.batch) == cap(m.batch) {
+			m.Flush()
+		}
+		return
+	}
+	m.emitScalar(in)
+}
+
+// emitScalar delivers one instruction straight to the sink. It is a
+// separate function so that taking the instruction's address for the
+// interface call — which makes it escape — heap-allocates only on the
+// scalar path, keeping batched emit() allocation-free.
+func (m *Machine) emitScalar(in isa.Inst) {
 	m.counts.Add(&in)
 	m.sink.Emit(&in)
 }

@@ -130,14 +130,14 @@ type Core struct {
 	commitCycle uint64
 	commitUsed  int
 
-	// Port schedulers: reservations tracked per cycle in pruned windows so
-	// out-of-order start times interleave correctly. The bounds port is the
-	// L1-B lookup port; the data ports are the L1-D read ports. Without an
-	// L1-B, bounds lookups contend for the data ports (§V-F1's motivation).
-	portUsed   map[uint64]int
-	portFloor  uint64
-	dPortUsed  map[uint64]int
-	dPortFloor uint64
+	// Port schedulers: per-cycle start-slot reservations in a dense ring
+	// window over the commit frontier (see portsched.go), so out-of-order
+	// start times interleave correctly without per-access map probes. The
+	// bounds port is the L1-B lookup port; the data ports are the L1-D
+	// read ports. Without an L1-B, bounds lookups contend for the data
+	// ports (§V-F1's motivation).
+	port  portSched
+	dPort portSched
 
 	// MSHR rings: completion times of the N most recent outstanding misses
 	// on each path; a new miss waits for the oldest slot.
@@ -150,8 +150,16 @@ type Core struct {
 	// pacia/autia/pacma (4-cycle occupancy each).
 	cryptoFree uint64
 
-	bndstrDrain  map[uint16]uint64 // PAC -> in-flight bounds-store drain cycle
-	checked      uint64
+	// bndstrDrain is the in-flight bounds-store drain table, indexed
+	// directly by PAC: bndstrDrain[pac] is the cycle the most recent bndstr
+	// with that PAC finishes draining through the write buffer (0 = never).
+	// Invalidation is implicit in the cycle arithmetic: issue cycles only
+	// grow, so an entry whose drain cycle has passed can never satisfy
+	// `drain > issue` again — a recycled PAC from a long-past bndstr cannot
+	// trigger a spurious forward, and no sweep or epoch bump is needed
+	// (TestBndstrDrainStaleness pins this).
+	bndstrDrain []uint64
+	checked     uint64
 	boundsAccess uint64
 	forwards     uint64
 	resizes      int
@@ -160,6 +168,11 @@ type Core struct {
 	insts uint64
 	// statsSince is the commit cycle at the last ResetStats (warmup end).
 	statsSince uint64
+
+	// wayScratch is the reusable buffer checkWays fills: the MCQ FSM's way
+	// sequence is consumed before the next instruction, so one buffer per
+	// core keeps the signed-access path allocation-free.
+	wayScratch []int
 
 	// observer, when set, receives per-instruction pipeline timestamps
 	// (debug/visualization; nil in normal runs).
@@ -201,9 +214,10 @@ func New(cfg Config) *Core {
 		mcqRing:     make([]uint64, cfg.MCQSize),
 		dMSHR:       make([]uint64, cfg.DataMSHRs),
 		bMSHR:       make([]uint64, cfg.BoundsMSHRs),
-		portUsed:    make(map[uint64]int),
-		dPortUsed:   make(map[uint64]int),
-		bndstrDrain: make(map[uint16]uint64),
+		port:        newPortSched(cfg.BoundsPortWidth),
+		dPort:       newPortSched(cfg.DataPortWidth),
+		bndstrDrain: make([]uint64, 1<<16),
+		wayScratch:  make([]int, 0, 64),
 		lastLine:    ^uint64(0),
 	}
 }
@@ -280,59 +294,36 @@ func execLatency(op isa.Op) uint64 {
 	}
 }
 
-// reserve finds the first cycle >= at with a free start slot in the given
-// per-cycle reservation map and reserves it.
-func reserve(used map[uint64]int, floor *uint64, width int, at uint64) uint64 {
-	if at < *floor {
-		at = *floor
-	}
-	for used[at] >= width {
-		at++
-	}
-	used[at]++
-	return at
-}
-
 // reservePort reserves a bounds-lookup port start slot. With an L1-B, the
 // MCU owns a dedicated lookup port. Without one, the LSU arbitrates: the
 // MCU still gets at most BoundsPortWidth grants per cycle, and each grant
 // also occupies one of the L1-D data ports (displacing loads).
 func (c *Core) reservePort(at uint64) uint64 {
 	if c.hier.HasBoundsCache() {
-		return reserve(c.portUsed, &c.portFloor, c.cfg.BoundsPortWidth, at)
+		return c.port.reserve(at)
 	}
-	grant := reserve(c.portUsed, &c.portFloor, c.cfg.BoundsPortWidth, at)
-	return reserve(c.dPortUsed, &c.dPortFloor, c.cfg.DataPortWidth, grant)
+	grant := c.port.reserve(at)
+	return c.dPort.reserve(grant)
 }
 
 // reserveDataPort reserves an L1-D access start slot.
 func (c *Core) reserveDataPort(at uint64) uint64 {
-	return reserve(c.dPortUsed, &c.dPortFloor, c.cfg.DataPortWidth, at)
+	return c.dPort.reserve(at)
 }
 
-// prunePorts drops reservation bookkeeping for cycles that can no longer
-// receive starts (anything well behind the commit frontier).
+// prunePorts advances the schedulers' window floors behind the commit
+// frontier on the historical cadence (every pruneEvery instructions, to
+// lastCommit-pruneMargin). With the ring schedulers this is O(advance)
+// slot clearing instead of a sweep over live map keys, but the floor
+// values themselves — which clamp reservation start cycles in deeply
+// memory-bound phases — are unchanged.
 func (c *Core) prunePorts() {
 	below := uint64(0)
-	if c.lastCommit > 4096 {
-		below = c.lastCommit - 4096
+	if c.lastCommit > pruneMargin {
+		below = c.lastCommit - pruneMargin
 	}
-	if below > c.portFloor {
-		for cyc := range c.portUsed { //aoslint:allow mapiter — order-free prune: each key tested independently
-			if cyc < below {
-				delete(c.portUsed, cyc)
-			}
-		}
-		c.portFloor = below
-	}
-	if below > c.dPortFloor {
-		for cyc := range c.dPortUsed { //aoslint:allow mapiter — order-free prune: each key tested independently
-			if cyc < below {
-				delete(c.dPortUsed, cyc)
-			}
-		}
-		c.dPortFloor = below
-	}
+	c.port.advance(below)
+	c.dPort.advance(below)
 }
 
 // mcuAccess performs one bounds-line access starting no earlier than at,
@@ -360,44 +351,58 @@ func (c *Core) mcuAccess(at uint64, addr uint64, write bool) uint64 {
 // checkWays returns the sequence of HBT ways the MCQ FSM visits for a
 // load/store check, using the BWB exactly as §V-C describes: a hit starts
 // the search at the remembered way; a miss (or a stale hint) searches from
-// way 0.
+// way 0. The returned slice aliases the core's scratch buffer and is valid
+// only until the next checkWays call — callers consume it immediately, so
+// the signed-access hot path performs no allocation.
 func (c *Core) checkWays(in *isa.Inst) []int {
+	ways := c.wayScratch[:0]
 	home := int(in.HomeWay)
 	assoc := int(in.Assoc)
 	if home < 0 {
 		// Bounds-check failure: the search visits every way.
-		ways := make([]int, assoc)
-		for i := range ways {
-			ways[i] = i
+		for i := 0; i < assoc; i++ {
+			ways = append(ways, i)
 		}
+		c.wayScratch = ways
 		return ways
 	}
 	if c.bwb != nil {
 		tag := mcu.BWBTag(pa.VA(in.Addr), in.AHC, in.PAC)
 		if w, ok := c.bwb.Lookup(tag); ok && w < assoc {
 			if w == home {
-				return []int{w}
+				ways = append(ways, w)
+				c.wayScratch = ways
+				return ways
 			}
 			// Stale hint: the FSM falls back to a way-0 search.
-			ways := make([]int, 0, home+2)
 			ways = append(ways, w)
 			for i := 0; i <= home; i++ {
 				ways = append(ways, i)
 			}
+			c.wayScratch = ways
 			return ways
 		}
 	}
-	ways := make([]int, home+1)
-	for i := range ways {
-		ways[i] = i
+	for i := 0; i <= home; i++ {
+		ways = append(ways, i)
 	}
+	c.wayScratch = ways
 	return ways
+}
+
+// EmitBatch processes a batch of instructions in order; implements
+// isa.BatchSink. Identical to per-instruction Emit calls — batching only
+// amortizes the producer's interface dispatch and improves locality.
+func (c *Core) EmitBatch(batch []isa.Inst) {
+	for i := range batch {
+		c.Emit(&batch[i])
+	}
 }
 
 // Emit processes one instruction; implements isa.Sink.
 func (c *Core) Emit(in *isa.Inst) {
 	c.insts++
-	if c.insts%8192 == 0 {
+	if c.insts%pruneEvery == 0 {
 		c.prunePorts()
 	}
 
@@ -477,7 +482,7 @@ func (c *Core) Emit(in *isa.Inst) {
 		c.checked++
 		fw := false
 		if c.cfg.MCU.Forwarding {
-			if drain, ok := c.bndstrDrain[in.PAC]; ok && drain > issue {
+			if drain := c.bndstrDrain[in.PAC]; drain > issue {
 				// An in-flight bndstr with this PAC: forward its bounds.
 				fw = true
 				c.forwards++
@@ -486,7 +491,7 @@ func (c *Core) Emit(in *isa.Inst) {
 		}
 		if !fw {
 			start := issue
-			if drain, ok := c.bndstrDrain[in.PAC]; ok && drain > start && !c.cfg.MCU.Forwarding {
+			if drain := c.bndstrDrain[in.PAC]; drain > start && !c.cfg.MCU.Forwarding {
 				// Without forwarding the check replays until the bounds
 				// store drains (§V-E).
 				start = drain

@@ -1,0 +1,96 @@
+package cpu
+
+import (
+	"testing"
+
+	"aos/internal/isa"
+)
+
+// TestBndstrDrainStaleness pins the PAC-reuse contract of the direct-indexed
+// drain table: a bndstr's drain cycle may forward an immediately following
+// check, but once simulated time has moved past it — further than the whole
+// port-scheduler window, so the table entry is long stale — a reused PAC
+// must take the full bounds-check path, not a spurious forward.
+func TestBndstrDrainStaleness(t *testing.T) {
+	c := New(DefaultConfig()) // forwarding enabled
+	pac := uint16(7)
+	row := uint64(0x3000_0000_0000)
+	sign := func(in isa.Inst) isa.Inst {
+		in.Signed = true
+		in.PAC = pac
+		in.AHC = 2
+		in.HomeWay = 0
+		in.Assoc = 1
+		in.RowAddr = row
+		return in
+	}
+	bnd := sign(isa.Inst{Op: isa.OpBndstr, PC: 0x400000, Addr: 0x2000_0000_0000,
+		Dest: isa.RegNone, Src1: isa.RegNone, Src2: isa.RegNone})
+	c.Emit(&bnd)
+	st := sign(isa.Inst{Op: isa.OpStore, PC: 0x400004, Addr: 0x2000_0000_0000, Size: 8,
+		Dest: isa.RegNone, Src1: isa.RegNone, Src2: isa.RegNone})
+	c.Emit(&st)
+	fresh := c.forwards
+	if fresh == 0 {
+		t.Fatal("control failed: check right behind its bndstr did not forward")
+	}
+
+	// Drag simulated time far past the drain cycle (and past the scheduler
+	// window) with a DRAM-missing dependent load chain.
+	for i := 0; i < 2000; i++ {
+		in := isa.Inst{Op: isa.OpLoad, PC: 0x400000 + uint64(4*(i%64)),
+			Addr: 0x4000_0000_0000 + uint64(i)*4096, Size: 8,
+			Dest: 1, Src1: 1, Src2: isa.RegNone}
+		c.Emit(&in)
+	}
+	if gap := c.lastCommit; gap < portWindow {
+		t.Fatalf("chain advanced only %d cycles, need > %d for a stale-window gap", gap, portWindow)
+	}
+
+	boundsBefore := c.boundsAccess
+	reuse := sign(isa.Inst{Op: isa.OpLoad, PC: 0x400008, Addr: 0x2000_0000_0000, Size: 8,
+		Dest: 2, Src1: isa.RegNone, Src2: isa.RegNone})
+	c.Emit(&reuse)
+	if c.forwards != fresh {
+		t.Errorf("stale drain entry forwarded a reused PAC: forwards %d -> %d", fresh, c.forwards)
+	}
+	if c.boundsAccess == boundsBefore {
+		t.Error("reused-PAC check performed no bounds accesses; it must take the full path")
+	}
+}
+
+// TestCoreEmitAllocsSteadyState is the zero-allocation guard for the timing
+// hot path: once the core is warm, emitting instructions — loads, checked
+// accesses, bounds ops, branches — must not allocate at all.
+func TestCoreEmitAllocsSteadyState(t *testing.T) {
+	c := New(DefaultConfig())
+	batch := make([]isa.Inst, 0, 4096)
+	for i := 0; i < 1024; i++ {
+		pac := uint16(i % 48)
+		row := 0x3000_0000_0000 + uint64(pac)*64
+		addr := 0x2000_0000_0000 + uint64(pac)*4096 + uint64(i%8)*64
+		batch = append(batch,
+			isa.Inst{Op: isa.OpALU, PC: 0x400000 + uint64(4*(i%256)),
+				Dest: uint8(1 + i%24), Src1: isa.RegNone, Src2: isa.RegNone},
+			isa.Inst{Op: isa.OpLoad, PC: 0x400100 + uint64(4*(i%64)),
+				Addr: addr, Size: 8, Signed: true, PAC: pac, AHC: 3,
+				HomeWay: 0, Assoc: 1, RowAddr: row,
+				Dest: uint8(1 + i%16), Src1: isa.RegNone, Src2: isa.RegNone},
+			isa.Inst{Op: isa.OpBranch, PC: 0x400200 + uint64(4*(i%64)),
+				BranchID: uint32(i % 8), Taken: i%3 != 0,
+				Dest: isa.RegNone, Src1: isa.RegNone, Src2: isa.RegNone},
+			isa.Inst{Op: isa.OpBndstr, PC: 0x400300, Addr: addr, Signed: true,
+				PAC: pac, AHC: 3, HomeWay: 0, Assoc: 1, RowAddr: row,
+				Dest: isa.RegNone, Src1: isa.RegNone, Src2: isa.RegNone})
+	}
+	emit := func() {
+		for i := range batch {
+			c.Emit(&batch[i])
+		}
+	}
+	emit() // warm: caches, predictor and BWB populate their fixed structures
+	if allocs := testing.AllocsPerRun(20, emit); allocs != 0 {
+		t.Errorf("steady-state Emit allocates: %.1f allocs per %d-inst batch, want 0",
+			allocs, len(batch))
+	}
+}

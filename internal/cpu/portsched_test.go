@@ -1,0 +1,106 @@
+package cpu
+
+import "testing"
+
+// mapSched is the pre-ring reference implementation of the port reservation
+// scheme: a bare map of per-cycle counts plus a floor, exactly as the timing
+// core used before the ring scheduler replaced it. The ring must be
+// observably indistinguishable from it.
+type mapSched struct {
+	used  map[uint64]int
+	floor uint64
+	width int
+}
+
+func (m *mapSched) reserve(at uint64) uint64 {
+	if at < m.floor {
+		at = m.floor
+	}
+	for m.used[at] >= m.width {
+		at++
+	}
+	m.used[at]++
+	return at
+}
+
+func (m *mapSched) advance(newFloor uint64) {
+	if newFloor <= m.floor {
+		return
+	}
+	for k := range m.used {
+		if k < newFloor {
+			delete(m.used, k)
+		}
+	}
+	m.floor = newFloor
+}
+
+// TestPortSchedMatchesMapModel drives the ring scheduler and the old map
+// scheme with an identical reservation stream — including bursts that
+// overflow the ring window and periodic floor advances mid-burst — and
+// demands grant-for-grant equality.
+func TestPortSchedMatchesMapModel(t *testing.T) {
+	for _, width := range []int{1, 2, 3} {
+		s := newPortSched(width)
+		ref := &mapSched{used: map[uint64]int{}, width: width}
+		rng := uint64(0x9E3779B97F4A7C15)
+		next := func(mod uint64) uint64 {
+			rng = rng*6364136223846793005 + 1442695040888963407
+			return (rng >> 33) % mod
+		}
+		cur := uint64(0)
+		for i := 0; i < 300_000; i++ {
+			cur += next(48)
+			at := cur
+			switch next(16) {
+			case 0:
+				// Far-future reservation: lands beyond the ring window and
+				// must spill to the overflow map.
+				at += portWindow + next(portWindow)
+			case 1:
+				// Below-floor request: exercises the clamp.
+				at = cur / 2
+			}
+			got, want := s.reserve(at), ref.reserve(at)
+			if got != want {
+				t.Fatalf("width %d, step %d: reserve(%d) = %d, map model says %d",
+					width, i, at, got, want)
+			}
+			if i%4096 == 0 {
+				floor := uint64(0)
+				if cur > 2048 {
+					floor = cur - 2048
+				}
+				s.advance(floor)
+				ref.advance(floor)
+			}
+		}
+	}
+}
+
+// TestPortSchedAdvanceBeyondWindow covers the whole-ring reset path: a jump
+// of more than the window must clear every slot and re-anchor the base.
+func TestPortSchedAdvanceBeyondWindow(t *testing.T) {
+	s := newPortSched(1)
+	for i := uint64(0); i < 10; i++ {
+		s.reserve(i)
+	}
+	far := uint64(5 * portWindow)
+	s.advance(far)
+	// Every cycle below the new base must be clamped up, and the window
+	// must be empty: consecutive reservations get consecutive cycles.
+	for i := uint64(0); i < 10; i++ {
+		if got := s.reserve(100); got != far+i {
+			t.Fatalf("after advance(%d): reservation %d granted %d, want %d", far, i, got, far+i)
+		}
+	}
+}
+
+func TestPortSchedWidthValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("newPortSched(0) did not panic")
+		}
+	}()
+	newPortSched(0)
+}

@@ -227,6 +227,9 @@ func runCustom(p *workload.Profile, o Options, mutate func(*cpu.Config), initial
 	}
 	c := cpu.New(cfg)
 	chk := o.sanitizer(instrument.AOS, m, c)
+	if !o.ScalarEmit {
+		m.SetBatch(core.EmitBatchSize)
+	}
 	prof := p.Clone()
 	if o.Instructions != 0 {
 		prof.Instructions = o.Instructions

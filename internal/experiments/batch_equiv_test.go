@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"aos/internal/instrument"
+)
+
+// TestMatrixBatchScalarEquivalence is the batching determinism contract:
+// the buffered emission path (machine-side EmitBatch) must produce a Matrix
+// — and byte-identical rendered figures — indistinguishable from per-
+// instruction scalar emission.
+func TestMatrixBatchScalarEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two matrix runs")
+	}
+	o := Options{Instructions: 8_000, Seed: 1, Workers: 4}
+	o.ScalarEmit = true
+	scalar, err := RunMatrix(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.ScalarEmit = false
+	batched, err := RunMatrix(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(scalar.Runs, batched.Runs) {
+		for _, b := range scalar.Benchmarks {
+			for _, s := range instrument.Schemes() {
+				if !reflect.DeepEqual(scalar.Runs[b][s], batched.Runs[b][s]) {
+					t.Errorf("%s/%v diverges:\n  scalar:  %+v\n  batched: %+v",
+						b, s, scalar.Runs[b][s], batched.Runs[b][s])
+				}
+			}
+		}
+		t.Fatal("matrix contents differ between scalar and batched emission")
+	}
+	f14s, err := Fig14(scalar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f14b, err := Fig14(batched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f14s.String() != f14b.String() {
+		t.Error("rendered Fig 14 differs between scalar and batched emission")
+	}
+	f18s, _ := Fig18(scalar)
+	f18b, _ := Fig18(batched)
+	if f18s.CSV() != f18b.CSV() {
+		t.Error("Fig 18 CSV differs between scalar and batched emission")
+	}
+}

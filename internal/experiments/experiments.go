@@ -56,6 +56,11 @@ type Options struct {
 	// Sanitize tees every job's instruction stream through the tracecheck
 	// protocol verifier and fails the job on any violation.
 	Sanitize bool
+	// ScalarEmit disables batched emission in every job (per-instruction
+	// Sink.Emit instead of EmitBatch chunks). Outputs are byte-identical
+	// either way — TestMatrixBatchScalarEquivalence pins that — so the
+	// switch exists for that test and for debugging.
+	ScalarEmit bool
 	// Context, when non-nil, cancels in-flight experiments: pool workers
 	// observe it between jobs, and each job's emission loop polls it
 	// mid-run, so a timeout or client abandon stops the whole matrix
@@ -149,6 +154,9 @@ func runOne(p *workload.Profile, scheme instrument.Scheme, v aosVariant, o Optio
 	cfg.MCU.Forwarding = !v.disableForwarding
 	c := cpu.New(cfg)
 	chk := o.sanitizer(scheme, m, c)
+	if !o.ScalarEmit {
+		m.SetBatch(core.EmitBatchSize)
+	}
 
 	prof := p.Clone() // independent copy: jobs may share *p across workers
 	if o.Instructions != 0 {

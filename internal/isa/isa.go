@@ -186,6 +186,33 @@ type Sink interface {
 	Emit(in *Inst)
 }
 
+// BatchSink is an optional Sink extension: a consumer that can accept a
+// whole batch of instructions in one call, amortizing interface dispatch
+// and improving locality on the simulation hot path. The batch slice is
+// only valid for the duration of the call — the producer reuses its
+// backing array — so implementations must not retain it (or pointers into
+// it) after EmitBatch returns.
+//
+// EmitBatch must be observationally identical to calling Emit once per
+// element in order; producers are free to pick either path.
+type BatchSink interface {
+	Sink
+	EmitBatch(batch []Inst)
+}
+
+// EmitAll delivers a batch to any Sink: through EmitBatch when the sink
+// supports batching, one Emit per instruction otherwise. It is the adapter
+// that keeps one-at-a-time sinks usable behind the batched emission path.
+func EmitAll(s Sink, batch []Inst) {
+	if bs, ok := s.(BatchSink); ok {
+		bs.EmitBatch(batch)
+		return
+	}
+	for i := range batch {
+		s.Emit(&batch[i])
+	}
+}
+
 // MultiSink fans one stream out to several sinks.
 type MultiSink []Sink
 
@@ -196,17 +223,36 @@ func (ms MultiSink) Emit(in *Inst) {
 	}
 }
 
+// EmitBatch implements BatchSink: each sink receives the whole batch in
+// turn (per-sink instruction order is identical to the scalar path; only
+// the interleaving *across* sinks differs, which no sink may depend on).
+func (ms MultiSink) EmitBatch(batch []Inst) {
+	for _, s := range ms {
+		EmitAll(s, batch)
+	}
+}
+
 // CountSink adapts Counts to the Sink interface.
 type CountSink struct{ Counts }
 
 // Emit implements Sink.
 func (c *CountSink) Emit(in *Inst) { c.Add(in) }
 
+// EmitBatch implements BatchSink.
+func (c *CountSink) EmitBatch(batch []Inst) {
+	for i := range batch {
+		c.Add(&batch[i])
+	}
+}
+
 // NullSink discards everything (functional-only runs).
 type NullSink struct{}
 
 // Emit implements Sink.
 func (NullSink) Emit(*Inst) {}
+
+// EmitBatch implements BatchSink.
+func (NullSink) EmitBatch([]Inst) {}
 
 // SliceStream adapts a materialized trace to the Stream interface.
 type SliceStream struct {

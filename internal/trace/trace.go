@@ -58,6 +58,14 @@ func NewWriter(w io.Writer) (*Writer, error) {
 	return tw, nil
 }
 
+// EmitBatch implements isa.BatchSink: records are serialized in order,
+// identically to scalar Emit calls.
+func (t *Writer) EmitBatch(batch []isa.Inst) {
+	for i := range batch {
+		t.Emit(&batch[i])
+	}
+}
+
 // Emit implements isa.Sink.
 func (t *Writer) Emit(in *isa.Inst) {
 	if t.err != nil {

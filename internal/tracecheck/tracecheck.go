@@ -300,6 +300,14 @@ func (c *Checker) Finish() []Violation {
 	return c.violations
 }
 
+// EmitBatch implements isa.BatchSink: every instruction is checked in
+// order, exactly as scalar Emit calls would.
+func (c *Checker) EmitBatch(batch []isa.Inst) {
+	for i := range batch {
+		c.Emit(&batch[i])
+	}
+}
+
 // Emit implements isa.Sink: checks one instruction and updates the shadow
 // state. The instruction is not mutated.
 func (c *Checker) Emit(in *isa.Inst) {

@@ -147,6 +147,10 @@ func (p *Profile) RunCtx(ctx context.Context, m *core.Machine, seed int64, warmu
 	if err := ctx.Err(); err != nil {
 		return fmt.Errorf("workload %s: canceled before start: %w", p.Name, err)
 	}
+	// With batched emission the sink must not be left holding back buffered
+	// instructions on any exit path (the caller finalizes the timing core
+	// or a protocol checker right after we return).
+	defer m.Flush()
 	rng := rand.New(rand.NewSource(seed))
 
 	// Warm-up: build the steady-state heap.
@@ -280,6 +284,11 @@ func (p *Profile) RunCtx(ctx context.Context, m *core.Machine, seed int64, warmu
 		}
 		if !warmed && produced >= warmupInsts {
 			warmed = true
+			// The warmup boundary is observed sink-side (timing-core stats
+			// reset): the core must have consumed every pre-boundary
+			// instruction before the callback runs, exactly as in scalar
+			// emission.
+			m.Flush()
 			onWarm()
 		}
 		r := rng.Float64()
