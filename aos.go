@@ -29,6 +29,7 @@ import (
 	"aos/internal/instrument"
 	"aos/internal/isa"
 	"aos/internal/kernel"
+	"aos/internal/telemetry"
 	"aos/internal/tracecheck"
 	"aos/internal/workload"
 )
@@ -133,16 +134,25 @@ type Options struct {
 	// equivalence test pins this); the scalar path exists for debugging
 	// and for that test.
 	ScalarEmit bool
+
+	// TelemetryInterval, when nonzero, attaches the flight recorder: the
+	// timing core samples every registered probe each TelemetryInterval
+	// commit cycles into Result.Timeline (telemetry.DefaultInterval is
+	// the conventional cadence). Telemetry is passive — results are
+	// byte-identical with it on or off (the sampled-vs-unsampled
+	// equivalence test pins this) — and costs nothing when disabled.
+	TelemetryInterval uint64
 }
 
 // System couples a functional AOS machine with a timing core. Every
 // operation performed on the machine streams into the timing model.
 type System struct {
-	machine *core.Machine
-	core    *cpu.Core
-	opts    Options
-	checker *tracecheck.Checker
-	extras  []isa.Sink
+	machine  *core.Machine
+	core     *cpu.Core
+	opts     Options
+	checker  *tracecheck.Checker
+	extras   []isa.Sink
+	timeline *telemetry.Timeline
 }
 
 // NewSystem builds a machine+core pair for the given options.
@@ -171,8 +181,32 @@ func NewSystem(opts Options) (*System, error) {
 		s.checker = tracecheck.New(opts.Scheme)
 		s.TeeSink(s.checker)
 	}
+	if opts.TelemetryInterval > 0 {
+		s.EnableTelemetry(opts.TelemetryInterval)
+	}
 	return s, nil
 }
+
+// EnableTelemetry attaches the flight recorder at the given sampling
+// interval (in commit cycles; 0 means telemetry.DefaultInterval) and
+// returns the timeline it records into. The timing core and the
+// functional machine register their probes in the timeline's shared
+// registry. Enable before emitting instructions; calling it twice
+// returns the existing timeline.
+func (s *System) EnableTelemetry(interval uint64) *telemetry.Timeline {
+	if s.timeline != nil {
+		return s.timeline
+	}
+	tl := telemetry.NewTimeline(telemetry.NewRegistry(), interval)
+	s.core.AttachTelemetry(tl)
+	s.machine.AttachTelemetry(tl)
+	s.timeline = tl
+	return tl
+}
+
+// Timeline returns the recorded telemetry timeline (nil when
+// telemetry was never enabled).
+func (s *System) Timeline() *telemetry.Timeline { return s.timeline }
 
 // Machine-facing operations (see internal/core for semantics).
 
@@ -262,6 +296,11 @@ type Result struct {
 	HBTAssoc int
 	// HBTResizes counts OS-handled table resizes (§IX-A.1).
 	HBTResizes int
+	// Timeline is the recorded telemetry (nil unless
+	// Options.TelemetryInterval was set or EnableTelemetry called).
+	// It is operational metadata: never part of canonical experiment
+	// output or cache-addressed result bytes.
+	Timeline *telemetry.Timeline
 }
 
 // Finalize stops the system and returns its results. Any batched
@@ -275,6 +314,7 @@ func (s *System) Finalize() Result {
 		Exceptions: s.machine.Exceptions(),
 		HBTAssoc:   s.machine.Table().Assoc(),
 		HBTResizes: len(s.machine.OS.Resizes()),
+		Timeline:   s.timeline,
 	}
 }
 

@@ -25,9 +25,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
+	"sync"
 	"time"
 
 	"aos/internal/experiments"
+	"aos/internal/instrument"
+	"aos/internal/telemetry"
 	"aos/internal/workload"
 )
 
@@ -44,6 +48,9 @@ func main() {
 	csv := flag.Bool("csv", false, "emit fig14/fig18 as CSV for plotting")
 	sanitize := flag.Bool("sanitize", false, "tee every run through the tracecheck protocol verifier; any violation fails the experiment")
 	timeout := flag.Duration("timeout", 0, "abort in-flight experiments after this duration (0 = no limit); canceled jobs fail with context errors")
+	timelinePath := flag.String("timeline", "", "write one matrix cell's Perfetto trace_event JSON timeline to this file (matrix experiments; see -timeline-cell)")
+	timelineCell := flag.String("timeline-cell", "mcf/AOS", "matrix cell to record, as benchmark/scheme (with -timeline)")
+	timelineInterval := flag.Uint64("timeline-interval", telemetry.DefaultInterval, "telemetry sampling interval in commit cycles (with -timeline)")
 	benchspeed := flag.Bool("benchspeed", false, "measure simulator throughput and allocations instead of running an experiment")
 	benchout := flag.String("benchout", "BENCH_simspeed.json", "output file for -benchspeed results")
 	benchruns := flag.Int("benchruns", 3, "measurement repetitions for -benchspeed")
@@ -98,6 +105,37 @@ func main() {
 	}
 
 	needMatrix := map[string]bool{"fig14": true, "fig16": true, "fig17": true, "fig18": true, "all": true}
+
+	// -timeline records one matrix cell's telemetry during the matrix
+	// run. Sampling is passive, so every other cell's numbers — and the
+	// rendered figures — are unchanged by the flag.
+	var tlMu sync.Mutex
+	var cellTimeline *telemetry.Timeline
+	if *timelinePath != "" {
+		if !needMatrix[*exp] {
+			fatal(fmt.Errorf("-timeline requires a matrix-backed experiment (fig14, fig16, fig17, fig18, all)"))
+		}
+		bench, schemeStr, ok := strings.Cut(*timelineCell, "/")
+		if !ok {
+			fatal(fmt.Errorf("-timeline-cell must be benchmark/scheme, got %q", *timelineCell))
+		}
+		if _, ok := workload.ByName(bench); !ok {
+			fatal(fmt.Errorf("-timeline-cell: unknown benchmark %q", bench))
+		}
+		cellScheme, err := instrument.ParseScheme(schemeStr)
+		if err != nil {
+			fatal(fmt.Errorf("-timeline-cell: %w", err))
+		}
+		o.TelemetryInterval = *timelineInterval
+		o.OnTimeline = func(b string, s instrument.Scheme, tl *telemetry.Timeline) {
+			if b == bench && s == cellScheme {
+				tlMu.Lock()
+				cellTimeline = tl
+				tlMu.Unlock()
+			}
+		}
+	}
+
 	var matrix *experiments.Matrix
 	var matrixWall time.Duration
 	if needMatrix[*exp] {
@@ -112,6 +150,22 @@ func main() {
 			fmt.Fprintln(os.Stderr, "aosbench: matrix jobs failed:", err)
 			os.Exit(1)
 		}
+	}
+
+	if *timelinePath != "" {
+		tlMu.Lock()
+		tl := cellTimeline
+		tlMu.Unlock()
+		if tl == nil {
+			fatal(fmt.Errorf("-timeline: matrix produced no timeline for cell %s", *timelineCell))
+		}
+		if err := writeCellTimeline(*timelinePath, *timelineCell, tl); err != nil {
+			fatal(err)
+		}
+		// The non-matrix experiments that also run under -exp all reuse o;
+		// they have no timeline sink, so stop sampling there.
+		o.TelemetryInterval = 0
+		o.OnTimeline = nil
 	}
 
 	if *jsonOut {
@@ -240,6 +294,34 @@ func stderrIsTerminal() bool {
 		return false
 	}
 	return fi.Mode()&os.ModeCharDevice != 0
+}
+
+// writeCellTimeline exports one matrix cell's telemetry as Perfetto
+// trace_event JSON and re-validates the written bytes with the in-tree
+// schema checker, so a malformed export fails the run instead of the UI.
+func writeCellTimeline(path, cell string, tl *telemetry.Timeline) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tl.WriteTraceEvents(f, "aosbench "+cell); err != nil {
+		f.Close()
+		return fmt.Errorf("timeline: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	st, err := telemetry.ValidateTraceJSON(data)
+	if err != nil {
+		return fmt.Errorf("timeline: %s fails validation: %w", path, err)
+	}
+	fmt.Fprintf(os.Stderr, "aosbench: timeline %s: %d events, %d counter tracks, %d slices (validated)\n",
+		path, st.Events, len(st.CounterTracks), st.Slices)
+	return nil
 }
 
 func fatal(err error) {

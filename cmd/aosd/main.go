@@ -27,6 +27,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	netpprof "net/http/pprof"
 	"os"
@@ -35,6 +36,7 @@ import (
 	"time"
 
 	"aos/internal/service"
+	"aos/internal/telemetry"
 )
 
 func main() {
@@ -47,22 +49,53 @@ func main() {
 	maxInsts := flag.Uint64("max-insts", 0, "reject specs above this instruction budget (0 = none)")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown budget before canceling jobs")
 	pprof := flag.Bool("pprof", false, "expose net/http/pprof profiling handlers under /debug/pprof/")
+	telemetryInterval := flag.Uint64("telemetry-interval", telemetry.DefaultInterval,
+		"flight-recorder sampling cadence in commit cycles for fresh runs (0 disables; summaries ride on job documents and SSE streams)")
+	logFormat := flag.String("log", "text", "structured log format: text or json")
+	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
 	flag.Parse()
 
-	if err := run(*addr, service.Config{
-		Workers:         *workers,
-		QueueDepth:      *queue,
-		CacheBytes:      *cacheBytes,
-		CacheDir:        *cacheDir,
-		JobTimeout:      *jobTimeout,
-		MaxInstructions: *maxInsts,
-	}, *drain, *pprof); err != nil {
+	logger, err := buildLogger(*logFormat, *logLevel)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "aosd:", err)
+		os.Exit(1)
+	}
+
+	if err := run(*addr, service.Config{
+		Workers:           *workers,
+		QueueDepth:        *queue,
+		CacheBytes:        *cacheBytes,
+		CacheDir:          *cacheDir,
+		JobTimeout:        *jobTimeout,
+		MaxInstructions:   *maxInsts,
+		TelemetryInterval: *telemetryInterval,
+		Logger:            logger,
+	}, *drain, *pprof, logger); err != nil {
+		logger.Error("exiting", "error", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, cfg service.Config, drain time.Duration, pprof bool) error {
+// buildLogger assembles the daemon's structured logger. All aosd
+// diagnostics flow through it; per-job records (added by the service)
+// carry the job's correlation ID.
+func buildLogger(format, level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("bad -log-level %q: %w", level, err)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("bad -log %q (want text or json)", format)
+	}
+}
+
+func run(addr string, cfg service.Config, drain time.Duration, pprof bool, logger *slog.Logger) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	// BaseContext stays Background: a signal must drain jobs gracefully,
@@ -86,13 +119,14 @@ func run(addr string, cfg service.Config, drain time.Duration, pprof bool) error
 		mux.HandleFunc("/debug/pprof/trace", netpprof.Trace)
 		mux.Handle("/", handler)
 		handler = mux
-		fmt.Fprintf(os.Stderr, "aosd: pprof enabled at http://%s/debug/pprof/\n", addr)
+		logger.Info("pprof enabled", "url", "http://"+addr+"/debug/pprof/")
 	}
 	httpSrv := &http.Server{Addr: addr, Handler: handler}
 
 	errc := make(chan error, 1)
 	go func() {
-		fmt.Fprintf(os.Stderr, "aosd: serving on %s\n", addr)
+		logger.Info("serving", "addr", addr, "workers", cfg.Workers,
+			"queue_depth", cfg.QueueDepth, "telemetry_interval", cfg.TelemetryInterval)
 		errc <- httpSrv.ListenAndServe()
 	}()
 
@@ -104,15 +138,15 @@ func run(addr string, cfg service.Config, drain time.Duration, pprof bool) error
 
 	// Graceful drain: stop accepting connections, let queued and running
 	// jobs finish, then force-cancel whatever remains past the budget.
-	fmt.Fprintln(os.Stderr, "aosd: shutting down; draining jobs")
+	logger.Info("shutting down; draining jobs", "budget", drain)
 	stop() // a second signal now kills the process immediately
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), drain)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		fmt.Fprintln(os.Stderr, "aosd: http shutdown:", err)
+		logger.Warn("http shutdown", "error", err)
 	}
 	svc.Close(shutdownCtx)
 	<-errc // ListenAndServe has returned ErrServerClosed
-	fmt.Fprintln(os.Stderr, "aosd: drained")
+	logger.Info("drained")
 	return nil
 }

@@ -12,6 +12,7 @@ import (
 	"aos"
 	"aos/internal/cpu"
 	"aos/internal/isa"
+	"aos/internal/telemetry"
 	"aos/internal/trace"
 	"aos/internal/tracecheck"
 )
@@ -30,6 +31,9 @@ func main() {
 	pipetrace := flag.Int("pipetrace", 0, "print pipeline timestamps for the first N instructions")
 	replay := flag.String("replay", "", "replay a recorded trace through the timing core (ignores -workload)")
 	nocheck := flag.Bool("nocheck", false, "disable the always-on tracecheck protocol sanitizer")
+	timeline := flag.String("timeline", "", "record cycle-sampled telemetry and write a Perfetto trace_event JSON timeline to this file")
+	timelineInterval := flag.Uint64("timeline-interval", telemetry.DefaultInterval, "telemetry sampling interval in commit cycles (with -timeline)")
+	validateTimeline := flag.Bool("validate-timeline", true, "validate the written timeline against the trace_event schema (with -timeline)")
 	flag.Parse()
 
 	if *list {
@@ -86,6 +90,9 @@ func main() {
 		DisableForwarding:  *noFwd,
 		Sanitize:           !*nocheck,
 	}
+	if *timeline != "" {
+		opts.TelemetryInterval = *timelineInterval
+	}
 	var r aos.Result
 	var err error
 	switch {
@@ -99,6 +106,12 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "aossim:", err)
 		os.Exit(1)
+	}
+	if *timeline != "" {
+		if err := writeTimeline(*timeline, r, w.Name, scheme, *validateTimeline); err != nil {
+			fmt.Fprintln(os.Stderr, "aossim:", err)
+			os.Exit(1)
+		}
 	}
 
 	fmt.Printf("workload %s under %s\n", w.Name, scheme)
@@ -123,6 +136,42 @@ func main() {
 	fmt.Printf("  HBT assoc        %12d (%d resizes)\n", r.HBTAssoc, r.HBTResizes)
 	fmt.Printf("  heap             allocs=%d frees=%d maxLive=%d\n", r.Heap.Allocs, r.Heap.Frees, r.Heap.MaxLive)
 	fmt.Printf("  violations       %12d\n", len(r.Exceptions))
+}
+
+// writeTimeline exports the run's telemetry as a Perfetto-loadable
+// trace_event JSON file, optionally re-reading it through the in-tree
+// schema validator so a bad export fails here, not in the UI.
+func writeTimeline(path string, r aos.Result, name string, scheme aos.Scheme, validate bool) error {
+	if r.Timeline == nil {
+		return fmt.Errorf("timeline: run recorded no telemetry")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	proc := fmt.Sprintf("aossim %s/%s", name, scheme)
+	if err := r.Timeline.WriteTraceEvents(f, proc); err != nil {
+		f.Close()
+		return fmt.Errorf("timeline: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if validate {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		st, err := telemetry.ValidateTraceJSON(data)
+		if err != nil {
+			return fmt.Errorf("timeline: %s fails validation: %w", path, err)
+		}
+		fmt.Printf("timeline %s: %d events, %d counter tracks, %d slices (validated)\n",
+			path, st.Events, len(st.CounterTracks), st.Slices)
+		return nil
+	}
+	fmt.Printf("timeline written to %s\n", path)
+	return nil
 }
 
 func perOp(n, d uint64) float64 {

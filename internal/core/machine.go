@@ -109,6 +109,10 @@ type Machine struct {
 	wdFreeLocks  []uint64
 	wdLockOf     map[uint64]uint64 // chunk base VA -> lock address
 	wdKeyOf      map[uint64]uint64 // chunk base VA -> key
+
+	// tel holds the machine-side flight-recorder probes (nil when
+	// telemetry is disabled; see telemetry.go).
+	tel *machineProbes
 }
 
 // New builds a machine for the given configuration.
@@ -364,6 +368,9 @@ func (m *Machine) Malloc(size uint64) (Ptr, error) {
 		return Ptr{}, err
 	}
 
+	if m.tel != nil {
+		defer m.telRefresh()
+	}
 	switch {
 	case m.Scheme.SignsDataPointers():
 		return m.signAndStore(va, size)
@@ -400,15 +407,22 @@ func (m *Machine) signAndStore(va, size uint64) (Ptr, error) {
 	resized := false
 	way, err := table.Insert(pacv, va, sizeOrMin(size))
 	if err == hbt.ErrTableFull {
+		oldBytes := table.SizeBytes()
 		if table, err = m.OS.HandleTableFull(); err != nil {
 			return Ptr{}, err
 		}
 		resized = true
+		if m.tel != nil {
+			m.tel.hbtMigrated.Add(oldBytes)
+		}
 		if way, err = table.Insert(pacv, va, sizeOrMin(size)); err != nil {
 			return Ptr{}, err
 		}
 	} else if err != nil {
 		return Ptr{}, err
+	}
+	if m.tel != nil {
+		m.tel.hbtInserts.Add(1)
 	}
 	m.emit(isa.Inst{Op: isa.OpBndstr, Addr: signed, Size: uint32(size),
 		Signed: true, PAC: pacv, AHC: pa.AHC(signed),
@@ -456,6 +470,9 @@ func (m *Machine) watchdogSetID(va, size uint64) uint64 {
 // allocator's work on the stripped pointer, and the re-signing pacma that
 // locks the dangling pointer.
 func (m *Machine) Free(p Ptr) error {
+	if m.tel != nil {
+		defer m.telRefresh()
+	}
 	switch {
 	case m.Scheme.SignsDataPointers():
 		return m.freeAOS(p)
@@ -478,6 +495,9 @@ func (m *Machine) freeAOS(p Ptr) error {
 	// bndclr: clear the bounds; failure means double free, a forged
 	// pointer, or free() of an address that was never signed.
 	way, found := table.Clear(pacv, va)
+	if m.tel != nil && found {
+		m.tel.hbtClears.Add(1)
+	}
 	homeWay := int8(way)
 	var excErr error
 	if !found || !p.Signed() {

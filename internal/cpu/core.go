@@ -158,8 +158,8 @@ type Core struct {
 	// `drain > issue` again — a recycled PAC from a long-past bndstr cannot
 	// trigger a spurious forward, and no sweep or epoch bump is needed
 	// (TestBndstrDrainStaleness pins this).
-	bndstrDrain []uint64
-	checked     uint64
+	bndstrDrain  []uint64
+	checked      uint64
 	boundsAccess uint64
 	forwards     uint64
 	resizes      int
@@ -177,6 +177,13 @@ type Core struct {
 	// observer, when set, receives per-instruction pipeline timestamps
 	// (debug/visualization; nil in normal runs).
 	observer func(in *isa.Inst, t Timestamps)
+
+	// tel is the flight recorder (nil when telemetry is disabled);
+	// nextSample mirrors its next-due commit cycle so the per-
+	// instruction check in Emit is a single compare against an
+	// unreachable sentinel when disabled (see telemetry.go).
+	tel        *coreTelemetry
+	nextSample uint64
 }
 
 // Timestamps are one instruction's pipeline event cycles.
@@ -219,6 +226,7 @@ func New(cfg Config) *Core {
 		bndstrDrain: make([]uint64, 1<<16),
 		wayScratch:  make([]int, 0, 64),
 		lastLine:    ^uint64(0),
+		nextSample:  ^uint64(0),
 	}
 }
 
@@ -244,6 +252,9 @@ func (c *Core) ResetStats() {
 	c.bp.ResetStats()
 	if c.bwb != nil {
 		c.bwb.ResetStats()
+	}
+	if c.tel != nil {
+		c.tel.onResetStats(c.lastCommit)
 	}
 }
 
@@ -334,6 +345,9 @@ func (c *Core) mcuAccess(at uint64, addr uint64, write bool) uint64 {
 	start := at
 	if !write {
 		start = c.reservePort(at)
+		if c.tel != nil {
+			c.tel.boundsPortWait.Add(start - at)
+		}
 	}
 	lat := c.hier.AccessBounds(addr, write)
 	c.boundsAccess++
@@ -408,6 +422,7 @@ func (c *Core) Emit(in *isa.Inst) {
 
 	fetch := c.fetch(in)
 	dispatch := fetch + uint64(c.cfg.FrontendDepth)
+	frontDispatch := dispatch
 
 	// Structural back-pressure: ROB, LQ/SQ, MCQ.
 	dispatch = max64(dispatch, c.robRing[c.robIdx])
@@ -423,6 +438,9 @@ func (c *Core) Emit(in *isa.Inst) {
 	}
 	if usesMCQ {
 		dispatch = max64(dispatch, c.mcqRing[c.mcqIdx])
+	}
+	if c.tel != nil {
+		c.telNoteDispatch(in, frontDispatch, dispatch, usesMCQ)
 	}
 	// Dispatch stalls back up the front end (this is how MCQ back-pressure
 	// throttles speculation).
@@ -447,6 +465,9 @@ func (c *Core) Emit(in *isa.Inst) {
 	switch {
 	case in.Op == isa.OpLoad:
 		start := c.reserveDataPort(issue)
+		if c.tel != nil {
+			c.tel.dataPortWait.Add(start - issue)
+		}
 		lat := c.hier.AccessData(va, false)
 		if lat > 1 {
 			// L1-D miss: allocate an MSHR; a full MSHR file stalls the miss.
@@ -515,6 +536,9 @@ func (c *Core) Emit(in *isa.Inst) {
 			if c.bwb != nil {
 				c.bwb.Invalidate()
 			}
+			if c.tel != nil {
+				c.telNoteResize(in, issue, oldBytes)
+			}
 		}
 		// Occupancy-check walk over ways 0..HomeWay.
 		t := issue
@@ -562,6 +586,11 @@ func (c *Core) Emit(in *isa.Inst) {
 	c.commitUsed++
 	commit = c.commitCycle
 	c.lastCommit = commit
+	if commit >= c.nextSample {
+		// Telemetry sample boundary (nextSample is an unreachable
+		// sentinel when disabled; see AttachTelemetry).
+		c.takeSample()
+	}
 
 	// Post-commit effects.
 	release := commit

@@ -30,6 +30,7 @@ import (
 	"aos/internal/qarma"
 	"aos/internal/runner"
 	"aos/internal/stats"
+	"aos/internal/telemetry"
 	"aos/internal/tracecheck"
 	"aos/internal/workload"
 )
@@ -67,6 +68,18 @@ type Options struct {
 	// promptly. Canceled jobs surface context errors in the usual per-job
 	// error aggregation. Nil means context.Background().
 	Context context.Context
+	// TelemetryInterval, when nonzero, attaches the flight recorder to
+	// every job: each run samples its probes every TelemetryInterval
+	// commit cycles. Telemetry is passive — tables, figures and JSON
+	// documents are byte-identical with it on or off (the sampled-vs-
+	// unsampled equivalence test pins this) — so the switch only decides
+	// whether timelines exist to hand to OnTimeline.
+	TelemetryInterval uint64
+	// OnTimeline receives each job's finished timeline when
+	// TelemetryInterval is set. Jobs run on pool workers, so the
+	// callback must be safe for concurrent use; it is invoked once per
+	// successful run, after the run's last sample.
+	OnTimeline func(benchmark string, scheme instrument.Scheme, tl *telemetry.Timeline)
 }
 
 func (o Options) ctx() context.Context {
@@ -157,6 +170,12 @@ func runOne(p *workload.Profile, scheme instrument.Scheme, v aosVariant, o Optio
 	if !o.ScalarEmit {
 		m.SetBatch(core.EmitBatchSize)
 	}
+	var tl *telemetry.Timeline
+	if o.TelemetryInterval != 0 {
+		tl = telemetry.NewTimeline(telemetry.NewRegistry(), o.TelemetryInterval)
+		c.AttachTelemetry(tl)
+		m.AttachTelemetry(tl)
+	}
 
 	prof := p.Clone() // independent copy: jobs may share *p across workers
 	if o.Instructions != 0 {
@@ -182,6 +201,9 @@ func runOne(p *workload.Profile, scheme instrument.Scheme, v aosVariant, o Optio
 	counts.UnsignedStore -= warmCounts.UnsignedStore
 	for i := range counts.ByOp {
 		counts.ByOp[i] -= warmCounts.ByOp[i]
+	}
+	if tl != nil && o.OnTimeline != nil {
+		o.OnTimeline(p.Name, scheme, tl)
 	}
 	return runSummary{
 		Scheme:  scheme,

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"aos/internal/instrument"
+	"aos/internal/telemetry"
 	"aos/internal/workload"
 )
 
@@ -207,31 +208,63 @@ type SimResult struct {
 // JSON renders the result deterministically (the cached representation).
 func (r *SimResult) JSON() ([]byte, error) { return json.Marshal(r) }
 
+// RunConfig carries operational knobs for one simulation run that are
+// deliberately NOT part of the cell's identity: telemetry sampling and
+// progress reporting are passive (the result bytes are a pure function
+// of the SimSpec alone), so they must never enter SimSpec.Canonical —
+// a sampled run and an unsampled run address the same cache entry.
+type RunConfig struct {
+	// TelemetryInterval attaches the flight recorder at the given
+	// commit-cycle sampling cadence (0 disables telemetry).
+	TelemetryInterval uint64
+	// OnProgress, when non-nil, receives in-flight instruction progress
+	// (done, total — warmup included) on the simulation goroutine at
+	// the workload's cancellation-poll cadence plus once at completion.
+	OnProgress workload.ProgressFunc
+}
+
 // RunSpec executes one simulation cell. The spec is normalized first, so
 // callers may pass defaults; ctx cancels mid-run (the workload emission
 // loop polls it). The result is a pure function of the normalized spec.
 func RunSpec(ctx context.Context, spec SimSpec) (*SimResult, error) {
+	r, _, err := RunSpecFull(ctx, spec, RunConfig{})
+	return r, err
+}
+
+// RunSpecFull is RunSpec plus the operational extras: when
+// cfg.TelemetryInterval is set the run records a telemetry timeline
+// (returned alongside the result, nil otherwise), and cfg.OnProgress
+// streams instruction progress. Neither changes the SimResult bytes.
+func RunSpecFull(ctx context.Context, spec SimSpec, cfg RunConfig) (*SimResult, *telemetry.Timeline, error) {
 	spec, err := spec.Normalize()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	p, ok := workload.ByName(spec.Benchmark)
 	if !ok {
-		return nil, fmt.Errorf("spec: unknown benchmark %q", spec.Benchmark)
+		return nil, nil, fmt.Errorf("spec: unknown benchmark %q", spec.Benchmark)
 	}
 	scheme, err := instrument.ParseScheme(spec.Scheme)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
+	if cfg.OnProgress != nil {
+		ctx = workload.WithProgress(ctx, cfg.OnProgress)
+	}
+	var tl *telemetry.Timeline
 	o := Options{
-		Instructions: spec.Instructions,
-		Seed:         spec.Seed,
-		Sanitize:     spec.Sanitize,
-		Context:      ctx,
+		Instructions:      spec.Instructions,
+		Seed:              spec.Seed,
+		Sanitize:          spec.Sanitize,
+		Context:           ctx,
+		TelemetryInterval: cfg.TelemetryInterval,
+		OnTimeline: func(_ string, _ instrument.Scheme, t *telemetry.Timeline) {
+			tl = t
+		},
 	}
 	sum, err := runOne(p, scheme, aosVariant{}, o)
 	if err != nil {
-		return nil, fmt.Errorf("spec %s/%s: %w", spec.Benchmark, spec.Scheme, err)
+		return nil, nil, fmt.Errorf("spec %s/%s: %w", spec.Benchmark, spec.Scheme, err)
 	}
 	return &SimResult{
 		Spec:         spec,
@@ -244,5 +277,5 @@ func RunSpec(ctx context.Context, spec SimSpec) (*SimResult, error) {
 		HeapMaxLive:  sum.Heap.MaxLive,
 		HBTResizes:   sum.Resizes,
 		Exceptions:   sum.Excs,
-	}, nil
+	}, tl, nil
 }

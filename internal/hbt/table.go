@@ -90,6 +90,11 @@ func (t *Table) Assoc() int { return t.assoc }
 // SizeBytes returns the total table footprint.
 func (t *Table) SizeBytes() uint64 { return uint64(Rows) * uint64(t.assoc) * WayBytes }
 
+// Capacity returns the total number of bounds-entry slots
+// (Rows x assoc x slots-per-way); Live()/Capacity() is the table's
+// load factor, the quantity the resize policy reacts to.
+func (t *Table) Capacity() uint64 { return uint64(Rows) * uint64(t.assoc) * uint64(t.slots) }
+
 // Live returns the number of stored (nonzero) entries.
 func (t *Table) Live() int { return t.live }
 

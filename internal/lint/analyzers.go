@@ -5,6 +5,7 @@ import (
 	"go/constant"
 	"go/token"
 	"go/types"
+	"regexp"
 	"strings"
 )
 
@@ -306,6 +307,118 @@ var StatsTable = &Analyzer{
 			return true
 		})
 	},
+}
+
+// probeStyleRE is the probe-name style the telemetry registry enforces at
+// runtime (it panics on violations); the analyzer enforces the same shape
+// statically so a misnamed probe fails the lint gate, not a live run.
+var probeStyleRE = regexp.MustCompile(`^[a-z][a-z0-9]*(_[a-z0-9]+)+$`)
+
+// probeSubsystems are the subsystem prefixes a probe name may start with.
+// Extending the simulator with a new instrumented subsystem means adding
+// its prefix here — deliberately, in review — rather than minting ad-hoc
+// namespaces.
+var probeSubsystems = map[string]bool{
+	"cpu":  true,
+	"mcu":  true,
+	"hbt":  true,
+	"heap": true,
+}
+
+// ProbeName checks telemetry.Registry registrations (Counter, Gauge,
+// Histogram): the probe name must be a constant string in
+// lower_snake_case with a known subsystem prefix, and no name may be
+// registered twice within one function body. Constant names keep the
+// probe namespace statically auditable (grep finds every series a
+// dashboard can reference); the duplicate check catches the
+// copy-paste-and-forget-to-rename bug before the registry's runtime
+// panic does.
+var ProbeName = &Analyzer{
+	Name: "probename",
+	Doc:  "telemetry probe names are constant lower_snake strings with a known subsystem prefix, registered once",
+	Run: func(p *Pass) {
+		info := p.Pkg.Info
+		if info == nil {
+			return
+		}
+		for _, f := range p.Pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				checkProbeRegistrations(p, fd.Body)
+			}
+		}
+	},
+}
+
+// checkProbeRegistrations audits every Registry registration inside one
+// function body. Duplicate detection is scoped per function: separate
+// functions build separate registries, so the same name appearing in two
+// attach routines is fine, while the same name twice in one routine is
+// the bug the runtime panic exists for.
+func checkProbeRegistrations(p *Pass, body *ast.BlockStmt) {
+	info := p.Pkg.Info
+	seen := map[string]token.Pos{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !isRegistryRegistration(info, sel) || len(call.Args) == 0 {
+			return true
+		}
+		v := info.Types[call.Args[0]].Value
+		if v == nil || v.Kind() != constant.String {
+			p.Reportf(call.Args[0].Pos(),
+				"probe name passed to Registry.%s must be a constant string (dynamic names defeat the static probe audit)",
+				sel.Sel.Name)
+			return true
+		}
+		name := constant.StringVal(v)
+		if !probeStyleRE.MatchString(name) {
+			p.Reportf(call.Args[0].Pos(),
+				"probe name %q is not lower_snake_case with a subsystem prefix (want e.g. cpu_insts_total)", name)
+			return true
+		}
+		if prefix := name[:strings.IndexByte(name, '_')]; !probeSubsystems[prefix] {
+			p.Reportf(call.Args[0].Pos(),
+				"probe name %q starts with unknown subsystem %q (known: cpu, mcu, hbt, heap; extend the lint allowlist to add one)",
+				name, prefix)
+			return true
+		}
+		if prev, dup := seen[name]; dup {
+			p.Reportf(call.Pos(), "probe %q already registered in this function (line %d); the registry will panic at runtime",
+				name, p.Pkg.Fset.Position(prev).Line)
+			return true
+		}
+		seen[name] = call.Pos()
+		return true
+	})
+}
+
+// isRegistryRegistration matches Counter/Gauge/Histogram method calls
+// whose receiver is aos/internal/telemetry.Registry (or a pointer to it).
+func isRegistryRegistration(info *types.Info, sel *ast.SelectorExpr) bool {
+	switch sel.Sel.Name {
+	case "Counter", "Gauge", "Histogram":
+	default:
+		return false
+	}
+	t := info.TypeOf(sel.X)
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Name() == "Registry" && named.Obj().Pkg().Path() == "aos/internal/telemetry"
 }
 
 // isStatsNewTable matches stats.NewTable (qualified) and NewTable inside

@@ -17,6 +17,11 @@
 //     randomness are the other classic determinism leaks.
 //   - statstable: stats.Table rows must match the header arity declared at
 //     NewTable, statically preventing the misrendered-column class of bug.
+//   - probename: telemetry probe registrations use constant lower_snake
+//     names with a known subsystem prefix (cpu, mcu, hbt, heap), each
+//     registered at most once per function — the probe namespace stays
+//     grep-auditable and the registry's runtime panic is caught at lint
+//     time instead.
 //
 // A finding is suppressed by an annotation comment on the same line or the
 // line above: //aoslint:allow <analyzer> — reason.
@@ -112,7 +117,7 @@ func (p *Pass) allowedAt(pos token.Position) bool {
 
 // All returns the repo's analyzer suite.
 func All() []*Analyzer {
-	return []*Analyzer{Exhaustive, MapIter, DetRand, StatsTable}
+	return []*Analyzer{Exhaustive, MapIter, DetRand, StatsTable, ProbeName}
 }
 
 // Run applies the analyzers to the packages and returns the findings

@@ -63,6 +63,20 @@ func NewTable(header ...string) *Table { return &Table{header: header} }
 
 func (t *Table) AddRow(cells ...interface{}) { t.rows = append(t.rows, cells) }
 `,
+		"internal/telemetry/telemetry.go": `package telemetry
+
+type Counter struct{ v uint64 }
+type Gauge struct{ v uint64 }
+type Histogram struct{ n uint64 }
+
+type Registry struct{ names []string }
+
+func NewRegistry() *Registry { return &Registry{} }
+
+func (r *Registry) Counter(name string) *Counter { r.names = append(r.names, name); return new(Counter) }
+func (r *Registry) Gauge(name string) *Gauge { r.names = append(r.names, name); return new(Gauge) }
+func (r *Registry) Histogram(name string, bounds []uint64) *Histogram { r.names = append(r.names, name); return new(Histogram) }
+`,
 	}
 }
 
@@ -317,8 +331,75 @@ func Bad() time.Time { return time.Now() }
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(pkgs) != 4 {
-		t.Fatalf("subtree pattern selected %d packages, want 4", len(pkgs))
+	if len(pkgs) != 5 {
+		t.Fatalf("subtree pattern selected %d packages, want 5", len(pkgs))
+	}
+}
+
+func TestProbeName(t *testing.T) {
+	files := miniEnums()
+	files["internal/flight/flight.go"] = `package flight
+
+import "aos/internal/telemetry"
+
+const hitName = "mcu_bwb_hits_total"
+
+func Good(r *telemetry.Registry) {
+	r.Counter("cpu_insts_total")
+	r.Gauge("hbt_live_entries")
+	r.Histogram("heap_alloc_bytes", []uint64{16, 64})
+	r.Counter(hitName) // named constants are fine
+}
+
+func SeparateScope(r *telemetry.Registry) {
+	r.Counter("cpu_insts_total") // same name, different function: fine
+}
+
+func BadStyle(r *telemetry.Registry) {
+	r.Counter("cpuInstsTotal")
+	r.Gauge("cycles")
+}
+
+func BadPrefix(r *telemetry.Registry) {
+	r.Counter("tlb_misses_total")
+}
+
+func BadDynamic(r *telemetry.Registry, name string) {
+	r.Counter(name)
+}
+
+func BadDup(r *telemetry.Registry) {
+	r.Counter("mcu_forwards_total")
+	r.Counter("mcu_forwards_total")
+}
+
+func Allowed(r *telemetry.Registry) {
+	r.Counter("rng_draws_total") //aoslint:allow probename — prototype probe
+}
+
+type other struct{}
+
+func (other) Counter(name string) {}
+
+func NotARegistry(o other) {
+	o.Counter("whatever") // different receiver type: ignored
+}
+`
+	got := findingsOf(runLint(t, files), "probename")
+	if len(got) != 5 {
+		t.Fatalf("want 5 probename findings, got %v", got)
+	}
+	wantFragments := []string{
+		"not lower_snake_case",      // cpuInstsTotal
+		"not lower_snake_case",      // cycles (single segment)
+		"unknown subsystem \"tlb\"", // tlb_misses_total
+		"must be a constant string", // dynamic name
+		"already registered",        // duplicate
+	}
+	for i, frag := range wantFragments {
+		if !strings.Contains(got[i].Message, frag) {
+			t.Errorf("finding %d = %v, want fragment %q", i, got[i], frag)
+		}
 	}
 }
 

@@ -38,6 +38,15 @@ type BWBStats struct {
 	Misses uint64
 }
 
+// Delta returns the counter advance since a previous snapshot
+// (window arithmetic for cycle-sampled telemetry).
+func (s BWBStats) Delta(prev BWBStats) BWBStats {
+	return BWBStats{Hits: s.Hits - prev.Hits, Misses: s.Misses - prev.Misses}
+}
+
+// Lookups returns the total number of buffer probes.
+func (s BWBStats) Lookups() uint64 { return s.Hits + s.Misses }
+
 // HitRate returns hits/(hits+misses).
 func (s BWBStats) HitRate() float64 {
 	t := s.Hits + s.Misses

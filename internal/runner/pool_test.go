@@ -3,6 +3,7 @@ package runner
 import (
 	"context"
 	"errors"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -155,6 +156,72 @@ func TestPoolClose(t *testing.T) {
 		t.Errorf("post-Close submit: %v", err)
 	}
 	p.Close() // idempotent
+}
+
+// TestPoolPanicDuringFlush models the service's crash contract at the
+// pool layer: a task that panics mid-way through flushing telemetry —
+// after publishing partial state, with waiters parked on its done
+// channel — must not deadlock those waiters, double-close anything, or
+// corrupt the pool's in-flight accounting. The sync.Once finalize
+// pattern here is the one Server.runJob relies on.
+func TestPoolPanicDuringFlush(t *testing.T) {
+	p := NewPool(2, 8)
+	defer p.Close()
+
+	type jobState struct {
+		once    sync.Once
+		done    chan struct{}
+		flushed atomic.Int64
+	}
+	finalize := func(j *jobState) {
+		j.once.Do(func() { close(j.done) })
+	}
+
+	const n = 4
+	states := make([]*jobState, n)
+	for i := 0; i < n; i++ {
+		j := &jobState{done: make(chan struct{})}
+		states[i] = j
+		err := p.Submit(Task{Label: "flush", Run: func(context.Context) {
+			defer finalize(j) // the task's own recovery path
+			j.flushed.Add(1)  // partial flush state published...
+			finalize(j)       // ...and the normal completion path also fires
+			panic("flush interrupted")
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Every waiter wakes: the panic ran through both finalize paths and
+	// the sync.Once made the second one a no-op instead of a double-close.
+	for i, j := range states {
+		select {
+		case <-j.done:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("waiter %d deadlocked behind a panicking task", i)
+		}
+		if j.flushed.Load() != 1 {
+			t.Errorf("task %d flushed %d times", i, j.flushed.Load())
+		}
+	}
+	// The workers survived and the in-flight gauge returned to zero.
+	done := make(chan struct{})
+	if err := p.Submit(Task{Label: "after", Run: func(context.Context) { close(done) }}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("workers dead after panics")
+	}
+	deadline := time.After(5 * time.Second)
+	for p.InFlight() != 0 {
+		select {
+		case <-deadline:
+			t.Fatalf("InFlight = %d after tasks drained, want 0", p.InFlight())
+		case <-time.After(time.Millisecond):
+		}
+	}
 }
 
 // TestPoolPanicGuard: a panicking task must not kill its worker.

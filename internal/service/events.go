@@ -1,0 +1,115 @@
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+)
+
+// jobEvent is one frame of a job's SSE progress stream.
+type jobEvent struct {
+	// Type is progress (instruction progress), status (lifecycle
+	// transition) or done (terminal frame, stream ends after it).
+	Type   string `json:"type"`
+	Status string `json:"status,omitempty"`
+	// Done/Total are program instructions (warmup included).
+	Done    uint64  `json:"done,omitempty"`
+	Total   uint64  `json:"total,omitempty"`
+	Percent float64 `json:"percent,omitempty"`
+	Error   string  `json:"error,omitempty"`
+	// WallSeconds rides on the terminal frame.
+	WallSeconds float64 `json:"wall_seconds,omitempty"`
+}
+
+// broadcaster fans a job's event stream out to its SSE subscribers.
+// Publishes come from the simulation goroutine and must never block
+// on a slow client, so per-subscriber channels are buffered and a
+// full buffer drops the frame — progress is monotonic, and the
+// terminal frame is delivered out of band (the job's done channel),
+// so dropped intermediate frames cost nothing but granularity.
+type broadcaster struct {
+	mu     sync.Mutex
+	subs   map[chan jobEvent]struct{}
+	last   *jobEvent
+	closed bool
+}
+
+func newBroadcaster() *broadcaster {
+	return &broadcaster{subs: make(map[chan jobEvent]struct{})}
+}
+
+// publish fans ev out without blocking and remembers it for late
+// subscribers. No-op after close.
+func (b *broadcaster) publish(ev jobEvent) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.last = &ev
+	//aoslint:allow mapiter — frame delivery order across independent subscribers is unobservable
+	for ch := range b.subs {
+		select {
+		case ch <- ev:
+		default: // slow client: drop the frame, keep the stream live
+		}
+	}
+}
+
+// subscribe registers a new stream and returns it with the most
+// recent frame (nil when none yet). On a closed broadcaster the
+// returned channel is already closed.
+func (b *broadcaster) subscribe() (chan jobEvent, *jobEvent) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	ch := make(chan jobEvent, 16)
+	if b.closed {
+		close(ch)
+		return ch, b.last
+	}
+	b.subs[ch] = struct{}{}
+	return ch, b.last
+}
+
+// unsubscribe detaches and closes a stream. Safe after close (the
+// broadcaster already removed and closed every channel).
+func (b *broadcaster) unsubscribe(ch chan jobEvent) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, ok := b.subs[ch]; ok {
+		delete(b.subs, ch)
+		close(ch)
+	}
+}
+
+// close ends the stream: every subscriber channel is closed and
+// future publishes are dropped. Idempotent.
+func (b *broadcaster) close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.closed = true
+	//aoslint:allow mapiter — close order across independent subscribers is unobservable
+	for ch := range b.subs {
+		close(ch)
+	}
+	b.subs = nil
+}
+
+// writeSSE writes one named server-sent event with a JSON payload.
+func writeSSE(w http.ResponseWriter, name string, v any) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write([]byte("event: " + name + "\ndata: ")); err != nil {
+		return err
+	}
+	if _, err := w.Write(data); err != nil {
+		return err
+	}
+	_, err = w.Write([]byte("\n\n"))
+	return err
+}

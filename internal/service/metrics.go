@@ -22,10 +22,49 @@ type metrics struct {
 	jobsFailed   uint64
 	jobsCanceled uint64
 	simCycles    uint64 // cycles simulated by fresh (non-cached) runs
+	jobPanics    uint64 // run bodies that panicked (recovered into failed jobs)
+
+	progressEvents   uint64 // progress frames published to job event streams
+	telemetrySamples uint64 // flight-recorder rows captured across sampled jobs
+	sseActive        int64  // live /v1/jobs/{id}/events streams
 
 	wallCounts []uint64 // len(wallBuckets)+1 slots; last is the +Inf overflow
 	wallSum    float64
 	wallTotal  uint64
+}
+
+// observePanic counts a recovered run-body panic.
+func (m *metrics) observePanic() {
+	m.mu.Lock()
+	m.jobPanics++
+	m.mu.Unlock()
+}
+
+// observeProgress counts one published progress frame.
+func (m *metrics) observeProgress() {
+	m.mu.Lock()
+	m.progressEvents++
+	m.mu.Unlock()
+}
+
+// observeTelemetry accumulates a finished job's sample-row count.
+func (m *metrics) observeTelemetry(samples int) {
+	m.mu.Lock()
+	m.telemetrySamples += uint64(samples)
+	m.mu.Unlock()
+}
+
+// sseStart/sseEnd track live event streams.
+func (m *metrics) sseStart() {
+	m.mu.Lock()
+	m.sseActive++
+	m.mu.Unlock()
+}
+
+func (m *metrics) sseEnd() {
+	m.mu.Lock()
+	m.sseActive--
+	m.mu.Unlock()
 }
 
 // observeJob records one finished pool job.
@@ -98,6 +137,19 @@ func (m *metrics) render(w io.Writer, queued, inFlight int, cs CacheStats) {
 	fmt.Fprintf(w, "# HELP aosd_sim_cycles_total Simulated cycles computed by fresh runs.\n")
 	fmt.Fprintf(w, "# TYPE aosd_sim_cycles_total counter\n")
 	fmt.Fprintf(w, "aosd_sim_cycles_total %d\n", m.simCycles)
+
+	fmt.Fprintf(w, "# HELP aosd_job_panics_total Run bodies that panicked (recovered into failed jobs).\n")
+	fmt.Fprintf(w, "# TYPE aosd_job_panics_total counter\n")
+	fmt.Fprintf(w, "aosd_job_panics_total %d\n", m.jobPanics)
+	fmt.Fprintf(w, "# HELP aosd_progress_events_total Progress frames published to job event streams.\n")
+	fmt.Fprintf(w, "# TYPE aosd_progress_events_total counter\n")
+	fmt.Fprintf(w, "aosd_progress_events_total %d\n", m.progressEvents)
+	fmt.Fprintf(w, "# HELP aosd_telemetry_samples_total Flight-recorder rows captured by sampled jobs.\n")
+	fmt.Fprintf(w, "# TYPE aosd_telemetry_samples_total counter\n")
+	fmt.Fprintf(w, "aosd_telemetry_samples_total %d\n", m.telemetrySamples)
+	fmt.Fprintf(w, "# HELP aosd_sse_streams Live job event streams.\n")
+	fmt.Fprintf(w, "# TYPE aosd_sse_streams gauge\n")
+	fmt.Fprintf(w, "aosd_sse_streams %d\n", m.sseActive)
 
 	fmt.Fprintf(w, "# HELP aosd_job_wall_seconds Wall time of finished jobs.\n")
 	fmt.Fprintf(w, "# TYPE aosd_job_wall_seconds histogram\n")

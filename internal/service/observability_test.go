@@ -1,0 +1,328 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"aos/internal/experiments"
+	"aos/internal/telemetry"
+)
+
+// sseFrame is one parsed server-sent event.
+type sseFrame struct {
+	Event string
+	Data  map[string]any
+}
+
+// readSSE consumes an SSE stream until the terminal done frame (or EOF),
+// returning the frames in order.
+func readSSE(t *testing.T, body *bufio.Reader) []sseFrame {
+	t.Helper()
+	var frames []sseFrame
+	var cur sseFrame
+	for {
+		line, err := body.ReadString('\n')
+		if err != nil {
+			return frames
+		}
+		line = strings.TrimRight(line, "\n")
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			cur.Event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			cur.Data = map[string]any{}
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &cur.Data); err != nil {
+				t.Fatalf("bad SSE data %q: %v", line, err)
+			}
+		case line == "":
+			if cur.Event != "" {
+				frames = append(frames, cur)
+				if cur.Event == "done" {
+					return frames
+				}
+				cur = sseFrame{}
+			}
+		}
+	}
+}
+
+// TestJobEventsSSE drives a stubbed run that reports progress and
+// telemetry, and checks the SSE stream delivers progress frames and a
+// terminal done frame carrying the flight-recorder summary.
+func TestJobEventsSSE(t *testing.T) {
+	release := make(chan struct{})
+	stubRunSpecFull(t, func(ctx context.Context, spec experiments.SimSpec, cfg experiments.RunConfig) (*experiments.SimResult, *telemetry.Timeline, error) {
+		cfg.OnProgress(5_000, 10_000)
+		<-release
+		cfg.OnProgress(10_000, 10_000)
+		tl := telemetry.NewTimeline(telemetry.NewRegistry(), 64)
+		tl.Registry().Counter("cpu_insts_total").Add(10_000)
+		tl.Sample(64, 10_000)
+		return fakeResult(spec), tl, nil
+	})
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 8, TelemetryInterval: 64})
+
+	_, doc := postJob(t, ts, `{"benchmark": "mcf", "scheme": "AOS", "instructions": 10000}`)
+	if doc.ID == "" {
+		t.Fatal("no job id")
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + doc.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q, want text/event-stream", ct)
+	}
+	close(release)
+	frames := readSSE(t, bufio.NewReader(resp.Body))
+	if len(frames) == 0 {
+		t.Fatal("no SSE frames")
+	}
+	last := frames[len(frames)-1]
+	if last.Event != "done" {
+		t.Fatalf("last frame = %q, want done", last.Event)
+	}
+	if last.Data["status"] != statusDone {
+		t.Fatalf("done frame status = %v", last.Data["status"])
+	}
+	tel, ok := last.Data["telemetry"].(map[string]any)
+	if !ok {
+		t.Fatalf("done frame carries no telemetry summary: %v", last.Data)
+	}
+	if tel["samples"].(float64) != 1 {
+		t.Errorf("telemetry samples = %v, want 1", tel["samples"])
+	}
+	var sawProgress bool
+	for _, f := range frames {
+		if f.Event == "progress" {
+			sawProgress = true
+			if f.Data["total"].(float64) != 10_000 {
+				t.Errorf("progress total = %v", f.Data["total"])
+			}
+		}
+	}
+	if !sawProgress {
+		t.Error("stream delivered no progress frames")
+	}
+
+	// The job document now carries the same summary, and the stream of
+	// an already-finished job answers immediately with the done frame.
+	final := pollJob(t, ts, doc.ID)
+	if final.Telemetry == nil || final.Telemetry.Samples != 1 {
+		t.Fatalf("job doc telemetry = %+v", final.Telemetry)
+	}
+	if final.Telemetry.Final["cpu_insts_total"] != 10_000 {
+		t.Errorf("summary final counters = %v", final.Telemetry.Final)
+	}
+	resp2, err := http.Get(ts.URL + "/v1/jobs/" + doc.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	frames2 := readSSE(t, bufio.NewReader(resp2.Body))
+	if len(frames2) != 1 || frames2[0].Event != "done" {
+		t.Fatalf("finished-job stream = %+v, want single done frame", frames2)
+	}
+}
+
+// TestJobPanicFinalize pins the crash contract: a run body that panics
+// mid-flight (an in-progress telemetry flush, say) must finish as a
+// failed job — SSE subscribers get the done frame, pollers see the
+// error, nothing deadlocks or double-closes, and /metrics counts it.
+func TestJobPanicFinalize(t *testing.T) {
+	armed := make(chan struct{})
+	stubRunSpecFull(t, func(ctx context.Context, spec experiments.SimSpec, cfg experiments.RunConfig) (*experiments.SimResult, *telemetry.Timeline, error) {
+		cfg.OnProgress(1, 2)
+		<-armed
+		panic("telemetry flush exploded")
+	})
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 8})
+
+	_, doc := postJob(t, ts, `{"benchmark": "mcf", "scheme": "AOS", "instructions": 10000}`)
+
+	// Attach a live SSE subscriber before the panic fires.
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + doc.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	close(armed)
+	frames := readSSE(t, bufio.NewReader(resp.Body))
+	if len(frames) == 0 {
+		t.Fatal("no SSE frames from panicking job")
+	}
+	last := frames[len(frames)-1]
+	if last.Event != "done" || last.Data["status"] != statusFailed {
+		t.Fatalf("terminal frame = %+v, want done/failed", last)
+	}
+	if !strings.Contains(fmt.Sprint(last.Data["error"]), "panicked") {
+		t.Errorf("terminal frame error = %v", last.Data["error"])
+	}
+
+	final := pollJob(t, ts, doc.ID)
+	if final.Status != statusFailed || !strings.Contains(final.Error, "panicked") {
+		t.Fatalf("job = %s (%s), want failed panic", final.Status, final.Error)
+	}
+	if v := metricValue(t, getMetrics(t, ts), "aosd_job_panics_total"); v != 1 {
+		t.Errorf("aosd_job_panics_total = %g, want 1", v)
+	}
+
+	// The pool worker survived: a healthy job still runs to completion.
+	stubRunSpec(t, func(ctx context.Context, spec experiments.SimSpec) (*experiments.SimResult, error) {
+		return fakeResult(spec), nil
+	})
+	_, doc2 := postJob(t, ts, `{"benchmark": "gcc", "scheme": "AOS", "instructions": 10000}`)
+	if d := pollJob(t, ts, doc2.ID); d.Status != statusDone {
+		t.Fatalf("post-panic job = %s (%s)", d.Status, d.Error)
+	}
+}
+
+// TestHealthzBuildInfo checks the liveness document carries the build
+// identity and uptime alongside the pinned "status": "ok" marker that
+// deploy smoke tests grep for.
+func TestHealthzBuildInfo(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 1})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if !bytes.Contains(raw, []byte(`"status": "ok"`)) {
+		t.Fatalf("healthz missing literal status marker:\n%s", raw)
+	}
+	var doc struct {
+		Status        string            `json:"status"`
+		UptimeSeconds float64           `json:"uptime_seconds"`
+		Build         map[string]string `json:"build"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Status != "ok" {
+		t.Errorf("status = %q", doc.Status)
+	}
+	if doc.UptimeSeconds < 0 {
+		t.Errorf("uptime_seconds = %g", doc.UptimeSeconds)
+	}
+	if doc.Build["go"] == "" {
+		t.Errorf("build info missing go version: %v", doc.Build)
+	}
+	if doc.Build["version"] == "" {
+		t.Errorf("build info missing module version: %v", doc.Build)
+	}
+}
+
+// TestMetricsGolden pins the Prometheus text exposition byte-for-byte
+// for a fixed sequence of observations, so accidental format or series
+// drift (which breaks scrapers and dashboards) fails loudly.
+func TestMetricsGolden(t *testing.T) {
+	m := &metrics{}
+	m.observeJob(statusDone, 30*time.Millisecond, 1_000_000)
+	m.observeJob(statusDone, 700*time.Millisecond, 2_500_000)
+	m.observeJob(statusFailed, 10*time.Millisecond, 0)
+	m.observeJob(statusCanceled, 2*time.Second, 0)
+	m.observePanic()
+	m.observeProgress()
+	m.observeProgress()
+	m.observeProgress()
+	m.observeTelemetry(120)
+	m.sseStart()
+
+	var buf bytes.Buffer
+	m.render(&buf, 3, 2, CacheStats{Hits: 7, DiskHits: 2, Misses: 5, Evictions: 1, Entries: 4, Bytes: 2048})
+
+	const golden = `# HELP aosd_queue_depth Simulation jobs waiting for a worker.
+# TYPE aosd_queue_depth gauge
+aosd_queue_depth 3
+# HELP aosd_inflight_jobs Simulation jobs currently executing.
+# TYPE aosd_inflight_jobs gauge
+aosd_inflight_jobs 2
+# HELP aosd_jobs_total Finished jobs by outcome.
+# TYPE aosd_jobs_total counter
+aosd_jobs_total{status="done"} 2
+aosd_jobs_total{status="failed"} 1
+aosd_jobs_total{status="canceled"} 1
+# HELP aosd_cache_hits_total Result-cache hits (including disk hits).
+# TYPE aosd_cache_hits_total counter
+aosd_cache_hits_total 7
+# HELP aosd_cache_disk_hits_total Result-cache hits served from the spill directory.
+# TYPE aosd_cache_disk_hits_total counter
+aosd_cache_disk_hits_total 2
+# HELP aosd_cache_misses_total Result-cache misses.
+# TYPE aosd_cache_misses_total counter
+aosd_cache_misses_total 5
+# HELP aosd_cache_evictions_total Entries evicted from the in-memory LRU.
+# TYPE aosd_cache_evictions_total counter
+aosd_cache_evictions_total 1
+# HELP aosd_cache_entries Entries resident in memory.
+# TYPE aosd_cache_entries gauge
+aosd_cache_entries 4
+# HELP aosd_cache_bytes Bytes resident in memory.
+# TYPE aosd_cache_bytes gauge
+aosd_cache_bytes 2048
+# HELP aosd_cache_hit_rate Hits over lookups since start.
+# TYPE aosd_cache_hit_rate gauge
+aosd_cache_hit_rate 0.5833333333333334
+# HELP aosd_sim_cycles_total Simulated cycles computed by fresh runs.
+# TYPE aosd_sim_cycles_total counter
+aosd_sim_cycles_total 3500000
+# HELP aosd_job_panics_total Run bodies that panicked (recovered into failed jobs).
+# TYPE aosd_job_panics_total counter
+aosd_job_panics_total 1
+# HELP aosd_progress_events_total Progress frames published to job event streams.
+# TYPE aosd_progress_events_total counter
+aosd_progress_events_total 3
+# HELP aosd_telemetry_samples_total Flight-recorder rows captured by sampled jobs.
+# TYPE aosd_telemetry_samples_total counter
+aosd_telemetry_samples_total 120
+# HELP aosd_sse_streams Live job event streams.
+# TYPE aosd_sse_streams gauge
+aosd_sse_streams 1
+# HELP aosd_job_wall_seconds Wall time of finished jobs.
+# TYPE aosd_job_wall_seconds histogram
+aosd_job_wall_seconds_bucket{le="0.005"} 0
+aosd_job_wall_seconds_bucket{le="0.01"} 1
+aosd_job_wall_seconds_bucket{le="0.025"} 1
+aosd_job_wall_seconds_bucket{le="0.05"} 2
+aosd_job_wall_seconds_bucket{le="0.1"} 2
+aosd_job_wall_seconds_bucket{le="0.25"} 2
+aosd_job_wall_seconds_bucket{le="0.5"} 2
+aosd_job_wall_seconds_bucket{le="1"} 3
+aosd_job_wall_seconds_bucket{le="2.5"} 4
+aosd_job_wall_seconds_bucket{le="5"} 4
+aosd_job_wall_seconds_bucket{le="10"} 4
+aosd_job_wall_seconds_bucket{le="30"} 4
+aosd_job_wall_seconds_bucket{le="60"} 4
+aosd_job_wall_seconds_bucket{le="120"} 4
+aosd_job_wall_seconds_bucket{le="+Inf"} 4
+aosd_job_wall_seconds_sum 2.74
+aosd_job_wall_seconds_count 4
+`
+	if got := buf.String(); got != golden {
+		t.Fatalf("metrics exposition drifted.\n--- got ---\n%s\n--- want ---\n%s", got, golden)
+	}
+}
+
+// TestMetricsEndpointServesNewSeries is the end-to-end complement of
+// the golden test: the live endpoint exposes the observability series.
+func TestMetricsEndpointServesNewSeries(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 1})
+	text := getMetrics(t, ts)
+	for _, name := range []string{
+		"aosd_job_panics_total", "aosd_progress_events_total",
+		"aosd_telemetry_samples_total", "aosd_sse_streams",
+	} {
+		metricValue(t, text, name) // fatals if missing
+	}
+}

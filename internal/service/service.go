@@ -25,7 +25,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
+	"runtime/debug"
 	"strconv"
 	"sync"
 	"time"
@@ -34,6 +37,7 @@ import (
 	"aos/internal/instrument"
 	"aos/internal/runner"
 	"aos/internal/stats"
+	"aos/internal/telemetry"
 )
 
 // Job lifecycle states.
@@ -45,9 +49,9 @@ const (
 	statusCanceled = "canceled"
 )
 
-// runSpec is the simulation entry point, indirected so tests can inject
-// slow or counting run bodies.
-var runSpec = experiments.RunSpec
+// runSpecFull is the simulation entry point, indirected so tests can
+// inject slow, counting or panicking run bodies.
+var runSpecFull = experiments.RunSpecFull
 
 // Config sizes the service.
 type Config struct {
@@ -71,6 +75,14 @@ type Config struct {
 	// BaseContext is the daemon lifetime; async jobs run under it (nil =
 	// context.Background()).
 	BaseContext context.Context
+	// TelemetryInterval attaches the flight recorder to every fresh run
+	// (commit-cycle sampling cadence; 0 disables). Sampled jobs carry a
+	// telemetry summary in their job document; results themselves are
+	// byte-identical either way, so cache entries stay address-stable.
+	TelemetryInterval uint64
+	// Logger receives the service's structured logs; every job-scoped
+	// record carries the job's correlation ID. Nil discards.
+	Logger *slog.Logger
 }
 
 // job is one scheduled simulation, identified by its spec hash. Fields
@@ -83,10 +95,19 @@ type job struct {
 	errMsg  string
 	result  []byte // canonical SimResult JSON when done
 	wall    time.Duration
+	summary *telemetry.Summary // per-job flight-recorder digest (sampled runs)
 	done    chan struct{}
 	cancel  context.CancelFunc
 	refs    int  // live sync waiters
 	pinned  bool // an async submitter wants the result regardless of waiters
+
+	// events streams lifecycle and instruction progress to SSE
+	// subscribers (nil for jobs materialized from cache). finish
+	// guards the terminal transition — publish the done frame, close
+	// events, close done — so a panicking run body and the normal
+	// path can never double-close.
+	events *broadcaster
+	finish sync.Once
 }
 
 // Server is the aosd daemon core, embeddable in tests via Handler.
@@ -99,6 +120,8 @@ type Server struct {
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
+	log        *slog.Logger
+	start      time.Time
 
 	mu   sync.Mutex
 	jobs map[string]*job
@@ -118,6 +141,10 @@ func New(cfg Config) (*Server, error) {
 		base = context.Background()
 	}
 	baseCtx, baseCancel := context.WithCancel(base)
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
 	s := &Server{
 		cfg:        cfg,
 		pool:       runner.NewPool(cfg.Workers, cfg.QueueDepth),
@@ -125,11 +152,14 @@ func New(cfg Config) (*Server, error) {
 		metrics:    &metrics{},
 		baseCtx:    baseCtx,
 		baseCancel: baseCancel,
+		log:        logger,
+		start:      time.Now(),
 		jobs:       make(map[string]*job),
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
 	mux.HandleFunc("GET /v1/results", s.handleResults)
 	mux.HandleFunc("GET /v1/experiments/{fig}", s.handleExperiment)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -217,7 +247,7 @@ func (s *Server) getOrSubmit(spec experiments.SimSpec, pinned bool) (j *job, fre
 		cancel = func() { tcancel(); prev() }
 		ctx = inner
 	}
-	j = &job{id: id, spec: spec, status: statusQueued, done: make(chan struct{}), cancel: cancel, pinned: pinned}
+	j = &job{id: id, spec: spec, status: statusQueued, done: make(chan struct{}), cancel: cancel, pinned: pinned, events: newBroadcaster()}
 	if !pinned {
 		j.refs = 1
 	}
@@ -247,15 +277,46 @@ func (s *Server) release(j *job) {
 	}
 }
 
+// jobLogger returns the job-scoped logger: every record carries the
+// job's correlation ID (the spec hash) plus its identity fields.
+func (s *Server) jobLogger(j *job) *slog.Logger {
+	return s.log.With("job", j.id, "benchmark", j.spec.Benchmark, "scheme", j.spec.Scheme)
+}
+
 // runJob is the pool task body: run the simulation, cache and record the
-// outcome, wake the waiters.
+// outcome, wake the waiters. A panicking run body is converted into a
+// failed job here — the finish guard closes the done channel and the
+// event stream exactly once, so waiters and SSE subscribers never hang
+// behind a crashed simulation.
 func (s *Server) runJob(ctx context.Context, j *job) {
+	log := s.jobLogger(j)
 	s.mu.Lock()
 	j.status = statusRunning
 	s.mu.Unlock()
+	j.events.publish(jobEvent{Type: "status", Status: statusRunning})
+	log.Info("job started", "instructions", j.spec.Instructions, "seed", j.spec.Seed)
 
 	start := time.Now()
-	res, err := runSpec(ctx, j.spec)
+	defer func() {
+		if v := recover(); v != nil {
+			s.metrics.observePanic()
+			log.Error("job panicked", "panic", fmt.Sprint(v))
+			s.finishJob(j, statusFailed, fmt.Sprintf("internal error: job panicked: %v", v),
+				nil, time.Since(start), 0, nil)
+		}
+	}()
+
+	res, tl, err := runSpecFull(ctx, j.spec, experiments.RunConfig{
+		TelemetryInterval: s.cfg.TelemetryInterval,
+		OnProgress: func(done, total uint64) {
+			ev := jobEvent{Type: "progress", Done: done, Total: total}
+			if total > 0 {
+				ev.Percent = 100 * float64(done) / float64(total)
+			}
+			j.events.publish(ev)
+			s.metrics.observeProgress()
+		},
+	})
 	wall := time.Since(start)
 
 	status := statusDone
@@ -275,25 +336,47 @@ func (s *Server) runJob(ctx context.Context, j *job) {
 		s.cache.Put(j.id, body)
 		cycles = res.Cycles
 	}
+	sum := tl.Summarize()
+	if sum != nil {
+		s.metrics.observeTelemetry(sum.Samples)
+	}
+	s.finishJob(j, status, msg, body, wall, cycles, sum)
+	switch status {
+	case statusDone:
+		log.Info("job finished", "wall", wall, "cycles", cycles)
+	default:
+		log.Warn("job "+status, "wall", wall, "error", msg)
+	}
+}
 
+// finishJob records a job's terminal state and wakes everyone exactly
+// once: sync waiters via the done channel, SSE subscribers via the
+// terminal event frame. Safe to reach from both the normal path and
+// the panic recovery path.
+func (s *Server) finishJob(j *job, status, msg string, body []byte, wall time.Duration, cycles uint64, sum *telemetry.Summary) {
 	s.mu.Lock()
 	j.status = status
 	j.errMsg = msg
 	j.result = body
 	j.wall = wall
+	j.summary = sum
 	if j.cancel != nil {
 		j.cancel() // release the timeout timer
 	}
 	s.mu.Unlock()
 	s.metrics.observeJob(status, wall, cycles)
-	close(j.done)
+	j.finish.Do(func() {
+		j.events.publish(jobEvent{Type: "done", Status: status, Error: msg, WallSeconds: wall.Seconds()})
+		j.events.close()
+		close(j.done)
+	})
 }
 
 // snapshot copies a job's mutable state under the lock.
-func (s *Server) snapshot(j *job) (status, errMsg string, result []byte, wall time.Duration) {
+func (s *Server) snapshot(j *job) (status, errMsg string, result []byte, wall time.Duration, sum *telemetry.Summary) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return j.status, j.errMsg, j.result, j.wall
+	return j.status, j.errMsg, j.result, j.wall, j.summary
 }
 
 // ---------- HTTP plumbing ----------
@@ -306,6 +389,9 @@ type jobDoc struct {
 	Error       string              `json:"error,omitempty"`
 	WallSeconds float64             `json:"wall_seconds,omitempty"`
 	Result      json.RawMessage     `json:"result,omitempty"`
+	// Telemetry is the flight-recorder digest for sampled fresh runs
+	// (absent when telemetry is off or the result came from cache).
+	Telemetry *telemetry.Summary `json:"telemetry,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -326,11 +412,36 @@ func writeBackpressure(w http.ResponseWriter) {
 	writeError(w, http.StatusTooManyRequests, "job queue full; retry later")
 }
 
+// buildInfo resolves the serving binary's identity once: the main
+// module version plus the VCS revision when the build recorded one.
+var buildInfo = sync.OnceValue(func() map[string]string {
+	info := map[string]string{"go": "", "version": "(devel)", "revision": ""}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return info
+	}
+	info["go"] = bi.GoVersion
+	if bi.Main.Version != "" {
+		info["version"] = bi.Main.Version
+	}
+	for _, kv := range bi.Settings {
+		switch kv.Key {
+		case "vcs.revision":
+			info["revision"] = kv.Value
+		case "vcs.modified":
+			info["modified"] = kv.Value
+		}
+	}
+	return info
+})
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status":   "ok",
-		"queued":   s.pool.Queued(),
-		"inflight": s.pool.InFlight(),
+		"status":         "ok",
+		"queued":         s.pool.Queued(),
+		"inflight":       s.pool.InFlight(),
+		"uptime_seconds": time.Since(s.start).Seconds(),
+		"build":          buildInfo(),
 	})
 }
 
@@ -363,8 +474,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
-	status, errMsg, result, wall := s.snapshot(j)
-	doc := jobDoc{ID: j.id, Spec: j.spec, Status: status, Error: errMsg, WallSeconds: wall.Seconds()}
+	status, errMsg, result, wall, sum := s.snapshot(j)
+	doc := jobDoc{ID: j.id, Spec: j.spec, Status: status, Error: errMsg, WallSeconds: wall.Seconds(), Telemetry: sum}
 	code := http.StatusAccepted
 	if status == statusDone {
 		code = http.StatusOK
@@ -384,11 +495,89 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "no such job %q", id)
 		return
 	}
-	status, errMsg, result, wall := s.snapshot(j)
+	status, errMsg, result, wall, sum := s.snapshot(j)
 	writeJSON(w, http.StatusOK, jobDoc{
 		ID: j.id, Spec: j.spec, Status: status, Error: errMsg,
-		WallSeconds: wall.Seconds(), Result: result,
+		WallSeconds: wall.Seconds(), Result: result, Telemetry: sum,
 	})
+}
+
+// handleJobEvents streams a job's lifecycle as server-sent events:
+// status transitions, instruction progress frames, and a terminal done
+// frame, after which the stream ends. Already-finished jobs get the
+// terminal frame immediately.
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job %q", id)
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported by this connection")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	s.metrics.sseStart()
+	defer s.metrics.sseEnd()
+
+	// terminal composes the final frame from the job's settled state
+	// (richer than the broadcast frame: it carries the telemetry digest).
+	terminal := func() {
+		status, errMsg, _, wall, sum := s.snapshot(j)
+		ev := struct {
+			jobEvent
+			Telemetry *telemetry.Summary `json:"telemetry,omitempty"`
+		}{
+			jobEvent:  jobEvent{Type: "done", Status: status, Error: errMsg, WallSeconds: wall.Seconds()},
+			Telemetry: sum,
+		}
+		_ = writeSSE(w, "done", ev)
+		fl.Flush()
+	}
+
+	var sub chan jobEvent
+	if j.events != nil {
+		var last *jobEvent
+		sub, last = j.events.subscribe()
+		defer j.events.unsubscribe(sub)
+		if last != nil && last.Type != "done" {
+			if err := writeSSE(w, last.Type, last); err != nil {
+				return
+			}
+			fl.Flush()
+		}
+	}
+	for {
+		select {
+		case ev, ok := <-sub:
+			if !ok {
+				// Stream closed by the job's terminal transition; fall
+				// through to the done channel for the settled state.
+				sub = nil // a nil channel blocks forever
+				continue
+			}
+			if ev.Type == "done" {
+				// Settled state (summary included) comes from terminal().
+				continue
+			}
+			if err := writeSSE(w, ev.Type, ev); err != nil {
+				return
+			}
+			fl.Flush()
+		case <-j.done:
+			terminal()
+			return
+		case <-r.Context().Done():
+			return
+		}
+	}
 }
 
 // specFromQuery builds a SimSpec from URL parameters.
@@ -459,7 +648,7 @@ func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 		// Client gone; release (deferred) cancels the job if unwanted.
 		return
 	}
-	status, errMsg, result, _ := s.snapshot(j)
+	status, errMsg, result, _, _ := s.snapshot(j)
 	switch status {
 	case statusDone:
 		w.Header().Set("Content-Type", "application/json")
@@ -636,7 +825,7 @@ func (s *Server) collect(ctx context.Context, specs []experiments.SimSpec) (map[
 		case <-ctx.Done():
 			return nil, 0, ctx.Err()
 		}
-		status, errMsg, result, _ := s.snapshot(j)
+		status, errMsg, result, _, _ := s.snapshot(j)
 		if status != statusDone {
 			return nil, 0, fmt.Errorf("cell %s/%s %s: %s", j.spec.Benchmark, j.spec.Scheme, status, errMsg)
 		}

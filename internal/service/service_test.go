@@ -15,6 +15,7 @@ import (
 
 	"aos/internal/experiments"
 	"aos/internal/instrument"
+	"aos/internal/telemetry"
 )
 
 // newTestServer builds a Server plus an httptest front end; both are torn
@@ -36,11 +37,23 @@ func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 }
 
 // stubRunSpec swaps the simulation entry point for the test's lifetime.
+// The stub keeps the simple (ctx, spec) signature most tests want; the
+// wrapper adapts it to the full entry point (no telemetry, no progress).
 func stubRunSpec(t *testing.T, fn func(ctx context.Context, spec experiments.SimSpec) (*experiments.SimResult, error)) {
 	t.Helper()
-	orig := runSpec
-	runSpec = fn
-	t.Cleanup(func() { runSpec = orig })
+	stubRunSpecFull(t, func(ctx context.Context, spec experiments.SimSpec, _ experiments.RunConfig) (*experiments.SimResult, *telemetry.Timeline, error) {
+		res, err := fn(ctx, spec)
+		return res, nil, err
+	})
+}
+
+// stubRunSpecFull swaps the full simulation entry point (telemetry and
+// progress config included) for the test's lifetime.
+func stubRunSpecFull(t *testing.T, fn func(ctx context.Context, spec experiments.SimSpec, cfg experiments.RunConfig) (*experiments.SimResult, *telemetry.Timeline, error)) {
+	t.Helper()
+	orig := runSpecFull
+	runSpecFull = fn
+	t.Cleanup(func() { runSpecFull = orig })
 }
 
 // fakeResult builds a deterministic synthetic result for a spec, with

@@ -1,0 +1,104 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Perfetto/Chrome trace_event export.
+//
+// The emitted document is the JSON object form of the trace_event
+// format understood by https://ui.perfetto.dev and chrome://tracing:
+//
+//	{"displayTimeUnit":"ms","traceEvents":[...]}
+//
+// One simulated cycle maps to one microsecond of trace time (the
+// "ts" field), so a 4096-cycle sampling window renders as ~4ms.
+// Counter probes become "C" (counter) events — one track per probe,
+// counters exported as per-window deltas, gauges as levels — and
+// recorded Slices become "X" (complete duration) events on a
+// dedicated "episodes" thread. Metadata ("M") events name the
+// process and threads.
+//
+// Everything is emitted in deterministic order: metadata, then
+// samples in cycle order (probes in registration order within a
+// row), then slices in record order.
+
+const (
+	tracePID        = 1
+	traceTIDCounter = 1 // counter tracks
+	traceTIDEpisode = 2 // duration slices (resize/drain episodes)
+)
+
+// traceEvent is one entry of traceEvents. Field order here fixes
+// the marshaled byte layout.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   uint64         `json:"ts"`
+	Dur  uint64         `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type traceDoc struct {
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+	TraceEvents     []traceEvent `json:"traceEvents"`
+}
+
+// WriteTraceEvents writes the timeline as a Perfetto-loadable JSON
+// document. proc names the traced "process" (e.g. "aossim gcc/AOS").
+func (t *Timeline) WriteTraceEvents(w io.Writer, proc string) error {
+	if t == nil {
+		return fmt.Errorf("telemetry: nil timeline")
+	}
+	evs := make([]traceEvent, 0, 3+len(t.samples)*t.reg.Len()+len(t.slices))
+	evs = append(evs,
+		traceEvent{Name: "process_name", Ph: "M", PID: tracePID, TID: traceTIDCounter,
+			Args: map[string]any{"name": proc}},
+		traceEvent{Name: "thread_name", Ph: "M", PID: tracePID, TID: traceTIDCounter,
+			Args: map[string]any{"name": "probes"}},
+		traceEvent{Name: "thread_name", Ph: "M", PID: tracePID, TID: traceTIDEpisode,
+			Args: map[string]any{"name": "episodes"}},
+	)
+	prev := make([]uint64, t.reg.Len())
+	for _, row := range t.samples {
+		for i, p := range t.reg.probes {
+			v := row.Values[i]
+			if p.kind != KindGauge {
+				v, prev[i] = v-prev[i], v
+			}
+			evs = append(evs, traceEvent{
+				Name: p.name, Ph: "C", Ts: row.Cycle,
+				PID: tracePID, TID: traceTIDCounter,
+				Args: map[string]any{"value": v},
+			})
+		}
+	}
+	for _, s := range t.slices {
+		ev := traceEvent{
+			Name: s.Name, Ph: "X", Ts: s.Start, Dur: s.Dur,
+			PID: tracePID, TID: traceTIDEpisode,
+		}
+		if len(s.Args) > 0 {
+			// Sorted copy: deterministic bytes despite map args.
+			keys := make([]string, 0, len(s.Args))
+			for k := range s.Args { //aoslint:allow mapiter — keys are sorted before use
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			args := make(map[string]any, len(keys))
+			for _, k := range keys {
+				args[k] = s.Args[k]
+			}
+			ev.Args = args
+		}
+		evs = append(evs, ev)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(traceDoc{DisplayTimeUnit: "ms", TraceEvents: evs})
+}

@@ -1,0 +1,104 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// TraceStats summarises a validated trace_event document.
+type TraceStats struct {
+	Events        int
+	CounterTracks []string // distinct "C" event names, sorted
+	SliceNames    []string // distinct "X" event names, sorted
+	Slices        int
+}
+
+// ValidateTraceJSON is the in-tree schema check for the Perfetto
+// exporter's output: CI generates a timeline with a short sampled
+// simulation and fails the build if the document stops being
+// loadable. It verifies the structural contract a trace viewer
+// relies on — a traceEvents array whose entries carry name/ph/pid/tid,
+// a numeric non-decreasing-per-track ts, phases limited to M/C/X,
+// "C" events with a numeric args.value, "X" events with a positive
+// dur — and returns per-phase statistics for threshold checks
+// (e.g. the acceptance criterion of >= 6 counter tracks).
+func ValidateTraceJSON(data []byte) (TraceStats, error) {
+	var st TraceStats
+	var doc struct {
+		DisplayTimeUnit string            `json:"displayTimeUnit"`
+		TraceEvents     []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return st, fmt.Errorf("telemetry: trace document is not valid JSON: %w", err)
+	}
+	if doc.TraceEvents == nil {
+		return st, fmt.Errorf("telemetry: trace document has no traceEvents array")
+	}
+	counters := map[string]uint64{} // track -> last ts
+	slices := map[string]bool{}
+	for i, raw := range doc.TraceEvents {
+		var ev struct {
+			Name *string        `json:"name"`
+			Ph   *string        `json:"ph"`
+			Ts   *float64       `json:"ts"`
+			Dur  *float64       `json:"dur"`
+			PID  *int           `json:"pid"`
+			TID  *int           `json:"tid"`
+			Args map[string]any `json:"args"`
+		}
+		if err := json.Unmarshal(raw, &ev); err != nil {
+			return st, fmt.Errorf("telemetry: traceEvents[%d]: %w", i, err)
+		}
+		if ev.Name == nil || *ev.Name == "" {
+			return st, fmt.Errorf("telemetry: traceEvents[%d]: missing name", i)
+		}
+		if ev.Ph == nil {
+			return st, fmt.Errorf("telemetry: traceEvents[%d] (%s): missing ph", i, *ev.Name)
+		}
+		if ev.PID == nil || ev.TID == nil {
+			return st, fmt.Errorf("telemetry: traceEvents[%d] (%s): missing pid/tid", i, *ev.Name)
+		}
+		switch *ev.Ph {
+		case "M":
+			// Metadata: no ts required.
+		case "C":
+			if ev.Ts == nil || *ev.Ts < 0 {
+				return st, fmt.Errorf("telemetry: counter event %q: missing or negative ts", *ev.Name)
+			}
+			v, ok := ev.Args["value"]
+			if !ok {
+				return st, fmt.Errorf("telemetry: counter event %q: missing args.value", *ev.Name)
+			}
+			if _, ok := v.(float64); !ok {
+				return st, fmt.Errorf("telemetry: counter event %q: args.value is %T, want number", *ev.Name, v)
+			}
+			ts := uint64(*ev.Ts)
+			if last, seen := counters[*ev.Name]; seen && ts < last {
+				return st, fmt.Errorf("telemetry: counter track %q: ts went backwards (%d after %d)", *ev.Name, ts, last)
+			}
+			counters[*ev.Name] = ts
+		case "X":
+			if ev.Ts == nil || *ev.Ts < 0 {
+				return st, fmt.Errorf("telemetry: slice event %q: missing or negative ts", *ev.Name)
+			}
+			if ev.Dur == nil || *ev.Dur <= 0 {
+				return st, fmt.Errorf("telemetry: slice event %q: missing or non-positive dur", *ev.Name)
+			}
+			slices[*ev.Name] = true
+			st.Slices++
+		default:
+			return st, fmt.Errorf("telemetry: traceEvents[%d] (%s): unexpected phase %q", i, *ev.Name, *ev.Ph)
+		}
+	}
+	st.Events = len(doc.TraceEvents)
+	for name := range counters { //aoslint:allow mapiter — collected then sorted below
+		st.CounterTracks = append(st.CounterTracks, name)
+	}
+	sort.Strings(st.CounterTracks)
+	for name := range slices { //aoslint:allow mapiter — collected then sorted below
+		st.SliceNames = append(st.SliceNames, name)
+	}
+	sort.Strings(st.SliceNames)
+	return st, nil
+}

@@ -273,6 +273,7 @@ func (p *Profile) RunCtx(ctx context.Context, m *core.Machine, seed int64, warmu
 
 	target := p.Instructions + warmupInsts
 	warmed := onWarm == nil
+	progress := progressFrom(ctx)
 	nextCtxCheck := uint64(ctxCheckEvery)
 	for produced < target {
 		if produced >= nextCtxCheck {
@@ -280,6 +281,9 @@ func (p *Profile) RunCtx(ctx context.Context, m *core.Machine, seed int64, warmu
 			if err := ctx.Err(); err != nil {
 				return fmt.Errorf("workload %s: canceled after %d of %d instructions: %w",
 					p.Name, produced, target, err)
+			}
+			if progress != nil {
+				progress(produced, target)
 			}
 		}
 		if !warmed && produced >= warmupInsts {
@@ -369,6 +373,9 @@ func (p *Profile) RunCtx(ctx context.Context, m *core.Machine, seed int64, warmu
 			}
 			produced += 2 // the call/free intents
 		}
+	}
+	if progress != nil {
+		progress(produced, target)
 	}
 	return nil
 }
