@@ -49,10 +49,23 @@ const (
 	AOS = instrument.AOS
 	// PAAOS is AOS integrated with PA pointer integrity.
 	PAAOS = instrument.PAAOS
+	// MTE is ARM-style 4-bit lock-and-key memory tagging.
+	MTE = instrument.MTE
+	// HardenedAlloc is the software hardened-allocator mode (quarantine,
+	// canaries, poison-on-free).
+	HardenedAlloc = instrument.HardenedAlloc
 )
 
-// Schemes returns all schemes in the paper's order.
+// Schemes returns the paper's five evaluated schemes in paper order.
 func Schemes() []Scheme { return instrument.Schemes() }
+
+// AllSchemes returns every registered scheme — the paper's five plus
+// the comparison backends — in registry order.
+func AllSchemes() []Scheme { return instrument.AllSchemes() }
+
+// ParseScheme resolves a scheme name (canonical spelling, registered
+// alias, or any case variant thereof).
+func ParseScheme(name string) (Scheme, error) { return instrument.ParseScheme(name) }
 
 // Ptr is a program pointer value (signed under AOS).
 type Ptr = core.Ptr

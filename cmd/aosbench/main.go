@@ -17,7 +17,10 @@
 // stderr is piped (or with -no-ansi).
 //
 // Experiments: fig11 fig14 fig15 fig16 fig17 fig18 table1 table2 table3
-// resize ablate all.
+// resize ablate security schemes all. "security" is the §VII detection
+// matrix and "schemes" the normalized-overhead comparison; both cover
+// every registered backend (the paper's five plus MTE and the hardened
+// allocator).
 package main
 
 import (
@@ -36,7 +39,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (fig11, fig14..fig18, table1..table3, resize, ablate, security, all)")
+	exp := flag.String("exp", "all", "experiment to run (fig11, fig14..fig18, table1..table3, resize, ablate, security, schemes, all)")
 	insts := flag.Uint64("insts", 0, "override per-benchmark instruction budget (0 = profile defaults)")
 	seed := flag.Int64("seed", 1, "workload generator seed")
 	scale := flag.Uint64("scale", 20, "allocation-count divisor for table2/table3")
@@ -269,6 +272,13 @@ func main() {
 				fatal(err)
 			}
 			fmt.Println(out)
+		case "schemes":
+			r, err := experiments.SchemeOverhead(o)
+			if err != nil {
+				fatal(err)
+			}
+			done()
+			fmt.Println(r)
 		default:
 			fatal(fmt.Errorf("unknown experiment %q", name))
 		}
@@ -276,7 +286,7 @@ func main() {
 
 	if *exp == "all" {
 		for _, name := range []string{"table1", "fig11", "table2", "table3",
-			"fig14", "fig16", "fig17", "fig18", "fig15", "resize", "ablate", "security"} {
+			"fig14", "fig16", "fig17", "fig18", "fig15", "resize", "ablate", "security", "schemes"} {
 			runExp(name)
 			fmt.Println()
 		}

@@ -19,7 +19,7 @@ import (
 
 func main() {
 	wl := flag.String("workload", "gcc", "benchmark name (see -list)")
-	schemeName := flag.String("scheme", "AOS", "Baseline | Watchdog | PA | AOS | PA+AOS")
+	schemeName := flag.String("scheme", "AOS", "protection scheme (case-insensitive): Baseline | Watchdog | PA | AOS | PA+AOS | MTE | Hardened")
 	insts := flag.Uint64("insts", 0, "program-instruction budget override")
 	seed := flag.Int64("seed", 1, "workload seed")
 	list := flag.Bool("list", false, "list available workloads")
@@ -50,20 +50,9 @@ func main() {
 		return
 	}
 
-	var scheme aos.Scheme
-	switch *schemeName {
-	case "Baseline":
-		scheme = aos.Baseline
-	case "Watchdog":
-		scheme = aos.Watchdog
-	case "PA":
-		scheme = aos.PA
-	case "AOS":
-		scheme = aos.AOS
-	case "PA+AOS", "PAAOS":
-		scheme = aos.PAAOS
-	default:
-		fmt.Fprintf(os.Stderr, "aossim: unknown scheme %q\n", *schemeName)
+	scheme, err := aos.ParseScheme(*schemeName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "aossim: %v\n", err)
 		os.Exit(1)
 	}
 
@@ -94,7 +83,6 @@ func main() {
 		opts.TelemetryInterval = *timelineInterval
 	}
 	var r aos.Result
-	var err error
 	switch {
 	case *pipetrace > 0:
 		r, err = runPipetrace(w, opts, *pipetrace)

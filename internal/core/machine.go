@@ -77,6 +77,10 @@ type Config struct {
 	// UncompressedBounds disables the 8-byte bounds compression (Fig 15
 	// ablation): entries take 16 bytes, so each HBT way holds only four.
 	UncompressedBounds bool
+	// Hardening overrides the allocator hardening features. nil uses
+	// heap.DefaultHardening() when the scheme has a hardened allocator
+	// and no hardening otherwise.
+	Hardening *heap.Hardening
 }
 
 // Machine is the functional simulator state for one process.
@@ -110,6 +114,11 @@ type Machine struct {
 	wdLockOf     map[uint64]uint64 // chunk base VA -> lock address
 	wdKeyOf      map[uint64]uint64 // chunk base VA -> key
 
+	// MTE state: memory tags by granule index, and the deterministic
+	// allocation-tag cycle (see mte.go).
+	mteTags map[uint64]uint8
+	mteNext uint8
+
 	// tel holds the machine-side flight-recorder probes (nil when
 	// telemetry is disabled; see telemetry.go).
 	tel *machineProbes
@@ -132,9 +141,21 @@ func New(cfg Config) (*Machine, error) {
 	if err != nil {
 		return nil, err
 	}
+	h := heap.New(m, kernel.HeapBase, kernel.HeapLimit)
+	switch {
+	case cfg.Hardening != nil:
+		h.SetHardening(*cfg.Hardening)
+	case cfg.Scheme.HasHardenedAllocator():
+		h.SetHardening(heap.DefaultHardening())
+	}
+	var mteTags map[uint64]uint8
+	if cfg.Scheme.UsesMemoryTagging() {
+		mteTags = make(map[uint64]uint8)
+	}
 	return &Machine{
 		Mem:          m,
-		Heap:         heap.New(m, kernel.HeapBase, kernel.HeapLimit),
+		Heap:         h,
+		mteTags:      mteTags,
 		PAUnit:       pa.NewDefaultUnit(),
 		OS:           os,
 		Scheme:       cfg.Scheme,
@@ -376,6 +397,8 @@ func (m *Machine) Malloc(size uint64) (Ptr, error) {
 		return m.signAndStore(va, size)
 	case m.Scheme.HasWatchdogChecks():
 		return Ptr{Raw: va, Size: size, WDKey: m.watchdogSetID(va, size)}, nil
+	case m.Scheme.UsesMemoryTagging():
+		return m.mteTagAlloc(va, size)
 	}
 	return Ptr{Raw: va, Size: size}, nil
 }
@@ -478,6 +501,8 @@ func (m *Machine) Free(p Ptr) error {
 		return m.freeAOS(p)
 	case m.Scheme.HasWatchdogChecks():
 		return m.freeWatchdog(p)
+	case m.Scheme.UsesMemoryTagging():
+		return m.freeMTE(p)
 	default:
 		m.Call()
 		err := m.Heap.Free(p.VA())
@@ -590,6 +615,11 @@ func (m *Machine) Access(p Ptr, off uint64, store bool, opts AccessOpts) error {
 	}
 
 	var excErr error
+	if m.Scheme.UsesMemoryTagging() {
+		// The tag compare rides on the access itself; a mismatch is a
+		// precise fault on the load/store, recorded like a bounds fault.
+		excErr = m.mteCheckAccess(p, addr, va)
+	}
 	if m.Scheme.SignsDataPointers() && pa.IsSigned(addr) {
 		table := m.OS.Table()
 		in.Signed = true

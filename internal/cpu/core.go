@@ -433,7 +433,9 @@ func (c *Core) Emit(in *isa.Inst) {
 	switch {
 	case in.Op == isa.OpLoad:
 		dispatch = max64(dispatch, c.lqRing[c.lqIdx])
-	case in.Op == isa.OpStore:
+	case in.Op == isa.OpStore, in.Op == isa.OpSTG:
+		// Tag-granule stores share the store queue: MTE's stg writes its
+		// granule's tag through the same drain path as a data store.
 		dispatch = max64(dispatch, c.sqRing[c.sqIdx])
 	}
 	if usesMCQ {
@@ -481,7 +483,7 @@ func (c *Core) Emit(in *isa.Inst) {
 		// Watchdog's check micro-op loads the lock location through its
 		// lock-location cache (the structure the paper likens the L1-B to).
 		done = c.mcuAccess(issue, va, false)
-	case in.Op == isa.OpStore:
+	case in.Op == isa.OpStore, in.Op == isa.OpSTG:
 		done = issue + 1 // address generation; data drains at commit
 	case in.Op.IsBranch():
 		done = issue + 1
@@ -597,6 +599,8 @@ func (c *Core) Emit(in *isa.Inst) {
 	switch in.Op {
 	case isa.OpStore:
 		c.hier.AccessData(va, true) // drain the store buffer
+	case isa.OpSTG:
+		c.hier.AccessData(va, true) // tag-granule write drains like a store
 	case isa.OpBndstr:
 		// The FSM sends the bounds-store once committed and moves to Done;
 		// the MCQ slot frees at send, while the write completes in the
@@ -630,7 +634,7 @@ func (c *Core) Emit(in *isa.Inst) {
 	case in.Op == isa.OpLoad:
 		c.lqRing[c.lqIdx] = commit
 		c.lqIdx = (c.lqIdx + 1) % c.cfg.LQSize
-	case in.Op == isa.OpStore:
+	case in.Op == isa.OpStore, in.Op == isa.OpSTG:
 		c.sqRing[c.sqIdx] = commit
 		c.sqIdx = (c.sqIdx + 1) % c.cfg.SQSize
 	}

@@ -252,14 +252,15 @@ func (r *AblationResult) String() string {
 	return "Design-choice ablations (exec time normalized to full AOS config)\n" + t.String()
 }
 
-// SecurityMatrix runs the §VII attack battery under every scheme and
-// renders the detection matrix.
+// SecurityMatrix runs the §VII attack battery under every registered
+// scheme — the paper's five plus the MTE and hardened-allocator
+// backends — and renders the detection matrix.
 func SecurityMatrix() (string, error) {
 	rows, err := security.RunMatrix()
 	if err != nil {
 		return "", err
 	}
-	t := stats.NewTable("attack", "Baseline", "Watchdog", "PA", "AOS", "PA+AOS", "paper")
+	t := stats.NewTable("attack", "Baseline", "Watchdog", "PA", "AOS", "PA+AOS", "MTE", "Hardened", "paper")
 	for _, r := range rows {
 		t.AddRow(r.Attack,
 			r.Outcomes[instrument.Baseline].String(),
@@ -267,10 +268,14 @@ func SecurityMatrix() (string, error) {
 			r.Outcomes[instrument.PA].String(),
 			r.Outcomes[instrument.AOS].String(),
 			r.Outcomes[instrument.PAAOS].String(),
+			r.Outcomes[instrument.MTE].String(),
+			r.Outcomes[instrument.HardenedAlloc].String(),
 			r.Paper)
 	}
 	hdr := "Security analysis (§VII): attack detection matrix\n"
-	ftr := fmt.Sprintf("\nPAC brute force (§VII-E): p(guess)=1/%d; %d attempts for 50%% success\n",
-		1<<16, security.AttemptsForConfidence(16, 0.5))
+	ftr := fmt.Sprintf("\nPAC brute force (§VII-E): p(guess)=1/%d; %d attempts for 50%% success\n"+
+		"MTE probabilistic gap: p(tag collision)=1/%.0f per far granule\n",
+		1<<16, security.AttemptsForConfidence(16, 0.5),
+		1/security.MTEBypassProbability(instrument.TagBits))
 	return hdr + t.String() + ftr, nil
 }

@@ -1,11 +1,14 @@
 package experiments
 
 import (
+	"bytes"
 	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"strconv"
+	"strings"
 	"time"
 
 	"aos/internal/instrument"
@@ -135,6 +138,59 @@ type SimSpec struct {
 	Sanitize bool `json:"sanitize"`
 }
 
+// UnmarshalJSON accepts the scheme field as either a name or a raw
+// ordinal (older clients submit the enum value as a JSON number). An
+// ordinal is carried through as its decimal string so Normalize can
+// range-check it; decoding stays strict about unknown fields.
+func (s *SimSpec) UnmarshalJSON(b []byte) error {
+	type wire struct {
+		Benchmark    string          `json:"benchmark"`
+		Scheme       json.RawMessage `json:"scheme"`
+		Instructions uint64          `json:"instructions"`
+		Seed         int64           `json:"seed"`
+		Sanitize     bool            `json:"sanitize"`
+	}
+	var ws wire
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&ws); err != nil {
+		return err
+	}
+	s.Benchmark = ws.Benchmark
+	s.Instructions = ws.Instructions
+	s.Seed = ws.Seed
+	s.Sanitize = ws.Sanitize
+	s.Scheme = ""
+	if len(ws.Scheme) == 0 || bytes.Equal(ws.Scheme, []byte("null")) {
+		return nil
+	}
+	if err := json.Unmarshal(ws.Scheme, &s.Scheme); err == nil {
+		return nil
+	}
+	var ordinal int
+	if err := json.Unmarshal(ws.Scheme, &ordinal); err != nil {
+		return fmt.Errorf("spec: scheme must be a name or an ordinal, got %s", ws.Scheme)
+	}
+	s.Scheme = strconv.Itoa(ordinal)
+	return nil
+}
+
+// parseSchemeField resolves a spec's scheme field: the canonical (or
+// aliased, case-insensitive) name, or a raw ordinal from older clients,
+// range-checked against the registry so an out-of-range value is a spec
+// error instead of a misrendering Scheme(n).
+func parseSchemeField(field string) (instrument.Scheme, error) {
+	if n, err := strconv.Atoi(field); err == nil {
+		s := instrument.Scheme(n)
+		if !s.Valid() {
+			return 0, fmt.Errorf("scheme ordinal %d out of range (valid: %s)",
+				n, strings.Join(instrument.SchemeNames(), ", "))
+		}
+		return s, nil
+	}
+	return instrument.ParseScheme(field)
+}
+
 // Normalize validates the spec and resolves its defaults (profile budget,
 // seed 1), returning the canonical form whose Hash identifies the cell.
 func (s SimSpec) Normalize() (SimSpec, error) {
@@ -142,7 +198,7 @@ func (s SimSpec) Normalize() (SimSpec, error) {
 	if !ok {
 		return SimSpec{}, fmt.Errorf("spec: unknown benchmark %q", s.Benchmark)
 	}
-	scheme, err := instrument.ParseScheme(s.Scheme)
+	scheme, err := parseSchemeField(s.Scheme)
 	if err != nil {
 		return SimSpec{}, fmt.Errorf("spec: %w", err)
 	}

@@ -30,8 +30,38 @@ func (r *refAlloc) checkDisjoint(t *testing.T, base, size uint64) {
 // any live block, payload integrity of a canary-carrying subset, and
 // internal structural invariants (Validate) periodically.
 func TestDifferentialRandomOps(t *testing.T) {
+	runDifferential(t, Hardening{}, 30_000)
+}
+
+// TestDifferentialHardened repeats the random-operation differential
+// under every hardening feature alone and the combined production shape:
+// the allocator must stay correct (alignment, disjointness, payload
+// integrity, Validate) with quarantine deferral, canary slack, and free
+// fills in play.
+func TestDifferentialHardened(t *testing.T) {
+	configs := []struct {
+		name string
+		h    Hardening
+	}{
+		{"quarantine", Hardening{QuarantineDepth: 8}},
+		{"canary", Hardening{Canary: true}},
+		{"poison", Hardening{PoisonOnFree: true}},
+		{"zero", Hardening{ZeroOnFree: true}},
+		{"default", DefaultHardening()},
+		{"everything", Hardening{QuarantineDepth: 16, Canary: true, PoisonOnFree: true, ZeroOnFree: true}},
+	}
+	for _, cfg := range configs {
+		cfg := cfg
+		t.Run(cfg.name, func(t *testing.T) {
+			runDifferential(t, cfg.h, 12_000)
+		})
+	}
+}
+
+func runDifferential(t *testing.T, hard Hardening, ops int) {
 	m := mem.New()
 	a := New(m, 0x2000_0000_0000, 1<<31)
+	a.SetHardening(hard)
 	ref := &refAlloc{live: map[uint64]uint64{}}
 	rng := rand.New(rand.NewSource(123))
 
@@ -41,7 +71,7 @@ func TestDifferentialRandomOps(t *testing.T) {
 	}
 	var blocks []block
 
-	for op := 0; op < 30_000; op++ {
+	for op := 0; op < ops; op++ {
 		switch {
 		case len(blocks) > 0 && rng.Intn(100) < 40:
 			// Free a random block.

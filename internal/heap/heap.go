@@ -102,6 +102,9 @@ type Allocator struct {
 	accesses []Access
 	hooks    Hooks
 	stats    Stats
+
+	hard       Hardening // software hardening features (see hardened.go)
+	quarantine []uint64  // FIFO of freed-but-not-released pointers
 }
 
 type tcacheBin struct {
@@ -274,7 +277,7 @@ func (a *Allocator) Malloc(size uint64) (uint64, error) {
 	if size > 0xFFFFFFFF {
 		return 0, ErrSizeTooLarge
 	}
-	csize := chunkSizeFor(size)
+	csize := chunkSizeFor(size + a.canarySlack())
 
 	chunk, err := a.allocateChunk(csize)
 	if err != nil {
@@ -282,6 +285,9 @@ func (a *Allocator) Malloc(size uint64) (uint64, error) {
 	}
 	ptr := chunk + HeaderSize
 	a.sizes[ptr] = size
+	if a.hard.Canary {
+		a.writeCanary(ptr, size)
+	}
 	a.stats.Allocs++
 	a.stats.Live++
 	if a.stats.Live > a.stats.MaxLive {
@@ -402,6 +408,17 @@ func (a *Allocator) Free(ptr uint64) error {
 	if ptr == 0 {
 		return nil // free(NULL) is a no-op
 	}
+	if a.hard.Enabled() {
+		return a.hardenedFree(ptr)
+	}
+	return a.freeChunk(ptr, false)
+}
+
+// freeChunk is the glibc release path. quarantined marks a deferred
+// release coming out of the hardening quarantine: bookkeeping already
+// happened at hardenedFree time, and the pointer is legitimately absent
+// from the live set.
+func (a *Allocator) freeChunk(ptr uint64, quarantined bool) error {
 	// glibc checks only alignment and size plausibility here — not that the
 	// pointer lies inside the heap segment. That looseness is exactly what
 	// House of Spirit exploits: a crafted chunk outside the heap passes
@@ -438,7 +455,9 @@ func (a *Allocator) Free(ptr uint64) error {
 			a.mem.WriteU64(ptr+8, tcacheKey)
 			b.head = chunk
 			b.count++
-			a.noteFreed(ptr, wasLive, reqSize)
+			if !quarantined {
+				a.noteFreed(ptr, wasLive, reqSize)
+			}
 			return nil
 		}
 	}
@@ -456,17 +475,21 @@ func (a *Allocator) Free(ptr uint64) error {
 		}
 		a.setFd(chunk, a.fastbins[idx])
 		a.fastbins[idx] = chunk
-		a.noteFreed(ptr, wasLive, reqSize)
+		if !quarantined {
+			a.noteFreed(ptr, wasLive, reqSize)
+		}
 		return nil
 	}
 
 	// Normal path: coalesce with neighbours (the legitimate out-of-bounds
 	// metadata walks that motivate xpacm around free()).
-	if !wasLive || !inHeap {
+	if (!wasLive && !quarantined) || !inHeap {
 		return ErrInvalidFree
 	}
 	a.coalesceAndBin(chunk, csize)
-	a.noteFreed(ptr, wasLive, reqSize)
+	if !quarantined {
+		a.noteFreed(ptr, wasLive, reqSize)
+	}
 	return nil
 }
 
@@ -566,6 +589,9 @@ func (a *Allocator) Memalign(alignment, size uint64) (uint64, error) {
 	a.sizes[aligned] = size
 	_ = reqSize
 	a.stats.BytesIn -= (size + alignment + MinChunk) - size
+	if a.hard.Canary {
+		a.writeCanary(aligned, size)
+	}
 	return aligned, nil
 }
 
@@ -598,10 +624,13 @@ func (a *Allocator) Realloc(ptr, size uint64) (uint64, error) {
 		}
 		return 0, nil
 	}
-	if chunkSizeFor(size) <= a.chunkSizeNoTrace(ptr-HeaderSize) {
+	if chunkSizeFor(size+a.canarySlack()) <= a.chunkSizeNoTrace(ptr-HeaderSize) {
 		// Fits in place.
 		a.stats.BytesIn += size - old
 		a.sizes[ptr] = size
+		if a.hard.Canary {
+			a.writeCanary(ptr, size)
+		}
 		return ptr, nil
 	}
 	np, err := a.Malloc(size)

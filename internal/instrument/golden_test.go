@@ -34,6 +34,7 @@ var protocolOps = []isa.Op{
 	isa.OpPacia, isa.OpAutia,
 	isa.OpBndstr, isa.OpBndclr,
 	isa.OpWDCheck, isa.OpWDMeta, isa.OpWDSetID, isa.OpWDClrID,
+	isa.OpIRG, isa.OpSTG,
 }
 
 // runGoldenProgram drives the fixed allocation/access/call pattern:
@@ -100,6 +101,11 @@ const (
 	frees     = 3
 	accesses  = 9 // 6 plain + 1 ptr store + 1 ptr load + 1 post-arith load
 	callPairs = allocs + frees + 1
+
+	// granules is the total 16-byte tag granules over the three
+	// allocations (32, 64, 4096 B): 2 + 4 + 256. MTE retags each granule
+	// once at malloc and once (back to 0) at free.
+	granules = 32/instrument.TagGranule + 64/instrument.TagGranule + 4096/instrument.TagGranule
 )
 
 func TestGoldenOpCounts(t *testing.T) {
@@ -131,9 +137,17 @@ func TestGoldenOpCounts(t *testing.T) {
 			isa.OpAutia:  callPairs,
 			isa.OpAutm:   1, // cheap AHC check replaces autia on pointer load (Fig 13)
 		},
+		instrument.MTE: {
+			isa.OpIRG: allocs,       // one tag choice per malloc
+			isa.OpSTG: 2 * granules, // retag every granule at malloc and at free
+		},
+		// The hardened allocator needs no new instrumentation: its cost is
+		// allocator-side work (canary/fill/quarantine accesses) that drains
+		// through the ordinary load/store replay.
+		instrument.HardenedAlloc: {},
 	}
 
-	for _, scheme := range instrument.Schemes() {
+	for _, scheme := range instrument.AllSchemes() {
 		scheme := scheme
 		t.Run(scheme.String(), func(t *testing.T) {
 			want, ok := golden[scheme]
@@ -176,8 +190,10 @@ func TestGoldenSchemeIsolation(t *testing.T) {
 		isa.OpWDSetID: instrument.Scheme.HasWatchdogChecks,
 		isa.OpWDClrID: instrument.Scheme.HasWatchdogChecks,
 		isa.OpAutm:    instrument.Scheme.UsesAutm,
+		isa.OpIRG:     instrument.Scheme.UsesMemoryTagging,
+		isa.OpSTG:     instrument.Scheme.UsesMemoryTagging,
 	}
-	for _, scheme := range instrument.Schemes() {
+	for _, scheme := range instrument.AllSchemes() {
 		cnt := runGoldenProgram(t, scheme)
 		for op, belongs := range owners {
 			if !belongs(scheme) && cnt.byOp[op] != 0 {

@@ -1,9 +1,12 @@
 package instrument
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 func TestSchemeNamesRoundTrip(t *testing.T) {
-	for _, s := range Schemes() {
+	for _, s := range AllSchemes() {
 		got, err := ParseScheme(s.String())
 		if err != nil || got != s {
 			t.Errorf("ParseScheme(%q) = %v, %v", s.String(), got, err)
@@ -17,16 +20,55 @@ func TestSchemeNamesRoundTrip(t *testing.T) {
 	}
 }
 
+func TestParseSchemeCaseAndAliases(t *testing.T) {
+	cases := map[string]Scheme{
+		"aos":           AOS,
+		"AOS":           AOS,
+		"Aos":           AOS,
+		"pa+aos":        PAAOS,
+		"PAAOS":         PAAOS,
+		"paaos":         PAAOS,
+		"baseline":      Baseline,
+		"watchdog":      Watchdog,
+		"pa":            PA,
+		"mte":           MTE,
+		"memtag":        MTE,
+		"hardened":      HardenedAlloc,
+		"hardenedalloc": HardenedAlloc,
+	}
+	for in, want := range cases {
+		got, err := ParseScheme(in)
+		if err != nil || got != want {
+			t.Errorf("ParseScheme(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	// The error must enumerate the valid names, not fail opaquely.
+	_, err := ParseScheme("bogus")
+	if err == nil {
+		t.Fatal("ParseScheme accepted bogus")
+	}
+	for _, name := range SchemeNames() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("parse error %q does not list %q", err, name)
+		}
+	}
+}
+
 func TestSchemeProperties(t *testing.T) {
 	cases := []struct {
-		s                                Scheme
-		signs, wd, retSign, onLoad, autm bool
+		s                                           Scheme
+		signs, wd, retSign, onLoad, autm, mte, hard bool
 	}{
-		{Baseline, false, false, false, false, false},
-		{Watchdog, false, true, false, false, false},
-		{PA, false, false, true, true, false},
-		{AOS, true, false, false, false, false},
-		{PAAOS, true, false, true, true, true},
+		{Baseline, false, false, false, false, false, false, false},
+		{Watchdog, false, true, false, false, false, false, false},
+		{PA, false, false, true, true, false, false, false},
+		{AOS, true, false, false, false, false, false, false},
+		{PAAOS, true, false, true, true, true, false, false},
+		{MTE, false, false, false, false, false, true, false},
+		{HardenedAlloc, false, false, false, false, false, false, true},
+	}
+	if len(cases) != len(AllSchemes()) {
+		t.Fatalf("property table covers %d schemes, registry has %d", len(cases), len(AllSchemes()))
 	}
 	for _, c := range cases {
 		if c.s.SignsDataPointers() != c.signs {
@@ -44,6 +86,42 @@ func TestSchemeProperties(t *testing.T) {
 		if c.s.UsesAutm() != c.autm {
 			t.Errorf("%v.UsesAutm() = %v", c.s, c.s.UsesAutm())
 		}
+		if c.s.UsesMemoryTagging() != c.mte {
+			t.Errorf("%v.UsesMemoryTagging() = %v", c.s, c.s.UsesMemoryTagging())
+		}
+		if c.s.HasHardenedAllocator() != c.hard {
+			t.Errorf("%v.HasHardenedAllocator() = %v", c.s, c.s.HasHardenedAllocator())
+		}
+	}
+}
+
+func TestSchemesSplit(t *testing.T) {
+	// Schemes() is the paper's five, in paper order — the shape every
+	// figure, matrix document and cache key depends on. AllSchemes() is
+	// the full registry.
+	paper := Schemes()
+	if len(paper) != 5 {
+		t.Fatalf("Schemes() = %d entries, want the paper's 5", len(paper))
+	}
+	want := []Scheme{Baseline, Watchdog, PA, AOS, PAAOS}
+	for i, s := range paper {
+		if s != want[i] {
+			t.Errorf("Schemes()[%d] = %v, want %v", i, s, want[i])
+		}
+	}
+	all := AllSchemes()
+	if len(all) <= len(paper) {
+		t.Fatalf("AllSchemes() = %d entries, want more than the paper's %d", len(all), len(paper))
+	}
+	seen := map[Scheme]bool{}
+	for _, s := range all {
+		if !s.Valid() {
+			t.Errorf("AllSchemes() contains invalid %v", s)
+		}
+		if seen[s] {
+			t.Errorf("AllSchemes() repeats %v", s)
+		}
+		seen[s] = true
 	}
 }
 

@@ -67,6 +67,14 @@ const (
 	// OpWDClrID invalidates a Watchdog identifier on free.
 	OpWDClrID
 
+	// OpIRG is MTE's insert-random-tag instruction: picks an allocation
+	// tag and inserts it into the pointer's tag bits (1 cycle).
+	OpIRG
+	// OpSTG is MTE's store-allocation-tag instruction: writes one tag
+	// granule's memory tag. It drains through the store path after commit
+	// like a store, but targets the tag shadow, not program data.
+	OpSTG
+
 	opCount
 )
 
@@ -78,6 +86,7 @@ var opNames = [opCount]string{
 	"nop", "alu", "mul", "fp", "load", "store", "branch", "call", "ret",
 	"pacma", "xpacm", "autm", "pacia", "autia", "bndstr", "bndclr",
 	"wdcheck", "wdmeta", "wdsetid", "wdclrid",
+	"irg", "stg",
 }
 
 // String returns the mnemonic for the op.

@@ -262,13 +262,14 @@ type MatrixRow struct {
 	Outcomes map[instrument.Scheme]Outcome
 }
 
-// RunMatrix mounts every attack under every scheme, each on a fresh
-// machine.
+// RunMatrix mounts every attack under every registered scheme (the
+// paper's five plus the MTE and hardened-allocator backends), each on a
+// fresh machine.
 func RunMatrix() ([]MatrixRow, error) {
 	var rows []MatrixRow
 	for _, a := range Battery() {
 		row := MatrixRow{Attack: a.Name, Paper: a.Paper, Outcomes: map[instrument.Scheme]Outcome{}}
-		for _, s := range instrument.Schemes() {
+		for _, s := range instrument.AllSchemes() {
 			m, err := core.New(core.Config{Scheme: s})
 			if err != nil {
 				return nil, err
@@ -302,6 +303,17 @@ func AttemptsForConfidence(pacBits int, p float64) int {
 // CollisionProbability returns the probability that two specific live
 // chunks share a PAC (the false-positive precondition of §VII-E).
 func CollisionProbability(pacBits int) float64 { return GuessProbability(pacBits) }
+
+// MTEBypassProbability is the chance a random far-away granule carries
+// the same tag as the attacking pointer under memory tagging with
+// tagBits of entropy, so a spatial or temporal violation lands
+// undetected. One tag value is reserved for untagged/freed memory, so
+// an allocation tag collides with 1 of 2^tagBits-1 live tags. For MTE's
+// 4-bit tags this is 1/15 — the probabilistic gap the deterministic AOS
+// PAC check does not share (§VIII related work).
+func MTEBypassProbability(tagBits int) float64 {
+	return 1 / float64(uint64(1)<<uint(tagBits)-1)
+}
 
 // ExpectedRowOccupancy returns the mean number of live chunks per HBT row
 // for a process with n live allocations (the §VI argument that rows stay

@@ -16,8 +16,8 @@ func TestMatrixShape(t *testing.T) {
 		t.Fatalf("rows = %d, want %d", len(rows), len(Battery()))
 	}
 	for _, r := range rows {
-		if len(r.Outcomes) != 5 {
-			t.Errorf("%s: %d outcomes", r.Attack, len(r.Outcomes))
+		if len(r.Outcomes) != len(instrument.AllSchemes()) {
+			t.Errorf("%s: %d outcomes, want %d", r.Attack, len(r.Outcomes), len(instrument.AllSchemes()))
 		}
 	}
 }
@@ -114,6 +114,85 @@ func TestNonAdjacentVsBlacklisting(t *testing.T) {
 	m := outcomes(t)
 	if m["non-adjacent OOB (jumps redzones)"][instrument.AOS] != Detected {
 		t.Error("AOS missed a non-adjacent OOB")
+	}
+}
+
+func TestMTECoverage(t *testing.T) {
+	// MTE's lock-and-key tagging catches every granule-crossing spatial
+	// violation and every temporal one in the battery: freed granules are
+	// retagged to 0, so stale pointers and second frees both mismatch.
+	m := outcomes(t)
+	mustDetect := []string{
+		"heap OOB read (adjacent)",
+		"heap OOB write (adjacent)",
+		"non-adjacent OOB (jumps redzones)",
+		"use-after-free read",
+		"dangling pointer into reused memory",
+		"double free (tcache-key bypass)",
+		"heap metadata corruption via overflow",
+	}
+	for _, attack := range mustDetect {
+		if m[attack][instrument.MTE] != Detected {
+			t.Errorf("MTE missed %q", attack)
+		}
+	}
+	// The crafted chunk lives in untagged (tag-0) memory and the forged
+	// pointer carries tag 0: the tags agree, so the free sails through.
+	if m["House of Spirit (crafted free)"][instrument.MTE] != Undetected {
+		t.Errorf("MTE on House of Spirit = %v, want undetected",
+			m["House of Spirit (crafted free)"][instrument.MTE])
+	}
+	// No pointer signing, no return-address signing.
+	for _, attack := range []string{
+		"AHC forging (strip AHC, keep address)",
+		"return-address corruption (ROP)",
+	} {
+		if m[attack][instrument.MTE] != NotApplicable {
+			t.Errorf("MTE on %q = %v, want n/a", attack, m[attack][instrument.MTE])
+		}
+	}
+}
+
+func TestHardenedAllocCoverage(t *testing.T) {
+	// The software-hardened allocator guards its own entry points, not
+	// dereferences: the quarantine catches the double free, ownership
+	// validation rejects the crafted chunk, and everything that never
+	// calls back into the allocator stays invisible.
+	m := outcomes(t)
+	for _, attack := range []string{
+		"double free (tcache-key bypass)",
+		"House of Spirit (crafted free)",
+	} {
+		if m[attack][instrument.HardenedAlloc] != Detected {
+			t.Errorf("HardenedAlloc missed %q", attack)
+		}
+	}
+	for _, attack := range []string{
+		"heap OOB read (adjacent)",
+		"non-adjacent OOB (jumps redzones)",
+		"use-after-free read",
+		"dangling pointer into reused memory",
+	} {
+		if m[attack][instrument.HardenedAlloc] != Undetected {
+			t.Errorf("HardenedAlloc on %q = %v, want undetected (no dereference checks)",
+				attack, m[attack][instrument.HardenedAlloc])
+		}
+	}
+	for _, attack := range []string{
+		"AHC forging (strip AHC, keep address)",
+		"return-address corruption (ROP)",
+	} {
+		if m[attack][instrument.HardenedAlloc] != NotApplicable {
+			t.Errorf("HardenedAlloc on %q = %v, want n/a", attack, m[attack][instrument.HardenedAlloc])
+		}
+	}
+}
+
+func TestMTEBypassProbability(t *testing.T) {
+	// 4-bit tags, one value reserved for untagged memory: a random
+	// far-away granule matches the pointer's tag 1 time in 15.
+	if got := MTEBypassProbability(instrument.TagBits); math.Abs(got-1.0/15) > 1e-12 {
+		t.Errorf("MTEBypassProbability(4) = %v, want 1/15", got)
 	}
 }
 

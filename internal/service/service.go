@@ -406,9 +406,19 @@ func writeError(w http.ResponseWriter, code int, format string, args ...any) {
 	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
-// writeBackpressure is the explicit 429 path for a saturated queue.
-func writeBackpressure(w http.ResponseWriter) {
-	w.Header().Set("Retry-After", "1")
+// writeBackpressure is the explicit 429 path for a saturated queue. The
+// Retry-After hint scales with how backed up the queue is — a client
+// bouncing off a briefly-full queue retries in a second, one hitting a
+// deeply backlogged server backs off proportionally (capped at 30 s).
+func (s *Server) writeBackpressure(w http.ResponseWriter) {
+	retry := 1
+	if depth := s.cfg.QueueDepth; depth > 0 {
+		retry += 29 * s.pool.Queued() / depth
+		if retry > 30 {
+			retry = 30
+		}
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(retry))
 	writeError(w, http.StatusTooManyRequests, "job queue full; retry later")
 }
 
@@ -467,7 +477,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	j, fresh, err := s.getOrSubmit(spec, true)
 	if errors.Is(err, runner.ErrQueueFull) || errors.Is(err, runner.ErrPoolClosed) {
-		writeBackpressure(w)
+		s.writeBackpressure(w)
 		return
 	}
 	if err != nil {
@@ -634,7 +644,7 @@ func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 	}
 	j, _, err := s.getOrSubmit(spec, false)
 	if errors.Is(err, runner.ErrQueueFull) || errors.Is(err, runner.ErrPoolClosed) {
-		writeBackpressure(w)
+		s.writeBackpressure(w)
 		return
 	}
 	if err != nil {
@@ -722,7 +732,7 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 	}
 	cells, cachedCells, err := s.collect(r.Context(), specs)
 	if errors.Is(err, runner.ErrQueueFull) || errors.Is(err, runner.ErrPoolClosed) {
-		writeBackpressure(w)
+		s.writeBackpressure(w)
 		return
 	}
 	if err != nil {

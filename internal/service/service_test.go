@@ -323,6 +323,94 @@ func TestBackpressure429(t *testing.T) {
 	}
 }
 
+// TestSchemeSpecValidation covers the scheme-input paths through the
+// spec decoder: raw ordinals are accepted when in range (and normalized
+// to the canonical name), rejected with a 400 when out of range, and
+// names parse case-insensitively.
+func TestSchemeSpecValidation(t *testing.T) {
+	stubRunSpec(t, func(_ context.Context, spec experiments.SimSpec) (*experiments.SimResult, error) {
+		return fakeResult(spec), nil
+	})
+	_, ts := newTestServer(t, Config{Workers: 1})
+
+	resp, doc := postJob(t, ts, `{"benchmark": "mcf", "scheme": 3, "instructions": 1000}`)
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		t.Fatalf("in-range ordinal submit = %d", resp.StatusCode)
+	}
+	if doc.Spec.Scheme != instrument.AOS.String() {
+		t.Errorf("ordinal 3 normalized to %q, want %q", doc.Spec.Scheme, instrument.AOS.String())
+	}
+
+	resp, doc = postJob(t, ts, `{"benchmark": "mcf", "scheme": "pa+aos", "instructions": 1000}`)
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		t.Fatalf("lower-case name submit = %d", resp.StatusCode)
+	}
+	if doc.Spec.Scheme != instrument.PAAOS.String() {
+		t.Errorf("\"pa+aos\" normalized to %q, want %q", doc.Spec.Scheme, instrument.PAAOS.String())
+	}
+
+	// Out of range: one past the last registered scheme must bounce with a
+	// spec error, not flow through as Scheme(n) and misrender.
+	bad := fmt.Sprintf(`{"benchmark": "mcf", "scheme": %d, "instructions": 1000}`, len(instrument.AllSchemes()))
+	r2, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(bad))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(r2.Body)
+	r2.Body.Close()
+	if r2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("out-of-range ordinal = %d, want 400 (body %s)", r2.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "out of range") {
+		t.Errorf("400 body %s does not name the range error", body)
+	}
+}
+
+// TestExperimentBackpressure429: a saturated queue bounces the
+// figure-composition endpoints too, and the Retry-After hint scales
+// with the backlog instead of always saying 1.
+func TestExperimentBackpressure429(t *testing.T) {
+	started := make(chan string, 8)
+	release := make(chan struct{})
+	stubRunSpec(t, func(ctx context.Context, spec experiments.SimSpec) (*experiments.SimResult, error) {
+		started <- spec.Benchmark
+		select {
+		case <-release:
+			return fakeResult(spec), nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	})
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 1})
+
+	if resp, _ := postJob(t, ts, `{"benchmark": "mcf", "scheme": "AOS", "instructions": 1000}`); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit = %d", resp.StatusCode)
+	}
+	<-started // the only worker is now busy with mcf
+	if resp, _ := postJob(t, ts, `{"benchmark": "gcc", "scheme": "AOS", "instructions": 1000}`); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("second submit = %d", resp.StatusCode)
+	}
+
+	// Worker busy + queue slot taken: composing a figure must bounce on
+	// its first cell submission.
+	resp, err := http.Get(ts.URL + "/v1/experiments/fig14?insts=1000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated experiment GET = %d, want 429", resp.StatusCode)
+	}
+	// Queue full (1/1): the hint must reflect the backlog, not the old
+	// hardcoded "1".
+	if got := resp.Header.Get("Retry-After"); got != "30" {
+		t.Errorf("Retry-After = %q, want 30 with a full queue", got)
+	}
+
+	close(release)
+}
+
 // TestClientDisconnectCancels: abandoning a synchronous /v1/results wait
 // cancels the underlying job (no other waiters, not pinned).
 func TestClientDisconnectCancels(t *testing.T) {

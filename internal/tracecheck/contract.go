@@ -1,0 +1,210 @@
+package tracecheck
+
+import (
+	"aos/internal/instrument"
+	"aos/internal/isa"
+)
+
+// Rule is one stateful protocol check, run on every instruction in
+// stream order. Rules read and update the Checker's shadow state and
+// report violations through Checker.report.
+type Rule func(c *Checker, in *isa.Inst)
+
+// FinishRule runs once at end of stream (Checker.Finish) to flag
+// protocols left dangling. end is the synthetic end-of-stream marker
+// violations are attributed to.
+type FinishRule func(c *Checker, end *isa.Inst)
+
+// Contract bundles one scheme's trace obligations: the op whitelist and
+// the ordered rule set the checker runs for that scheme. Contracts are
+// registered per scheme — adding a backend means assembling (or
+// extending) its contract here, not growing a global scheme-switch.
+type Contract struct {
+	// Allowed is the op whitelist (TC01).
+	Allowed [isa.NumOps]bool
+	// Rules run in order on every instruction.
+	Rules []Rule
+	// Finish rules run once at end of stream.
+	Finish []FinishRule
+}
+
+// contracts is the per-scheme contract registry, assembled once for
+// every registered scheme.
+var contracts = func() map[instrument.Scheme]*Contract {
+	m := make(map[instrument.Scheme]*Contract, len(instrument.AllSchemes()))
+	for _, s := range instrument.AllSchemes() {
+		m[s] = buildContract(s)
+	}
+	return m
+}()
+
+// contractFor returns the registered contract for a scheme, assembling a
+// fresh one for unregistered (out-of-range) values so the checker stays
+// usable on corrupt inputs.
+func contractFor(s instrument.Scheme) *Contract {
+	if ct, ok := contracts[s]; ok {
+		return ct
+	}
+	return buildContract(s)
+}
+
+// buildContract assembles a scheme's contract from its descriptor
+// predicates. Rule order is part of the contract: it fixes the order in
+// which one instruction's violations are reported.
+func buildContract(s instrument.Scheme) *Contract {
+	ct := &Contract{Allowed: allowedOps(s)}
+	ct.Rules = append(ct.Rules, ruleRegDef, ruleAOSPairing)
+	if s.HasReturnAddressSigning() {
+		ct.Rules = append(ct.Rules, ruleRASPairing)
+	}
+	ct.Rules = append(ct.Rules, ruleFields, ruleControlFlow, ruleAOSState)
+	ct.Finish = append(ct.Finish, finishAOS)
+	if s.UsesMemoryTagging() {
+		ct.Rules = append(ct.Rules, ruleMTETagging)
+		ct.Finish = append(ct.Finish, finishMTE)
+	}
+	return ct
+}
+
+// --- universal rules ---
+
+// ruleRegDef enforces use-before-def on the dependency registers (TC10).
+func ruleRegDef(c *Checker, in *isa.Inst) { c.checkRegs(in) }
+
+// ruleFields verifies Signed/PAC/AHC metadata against the address bits
+// (TC09), including that non-signing schemes never mark accesses signed.
+func ruleFields(c *Checker, in *isa.Inst) { c.checkFields(in) }
+
+// ruleControlFlow tracks call/ret nesting (TC11).
+func ruleControlFlow(c *Checker, in *isa.Inst) {
+	switch in.Op {
+	case isa.OpCall:
+		c.callDepth++
+	case isa.OpRet:
+		c.callDepth--
+		if c.callDepth < 0 {
+			c.report(in, RuleCallRet, "ret without a matching call (depth %d)", c.callDepth)
+			c.callDepth = 0
+		}
+	default:
+		// Only call/ret move the nesting depth.
+	}
+}
+
+// --- AOS-protocol rules (Fig 7) ---
+//
+// These are part of every contract: they are inert unless AOS ops appear
+// in the stream, and a foreign pacma in, say, a Watchdog trace should
+// produce the same protocol diagnostics on top of its TC01 whitelist hit.
+
+// ruleAOSPairing enforces the adjacency contracts: pacma→bndstr on the
+// allocation side and bndclr→xpacm on the free side (TC02/TC04).
+func ruleAOSPairing(c *Checker, in *isa.Inst) {
+	if c.pending != nil && in.Op != isa.OpBndstr {
+		c.report(in, RulePacmaBndstr,
+			"pacma at inst %d (va %#x) not followed by its bndstr", c.pending.idx, c.pending.va)
+		c.pending = nil
+	}
+	if c.phase == freeWantXpacm && in.Op != isa.OpXpacm {
+		c.report(in, RuleFreeProtocol,
+			"bndclr at inst %d (va %#x) not followed by xpacm before %s", c.freeIdx, c.freeVA, in.Op)
+		c.phase = freeIdle
+	}
+}
+
+// ruleAOSState drives the shadow bounds table and the free-protocol
+// state machine (TC03/TC04/TC05/TC06/TC07/TC08).
+func ruleAOSState(c *Checker, in *isa.Inst) {
+	switch in.Op {
+	case isa.OpPacma:
+		c.onPacma(in)
+	case isa.OpBndstr:
+		c.onBndstr(in)
+	case isa.OpBndclr:
+		c.onBndclr(in)
+	case isa.OpXpacm:
+		if c.phase == freeWantXpacm {
+			c.phase = freeWantResign
+		}
+	case isa.OpLoad, isa.OpStore:
+		if in.Signed {
+			c.onSignedAccess(in)
+		}
+	default:
+		// Remaining op classes carry no AOS protocol state.
+	}
+}
+
+// finishAOS flags streams that stop mid-protocol (TC13).
+func finishAOS(c *Checker, end *isa.Inst) {
+	if c.pending != nil {
+		c.report(end, RuleStreamEnd,
+			"stream ended with pacma at inst %d still awaiting its bndstr (va %#x)",
+			c.pending.idx, c.pending.va)
+		c.pending = nil
+	}
+	switch c.phase {
+	case freeWantXpacm:
+		c.report(end, RuleStreamEnd,
+			"stream ended after bndclr at inst %d without the xpacm strip (va %#x)", c.freeIdx, c.freeVA)
+	case freeWantResign:
+		c.report(end, RuleStreamEnd,
+			"stream ended without re-signing freed chunk %#x (bndclr at inst %d)", c.freeVA, c.freeIdx)
+	default:
+		// freeIdle: nothing dangling.
+	}
+	c.phase = freeIdle
+}
+
+// --- RAS rules (Fig 3) ---
+
+// ruleRASPairing: under return-address signing, a call must be
+// immediately preceded by pacia and a ret by autia (TC12).
+func ruleRASPairing(c *Checker, in *isa.Inst) {
+	switch in.Op {
+	case isa.OpCall:
+		if !c.havePrev || c.prevOp != isa.OpPacia {
+			c.report(in, RuleRASPairing, "call without a preceding pacia under %s", c.scheme)
+		}
+	case isa.OpRet:
+		if !c.havePrev || c.prevOp != isa.OpAutia {
+			c.report(in, RuleRASPairing, "ret without a preceding autia under %s", c.scheme)
+		}
+	default:
+		// Only call/ret sites carry the RAS pairing obligation.
+	}
+}
+
+// --- MTE rules ---
+
+// ruleMTETagging enforces the tagging sequences (TC14): an irg must be
+// immediately followed by its first stg (allocation-side retag), and an
+// stg may only continue a tagging burst — after irg, another stg, or the
+// ret closing the allocator call of a free (free-side retag to 0).
+func ruleMTETagging(c *Checker, in *isa.Inst) {
+	if c.mteWantSTG && in.Op != isa.OpSTG {
+		c.report(in, RuleMTETagging, "irg not followed by its stg (granule retag missing)")
+		c.mteWantSTG = false
+	}
+	switch in.Op {
+	case isa.OpIRG:
+		c.mteWantSTG = true
+	case isa.OpSTG:
+		c.mteWantSTG = false
+		if !c.havePrev || (c.prevOp != isa.OpIRG && c.prevOp != isa.OpSTG && c.prevOp != isa.OpRet) {
+			c.report(in, RuleMTETagging,
+				"stg outside a tagging sequence (previous op %s)", c.prevOp)
+		}
+	default:
+		// Other ops carry no tagging obligation (handled above when an
+		// irg is dangling).
+	}
+}
+
+// finishMTE flags a stream ending between an irg and its stg.
+func finishMTE(c *Checker, end *isa.Inst) {
+	if c.mteWantSTG {
+		c.report(end, RuleStreamEnd, "stream ended with irg awaiting its stg")
+		c.mteWantSTG = false
+	}
+}

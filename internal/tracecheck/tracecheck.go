@@ -77,6 +77,11 @@ const (
 	// RuleStreamEnd fires at Finish when the stream stops mid-protocol
 	// (pacma without its bndstr, or a free missing its xpacm/re-sign).
 	RuleStreamEnd = "TC13-stream-end"
+	// RuleMTETagging fires under MTE when the tagging sequence breaks: an
+	// irg not immediately followed by its first stg, or an stg appearing
+	// outside a tagging burst (after irg, another stg, or the allocator
+	// ret of a free).
+	RuleMTETagging = "TC14-mte-tagging"
 )
 
 // Violation is one detected protocol break.
@@ -176,9 +181,9 @@ const (
 // Checker verifies one scheme's dynamic-instruction stream. It implements
 // isa.Sink. Not safe for concurrent use; tee one Checker per stream.
 type Checker struct {
-	scheme  instrument.Scheme
-	allowed [isa.NumOps]bool
-	maxRec  int
+	scheme instrument.Scheme
+	ct     *Contract
+	maxRec int
 
 	idx        uint64
 	violations []Violation
@@ -198,6 +203,9 @@ type Checker struct {
 	prevOp    isa.Op
 	havePrev  bool
 	callDepth int64
+	// mteWantSTG: an irg just retired; the next instruction must be its
+	// first stg (TC14).
+	mteWantSTG bool
 
 	// Register definedness (register 0 is pre-defined by convention: the
 	// machine's lastALU/lastLoad start there).
@@ -212,10 +220,14 @@ func New(scheme instrument.Scheme) *Checker {
 		live:    make(map[uint16]map[uint64]shadowEntry),
 		cleared: make(map[uint16]map[uint64]uint64),
 	}
-	c.allowed = allowedOps(scheme)
+	c.ct = contractFor(scheme)
 	c.regDef[0] = true
 	return c
 }
+
+// ContractOf exposes the scheme's registered contract (its whitelist and
+// rule count), mainly for tests and tooling.
+func ContractOf(scheme instrument.Scheme) *Contract { return contractFor(scheme) }
 
 // SetMaxViolations adjusts the recording cap (minimum 1).
 func (c *Checker) SetMaxViolations(n int) {
@@ -228,6 +240,15 @@ func (c *Checker) SetMaxViolations(n int) {
 // allowedOps derives the per-scheme op whitelist from the instrumentation
 // predicates, so a new scheme automatically gets a contract.
 func allowedOps(s instrument.Scheme) [isa.NumOps]bool {
+	ok := baseAllowedOps(s)
+	if s.UsesMemoryTagging() {
+		ok[isa.OpIRG] = true
+		ok[isa.OpSTG] = true
+	}
+	return ok
+}
+
+func baseAllowedOps(s instrument.Scheme) [isa.NumOps]bool {
 	var ok [isa.NumOps]bool
 	for _, op := range []isa.Op{isa.OpNop, isa.OpALU, isa.OpMul, isa.OpFP,
 		isa.OpLoad, isa.OpStore, isa.OpBranch, isa.OpCall, isa.OpRet} {
@@ -278,25 +299,13 @@ func (c *Checker) Err() error {
 	return &Error{Scheme: c.scheme, Violations: c.violations, Total: c.total}
 }
 
-// Finish runs the end-of-stream checks and returns all recorded
-// violations. Call once, after the final Emit.
+// Finish runs the contract's end-of-stream checks and returns all
+// recorded violations. Call once, after the final Emit.
 func (c *Checker) Finish() []Violation {
 	end := isa.Inst{Op: isa.OpNop}
-	if c.pending != nil {
-		c.report(&end, RuleStreamEnd,
-			"stream ended with pacma at inst %d still awaiting its bndstr (va %#x)",
-			c.pending.idx, c.pending.va)
-		c.pending = nil
+	for _, f := range c.ct.Finish {
+		f(c, &end)
 	}
-	switch c.phase {
-	case freeWantXpacm:
-		c.report(&end, RuleStreamEnd,
-			"stream ended after bndclr at inst %d without the xpacm strip (va %#x)", c.freeIdx, c.freeVA)
-	case freeWantResign:
-		c.report(&end, RuleStreamEnd,
-			"stream ended without re-signing freed chunk %#x (bndclr at inst %d)", c.freeVA, c.freeIdx)
-	}
-	c.phase = freeIdle
 	return c.violations
 }
 
@@ -308,47 +317,21 @@ func (c *Checker) EmitBatch(batch []isa.Inst) {
 	}
 }
 
-// Emit implements isa.Sink: checks one instruction and updates the shadow
-// state. The instruction is not mutated.
+// Emit implements isa.Sink: checks one instruction against the scheme's
+// registered contract and updates the shadow state. The instruction is
+// not mutated.
 func (c *Checker) Emit(in *isa.Inst) {
 	if int(in.Op) >= isa.NumOps {
 		c.report(in, RuleOpWhitelist, "op byte %d outside the ISA", uint8(in.Op))
 		c.idx++
 		return
 	}
-	if !c.allowed[in.Op] {
+	if !c.ct.Allowed[in.Op] {
 		c.report(in, RuleOpWhitelist, "op %s must never appear in a %s stream", in.Op, c.scheme)
 	}
 
-	c.checkRegs(in)
-	c.checkPairings(in)
-	c.checkFields(in)
-
-	switch in.Op {
-	case isa.OpCall:
-		c.callDepth++
-	case isa.OpRet:
-		c.callDepth--
-		if c.callDepth < 0 {
-			c.report(in, RuleCallRet, "ret without a matching call (depth %d)", c.callDepth)
-			c.callDepth = 0
-		}
-	case isa.OpPacma:
-		c.onPacma(in)
-	case isa.OpBndstr:
-		c.onBndstr(in)
-	case isa.OpBndclr:
-		c.onBndclr(in)
-	case isa.OpXpacm:
-		if c.phase == freeWantXpacm {
-			c.phase = freeWantResign
-		}
-	case isa.OpLoad, isa.OpStore:
-		if in.Signed {
-			c.onSignedAccess(in)
-		}
-	default:
-		// Remaining op classes carry no protocol state.
+	for _, r := range c.ct.Rules {
+		r(c, in)
 	}
 
 	if in.Dest != isa.RegNone && int(in.Dest) < isa.NumRegs {
@@ -370,36 +353,6 @@ func (c *Checker) checkRegs(in *isa.Inst) {
 		}
 		if !c.regDef[r] {
 			c.report(in, RuleRegDef, "source register %d read before any definition", r)
-		}
-	}
-}
-
-// checkPairings enforces the adjacency contracts: pacma→bndstr on the
-// allocation side, bndclr→xpacm on the free side, pacia→call / autia→ret
-// under return-address signing.
-func (c *Checker) checkPairings(in *isa.Inst) {
-	if c.pending != nil && in.Op != isa.OpBndstr {
-		c.report(in, RulePacmaBndstr,
-			"pacma at inst %d (va %#x) not followed by its bndstr", c.pending.idx, c.pending.va)
-		c.pending = nil
-	}
-	if c.phase == freeWantXpacm && in.Op != isa.OpXpacm {
-		c.report(in, RuleFreeProtocol,
-			"bndclr at inst %d (va %#x) not followed by xpacm before %s", c.freeIdx, c.freeVA, in.Op)
-		c.phase = freeIdle
-	}
-	if c.scheme.HasReturnAddressSigning() {
-		switch in.Op {
-		case isa.OpCall:
-			if !c.havePrev || c.prevOp != isa.OpPacia {
-				c.report(in, RuleRASPairing, "call without a preceding pacia under %s", c.scheme)
-			}
-		case isa.OpRet:
-			if !c.havePrev || c.prevOp != isa.OpAutia {
-				c.report(in, RuleRASPairing, "ret without a preceding autia under %s", c.scheme)
-			}
-		default:
-			// Only call/ret sites carry the RAS pairing obligation.
 		}
 	}
 }

@@ -96,9 +96,9 @@ func aosStream(t *testing.T, scheme instrument.Scheme) []isa.Inst {
 }
 
 // TestCleanMachineStreams verifies the real functional machine satisfies
-// the protocol under every scheme.
+// the protocol under every registered scheme.
 func TestCleanMachineStreams(t *testing.T) {
-	for _, s := range instrument.Schemes() {
+	for _, s := range instrument.AllSchemes() {
 		s := s
 		t.Run(s.String(), func(t *testing.T) {
 			c := replay(t, s, aosStream(t, s))
@@ -344,6 +344,49 @@ func TestStreamEndMidProtocol(t *testing.T) {
 	wantRule(t, c, tracecheck.RuleStreamEnd, true)
 }
 
+// TestMTETaggingPairing covers TC14: irg must be chased by its stg burst,
+// a stray stg is flagged, and a stream may not end between the two. The
+// ops are also whitelist-checked per scheme.
+func TestMTETaggingPairing(t *testing.T) {
+	// irg followed by something other than stg: the granule retag is missing.
+	c := replay(t, instrument.MTE, []isa.Inst{
+		{Op: isa.OpIRG, Dest: 1, Src1: isa.RegNone, Src2: isa.RegNone},
+		{Op: isa.OpNop, Dest: isa.RegNone, Src1: isa.RegNone, Src2: isa.RegNone},
+	})
+	wantRule(t, c, tracecheck.RuleMTETagging, false)
+
+	// stg with no irg (or allocator return) before it.
+	c = replay(t, instrument.MTE, []isa.Inst{
+		{Op: isa.OpNop, Dest: isa.RegNone, Src1: isa.RegNone, Src2: isa.RegNone},
+		{Op: isa.OpSTG, Addr: synthBase, Size: 16, Dest: isa.RegNone, Src1: isa.RegNone, Src2: isa.RegNone},
+	})
+	wantRule(t, c, tracecheck.RuleMTETagging, false)
+
+	// Stream ends with the irg still awaiting its stg.
+	c = replay(t, instrument.MTE, []isa.Inst{
+		{Op: isa.OpIRG, Dest: 1, Src1: isa.RegNone, Src2: isa.RegNone},
+	})
+	wantRule(t, c, tracecheck.RuleStreamEnd, true)
+
+	// A valid burst is clean: irg, stg, stg.
+	c = replay(t, instrument.MTE, []isa.Inst{
+		{Op: isa.OpIRG, Dest: 1, Src1: isa.RegNone, Src2: isa.RegNone},
+		{Op: isa.OpSTG, Addr: synthBase, Size: 16, Dest: isa.RegNone, Src1: 1, Src2: isa.RegNone},
+		{Op: isa.OpSTG, Addr: synthBase + 16, Size: 16, Dest: isa.RegNone, Src1: 1, Src2: isa.RegNone},
+	})
+	if c.Total() != 0 {
+		t.Fatalf("clean tagging burst flagged:\n%s",
+			(&tracecheck.Error{Violations: c.Violations(), Total: c.Total()}).Report())
+	}
+
+	// Tagging ops never belong in a non-tagging stream (TC01).
+	c = tracecheck.New(instrument.AOS)
+	c.Emit(&isa.Inst{Op: isa.OpIRG, Dest: 1, Src1: isa.RegNone, Src2: isa.RegNone})
+	if rules(c)[tracecheck.RuleOpWhitelist] == 0 {
+		t.Fatal("irg in an AOS stream not flagged")
+	}
+}
+
 // TestViolationCap: the checker keeps counting past the recording cap.
 func TestViolationCap(t *testing.T) {
 	c := tracecheck.New(instrument.Baseline)
@@ -368,7 +411,7 @@ func TestSchemeWorkloadSweep(t *testing.T) {
 		t.Skip("sweep is the long e2e test")
 	}
 	profiles := append(aos.SPECWorkloads(), aos.RealWorldWorkloads()...)
-	for _, s := range aos.Schemes() {
+	for _, s := range aos.AllSchemes() {
 		for _, w := range profiles {
 			s, w := s, w
 			t.Run(fmt.Sprintf("%s/%s", s, w.Name), func(t *testing.T) {
