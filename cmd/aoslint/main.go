@@ -1,7 +1,11 @@
 // Command aoslint runs the repo's custom analyzers (internal/lint) over
 // the module: exhaustive scheme/op switches, no order-dependent map
-// iteration, no wall-clock/randomness outside the seeding sites, and
-// stats.Table arity checks.
+// iteration, no wall-clock/randomness outside the seeding sites,
+// stats.Table arity checks, plus the dataflow pair — hotpathalloc (no
+// allocation-prone constructs reachable from the timing core's commit
+// roots or any //aoslint:hotpath function) and lockbalance (mutex
+// Lock/Unlock and refcount-mutation discipline on every control-flow
+// path).
 //
 // Usage:
 //

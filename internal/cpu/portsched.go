@@ -83,7 +83,7 @@ func (s *portSched) reserve(at uint64) uint64 {
 	// Far-future spill: keep exact per-cycle counts in the overflow map.
 	for {
 		if s.overflow == nil {
-			s.overflow = make(map[uint64]uint8)
+			s.overflow = make(map[uint64]uint8) //aoslint:allow hotpathalloc — cold far-future spill, allocated at most once per scheduler
 		}
 		if s.overflow[at] < s.width {
 			s.overflow[at]++

@@ -3,6 +3,7 @@ package hbt
 import (
 	"fmt"
 	"math/bits"
+	"sort"
 
 	"aos/internal/mem"
 	"aos/internal/pa"
@@ -298,31 +299,51 @@ func (mi *Migration) Done() bool { return mi.RowPtr >= Rows }
 // Step migrates up to n rows and returns the number of bytes copied (the
 // memory traffic the migration generated).
 func (mi *Migration) Step(n int) uint64 {
-	var traffic uint64
-	for ; n > 0 && !mi.Done(); n-- {
-		pac := uint16(mi.RowPtr)
+	if n <= 0 || mi.Done() {
+		return 0
+	}
+	end := mi.RowPtr + uint32(n)
+	if end > Rows {
+		end = Rows
+	}
+	sz := uint64(mi.Old.assoc) * WayBytes
+	// The hardware migrator reads every row in the window, so the traffic
+	// charge is per row regardless of occupancy.
+	traffic := uint64(end-mi.RowPtr) * 2 * sz
+	// A row with no mirror entry was never written through setSlot, and
+	// table regions are never reused (the kernel bumps a fresh base per
+	// generation), so both its old-row and new-row bytes are untouched
+	// zeros: copying and clearing them are architectural no-ops. Only the
+	// occupied rows — the mirror's keys — need moving, in sorted order so a
+	// window migrates identically however it is stepped.
+	rows := make([]uint16, 0, len(mi.Old.mirror))
+	//aoslint:allow mapiter — keys are filtered into a slice and sorted below
+	for pac := range mi.Old.mirror {
+		if uint32(pac) >= mi.RowPtr && uint32(pac) < end {
+			rows = append(rows, pac)
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i] < rows[j] })
+	for _, pac := range rows {
+		oldRow := mi.Old.mirror[pac]
 		src := mi.Old.RowAddr(pac)
 		dst := mi.New.RowAddr(pac)
-		sz := uint64(mi.Old.assoc) * WayBytes
 		mi.Old.mem.Copy(dst, src, sz)
-		traffic += 2 * sz // read old + write new
 		// Move the mirror row and recount live entries transferred.
 		moved := 0
-		if oldRow := mi.Old.mirror[pac]; oldRow != nil {
-			newRow := mi.New.row(pac)
-			copy(newRow, oldRow)
-			for _, v := range oldRow {
-				if v != 0 {
-					moved++
-				}
+		newRow := mi.New.row(pac)
+		copy(newRow, oldRow)
+		for _, v := range oldRow {
+			if v != 0 {
+				moved++
 			}
-			delete(mi.Old.mirror, pac)
 		}
+		delete(mi.Old.mirror, pac)
 		mi.New.live += moved
 		mi.Old.live -= moved
 		mi.Old.mem.Zero(src, sz)
-		mi.RowPtr++
 	}
+	mi.RowPtr = end
 	return traffic
 }
 

@@ -132,3 +132,29 @@ func TestMetadataSizes(t *testing.T) {
 		t.Error("Watchdog metadata constants diverge from the paper")
 	}
 }
+
+// TestParseSchemeErrorAndOrdering pins the two surfaces the static
+// verifier leans on: the exact ParseScheme error text (aosverify's usage
+// diagnostics echo it) and the AllSchemes registry order (protoverify's
+// per-scheme reports stream in this order, so CI logs diff cleanly).
+func TestParseSchemeErrorAndOrdering(t *testing.T) {
+	_, err := ParseScheme("bogus")
+	if err == nil {
+		t.Fatal("ParseScheme accepted a bogus name")
+	}
+	want := `instrument: unknown scheme "bogus" (valid: Baseline, Watchdog, PA, AOS, PA+AOS, MTE, HardenedAlloc)`
+	if err.Error() != want {
+		t.Errorf("ParseScheme error:\ngot:  %s\nwant: %s", err, want)
+	}
+
+	order := []Scheme{Baseline, Watchdog, PA, AOS, PAAOS, MTE, HardenedAlloc}
+	all := AllSchemes()
+	if len(all) != len(order) {
+		t.Fatalf("AllSchemes returned %d schemes, want %d", len(all), len(order))
+	}
+	for i, s := range order {
+		if all[i] != s {
+			t.Errorf("AllSchemes()[%d] = %v, want %v", i, all[i], s)
+		}
+	}
+}

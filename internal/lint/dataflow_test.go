@@ -1,0 +1,218 @@
+package lint_test
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"aos/internal/lint"
+)
+
+// golden renders diagnostics with the temp-dir prefix stripped so fixture
+// expectations pin the full diagnostic byte-for-byte.
+func golden(diags []lint.Diagnostic) []string {
+	var out []string
+	for _, d := range diags {
+		out = append(out, fmt.Sprintf("%s:%d:%d: [%s] %s",
+			filepath.Base(d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message))
+	}
+	return out
+}
+
+func assertGolden(t *testing.T, got []lint.Diagnostic, want []string) {
+	t.Helper()
+	gs := golden(got)
+	if len(gs) != len(want) {
+		t.Fatalf("got %d diagnostics, want %d:\ngot:  %q\nwant: %q", len(gs), len(want), gs, want)
+	}
+	for i := range gs {
+		if gs[i] != want[i] {
+			t.Errorf("diagnostic %d:\ngot:  %s\nwant: %s", i, gs[i], want[i])
+		}
+	}
+}
+
+// hotpathCleanFixture is a package whose hot closure allocates nothing:
+// the commit loop reuses preallocated storage, and the allocation-heavy
+// setup lives in functions unreachable from the hot root.
+const hotpathCleanFixture = `package fixture
+
+type event struct{ pc, addr uint64 }
+
+type ring struct {
+	buf  []event
+	head int
+}
+
+// commit is the per-instruction hot edge.
+//
+//aoslint:hotpath
+func (r *ring) commit(pc, addr uint64) {
+	slot := &r.buf[r.head]
+	slot.pc = pc
+	slot.addr = addr
+	r.head++
+	if r.head == len(r.buf) {
+		r.flush()
+	}
+}
+
+func (r *ring) flush() {
+	r.head = 0
+}
+
+// newRing is cold setup: it may allocate freely because it is not
+// reachable from the hot root.
+func newRing(n int) *ring {
+	return &ring{buf: make([]event, n)}
+}
+`
+
+// hotpathDirtyFixture seeds one instance of every construct the analyzer
+// flags, spread across the root and a transitively-hot helper.
+const hotpathDirtyFixture = `package fixture
+
+type sink interface{ emit(v uint64) }
+
+type core struct {
+	out  sink
+	ways []uint8
+}
+
+// step is the per-cycle hot edge.
+//
+//aoslint:hotpath
+func (c *core) step(pc uint64) {
+	buf := make([]byte, 8)
+	_ = buf
+	c.ways = append(c.ways, 1)
+	f := func() uint64 { return pc }
+	_ = f
+	c.helper(pc)
+}
+
+func (c *core) helper(pc uint64) {
+	v := pc
+	c.record(&v)
+	c.out.emit(pc)
+}
+
+func (c *core) record(p *uint64) {
+	box := &core{}
+	_ = box
+	_ = p
+}
+`
+
+func TestHotPathAllocFixtures(t *testing.T) {
+	t.Run("clean", func(t *testing.T) {
+		files := map[string]string{"internal/fixture/fixture.go": hotpathCleanFixture}
+		assertGolden(t, findingsOf(runLint(t, files), "hotpathalloc"), nil)
+	})
+	t.Run("dirty", func(t *testing.T) {
+		files := map[string]string{"internal/fixture/fixture.go": hotpathDirtyFixture}
+		got := findingsOf(runLint(t, files), "hotpathalloc")
+		assertGolden(t, got, []string{
+			"fixture.go:14:9: [hotpathalloc] make in hot path core.step allocates",
+			"fixture.go:16:11: [hotpathalloc] append in hot path core.step may grow its backing array",
+			"fixture.go:17:7: [hotpathalloc] closure in hot path core.step allocates when it captures variables",
+			"fixture.go:24:11: [hotpathalloc] address of local passed to call in hot path core.helper may force a heap escape",
+			"fixture.go:29:9: [hotpathalloc] heap-escaping composite literal in hot path core.record",
+		})
+	})
+}
+
+// lockbalanceCleanFixture mirrors the internal/service idiom: Lock with
+// deferred Unlock guarding refcount mutations, a balanced read path, and
+// an early return covered by the defer.
+const lockbalanceCleanFixture = `package fixture
+
+import "sync"
+
+type job struct{ refs int }
+
+type table struct {
+	mu   sync.RWMutex
+	jobs map[uint64]*job
+}
+
+func (t *table) acquire(id uint64) *job {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	j := t.jobs[id]
+	if j == nil {
+		return nil
+	}
+	j.refs++
+	return j
+}
+
+func (t *table) release(j *job) {
+	t.mu.Lock()
+	j.refs--
+	t.mu.Unlock()
+}
+
+func (t *table) size() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.jobs)
+}
+`
+
+// lockbalanceDirtyFixture seeds the four defect classes: a branch that
+// returns with the lock held, an unlock without a lock, a re-lock
+// self-deadlock, and a refcount mutation outside any lock.
+const lockbalanceDirtyFixture = `package fixture
+
+import "sync"
+
+type job struct{ refs int }
+
+type table struct {
+	mu   sync.Mutex
+	jobs map[uint64]*job
+}
+
+func (t *table) leakyGet(id uint64) *job {
+	t.mu.Lock()
+	j := t.jobs[id]
+	if j == nil {
+		return nil
+	}
+	t.mu.Unlock()
+	return j
+}
+
+func (t *table) doubleUnlock() {
+	t.mu.Unlock()
+}
+
+func (t *table) deadlock() {
+	t.mu.Lock()
+	t.mu.Lock()
+	t.mu.Unlock()
+	t.mu.Unlock()
+}
+
+func (t *table) unguarded(j *job) {
+	j.refs++
+}
+`
+
+func TestLockBalanceFixtures(t *testing.T) {
+	t.Run("clean", func(t *testing.T) {
+		files := map[string]string{"internal/fixture/fixture.go": lockbalanceCleanFixture}
+		assertGolden(t, findingsOf(runLint(t, files), "lockbalance"), nil)
+	})
+	t.Run("dirty", func(t *testing.T) {
+		files := map[string]string{"internal/fixture/fixture.go": lockbalanceDirtyFixture}
+		got := findingsOf(runLint(t, files), "lockbalance")
+		assertGolden(t, got, []string{
+			"fixture.go:13:2: [lockbalance] t.mu locked here is still held when the function returns on some path",
+			"fixture.go:23:2: [lockbalance] t.mu.Unlock() on a path where it is not held",
+			"fixture.go:28:2: [lockbalance] t.mu.Lock() while already held on this path (self-deadlock)",
+			"fixture.go:34:2: [lockbalance] refcount field mutated with no lock held on this path",
+		})
+	})
+}

@@ -117,7 +117,7 @@ func (p *Pass) allowedAt(pos token.Position) bool {
 
 // All returns the repo's analyzer suite.
 func All() []*Analyzer {
-	return []*Analyzer{Exhaustive, MapIter, DetRand, StatsTable, ProbeName}
+	return []*Analyzer{Exhaustive, MapIter, DetRand, StatsTable, ProbeName, HotPathAlloc, LockBalance}
 }
 
 // Run applies the analyzers to the packages and returns the findings

@@ -1,0 +1,290 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"aos/internal/stats"
+)
+
+// LockBalance verifies, per function and per syntactic lock key ("s.mu",
+// "j.events.mu"), that mutex operations balance on every control-flow
+// path: no Unlock of a lock not held, no second Lock of a held mutex (a
+// self-deadlock), no lock still held at a return that does not schedule a
+// deferred release, and no refcount-field mutation (x.refs++/--) outside
+// any held lock — the internal/service job-table idiom ahead of the
+// distributed-aosd work.
+//
+// Keys are tracked may-alias-free: if a key's root identifier is ever
+// assigned in the function, every key rooted there is dropped for the
+// whole function (the syntactic name no longer denotes one lock).
+// Function literals are analyzed as separate functions; a literal that
+// locks what its enclosing function releases (or vice versa) is beyond an
+// intra-procedural analysis and needs an //aoslint:allow annotation.
+// sync.Once use is not modeled.
+var LockBalance = &Analyzer{
+	Name: "lockbalance",
+	Doc:  "mutex Lock/Unlock (and RLock/RUnlock) must balance on every path; refcount mutations need a held lock",
+	Run: func(p *Pass) {
+		for _, f := range p.Pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.FuncDecl:
+					if n.Body != nil {
+						analyzeLockBalance(p, n.Body)
+					}
+				case *ast.FuncLit:
+					analyzeLockBalance(p, n.Body)
+					return false // the recursive Inspect above handles nesting
+				}
+				return true
+			})
+		}
+	},
+}
+
+// lockOp is one lock-relevant operation extracted from a block.
+type lockOp struct {
+	kind lockOpKind
+	key  string // "" for refMut
+	pos  token.Pos
+}
+
+type lockOpKind uint8
+
+const (
+	opLock lockOpKind = iota
+	opUnlock
+	opRLock
+	opRUnlock
+	opDeferUnlock
+	opDeferRUnlock
+	opRefMut
+)
+
+// refCountFields are the spellings of manual-refcount struct fields.
+var refCountFields = map[string]bool{
+	"refs": true, "refcount": true, "refCount": true, "refcnt": true,
+}
+
+func analyzeLockBalance(p *Pass, body *ast.BlockStmt) {
+	poisoned := assignedRoots(body)
+	g := buildCFG(body)
+
+	// Extract the lock-relevant ops of every block up front.
+	ops := map[*cfgBlock][]lockOp{}
+	any := false
+	for _, blk := range g.blocks {
+		for _, s := range blk.stmts {
+			for _, op := range lockOpsIn(s, poisoned) {
+				ops[blk] = append(ops[blk], op)
+				any = true
+			}
+		}
+	}
+	if !any {
+		return
+	}
+
+	reported := map[token.Pos]string{}
+	report := func(pos token.Pos, format string, args ...interface{}) {
+		// One finding per site per message, however many paths reach it.
+		msg := format
+		if prev, ok := reported[pos]; ok && prev == msg {
+			return
+		}
+		reported[pos] = msg
+		p.Reportf(pos, format, args...)
+	}
+
+	complete := g.eachPath(func(path []*cfgBlock) {
+		held := map[string]int{}
+		heldAt := map[string]token.Pos{}
+		totalHeld := 0
+		var deferred []lockOp
+		for _, blk := range path {
+			for _, op := range ops[blk] {
+				switch op.kind {
+				case opLock:
+					if held[op.key] > 0 {
+						report(op.pos, "%s.Lock() while already held on this path (self-deadlock)", op.key)
+					}
+					held[op.key]++
+					heldAt[op.key] = op.pos
+					totalHeld++
+				case opRLock:
+					held[op.key+"#R"]++
+					heldAt[op.key+"#R"] = op.pos
+					totalHeld++
+				case opUnlock:
+					if held[op.key] == 0 {
+						report(op.pos, "%s.Unlock() on a path where it is not held", op.key)
+					} else {
+						held[op.key]--
+						totalHeld--
+					}
+				case opRUnlock:
+					if held[op.key+"#R"] == 0 {
+						report(op.pos, "%s.RUnlock() on a path where it is not read-held", op.key)
+					} else {
+						held[op.key+"#R"]--
+						totalHeld--
+					}
+				case opDeferUnlock, opDeferRUnlock:
+					deferred = append(deferred, op)
+				case opRefMut:
+					if totalHeld == 0 {
+						report(op.pos, "refcount field mutated with no lock held on this path")
+					}
+				}
+			}
+		}
+		// Function exit: run the deferred releases scheduled on this path
+		// (LIFO, though order is immaterial to counting), then anything
+		// still held leaks past the return.
+		for i := len(deferred) - 1; i >= 0; i-- {
+			op := deferred[i]
+			key := op.key
+			if op.kind == opDeferRUnlock {
+				key += "#R"
+			}
+			if held[key] == 0 {
+				report(op.pos, "deferred %s release on a path where it is not held at return", op.key)
+			} else {
+				held[key]--
+			}
+		}
+		for _, key := range stats.SortedKeys(held) {
+			if held[key] > 0 {
+				name, _, _ := strings.Cut(key, "#")
+				report(heldAt[key], "%s locked here is still held when the function returns on some path", name)
+			}
+		}
+	})
+	if !complete {
+		// Path cap hit: silently skip — soundness over noise on generated
+		// or pathological functions.
+		return
+	}
+}
+
+// lockOpsIn extracts the lock operations syntactically present in one
+// statement, skipping nested function literals (analyzed separately).
+func lockOpsIn(s ast.Stmt, poisoned map[string]bool) []lockOp {
+	var ops []lockOp
+	if d, ok := s.(*ast.DeferStmt); ok {
+		if kind, key, ok := lockCall(d.Call, poisoned); ok {
+			switch kind {
+			case opUnlock:
+				ops = append(ops, lockOp{kind: opDeferUnlock, key: key, pos: d.Pos()})
+			case opRUnlock:
+				ops = append(ops, lockOp{kind: opDeferRUnlock, key: key, pos: d.Pos()})
+			case opLock, opRLock:
+				// defer mu.Lock() is almost certainly a typo'd release.
+				ops = append(ops, lockOp{kind: kind, key: key, pos: d.Pos()})
+			}
+		}
+		return ops
+	}
+	ast.Inspect(s, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.DeferStmt:
+			return false // handled at statement level when top-level
+		case *ast.GoStmt:
+			return false // async; not part of this function's discipline
+		case *ast.CallExpr:
+			if kind, key, ok := lockCall(n, poisoned); ok {
+				ops = append(ops, lockOp{kind: kind, key: key, pos: n.Pos()})
+			}
+		case *ast.IncDecStmt:
+			if sel, ok := n.X.(*ast.SelectorExpr); ok && refCountFields[sel.Sel.Name] {
+				ops = append(ops, lockOp{kind: opRefMut, pos: n.Pos()})
+			}
+		}
+		return true
+	})
+	return ops
+}
+
+// lockCall classifies a call as a tracked mutex operation and derives its
+// syntactic key. Calls through poisoned roots or non-selector paths are
+// untracked.
+func lockCall(call *ast.CallExpr, poisoned map[string]bool) (lockOpKind, string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || len(call.Args) != 0 {
+		return 0, "", false
+	}
+	var kind lockOpKind
+	switch sel.Sel.Name {
+	case "Lock":
+		kind = opLock
+	case "Unlock":
+		kind = opUnlock
+	case "RLock":
+		kind = opRLock
+	case "RUnlock":
+		kind = opRUnlock
+	default:
+		return 0, "", false
+	}
+	key, root, ok := selectorPath(sel.X)
+	if !ok || poisoned[root] {
+		return 0, "", false
+	}
+	return kind, key, true
+}
+
+// selectorPath renders a pure ident-selector chain ("s.cache.mu") and its
+// root identifier. Anything else (calls, indexing, dereferences) is not a
+// stable name.
+func selectorPath(e ast.Expr) (path, root string, ok bool) {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name, e.Name, true
+	case *ast.SelectorExpr:
+		p, r, ok := selectorPath(e.X)
+		if !ok {
+			return "", "", false
+		}
+		return p + "." + e.Sel.Name, r, true
+	case *ast.ParenExpr:
+		return selectorPath(e.X)
+	}
+	return "", "", false
+}
+
+// assignedRoots collects every identifier assigned anywhere in the body
+// (=, :=, ++/--, range binding, address-escape via unary &): keys rooted
+// at one of these may alias and are not tracked.
+func assignedRoots(body *ast.BlockStmt) map[string]bool {
+	roots := map[string]bool{}
+	mark := func(e ast.Expr) {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			roots[id.Name] = true
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				mark(lhs)
+			}
+		case *ast.RangeStmt:
+			if n.Key != nil {
+				mark(n.Key)
+			}
+			if n.Value != nil {
+				mark(n.Value)
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				mark(n.X)
+			}
+		}
+		return true
+	})
+	return roots
+}

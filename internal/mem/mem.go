@@ -151,7 +151,10 @@ func (m *Memory) WriteBytes(addr uint64, src []byte) {
 	}
 }
 
-// Zero clears size bytes starting at addr.
+// Zero clears size bytes starting at addr. Pages never materialized are
+// left absent — they already read as zero, and creating them here would
+// both inflate the footprint proxy and make zeroing a sparse region (the
+// old table after an HBT migration) cost 65536 rows of page faults.
 func (m *Memory) Zero(addr, size uint64) {
 	for size > 0 {
 		off := addr & offMask
@@ -159,9 +162,8 @@ func (m *Memory) Zero(addr, size uint64) {
 		if n > size {
 			n = size
 		}
-		p := m.page(addr, true)
-		for i := off; i < off+n; i++ {
-			p[i] = 0
+		if p := m.page(addr, false); p != nil {
+			clear(p[off : off+n])
 		}
 		size -= n
 		addr += n
@@ -169,16 +171,25 @@ func (m *Memory) Zero(addr, size uint64) {
 }
 
 // Copy moves size bytes from src to dst (regions may not overlap
-// meaningfully; used for table migration and realloc).
+// meaningfully; used for table migration and realloc). It works a page
+// run at a time and exploits sparseness: an absent source page holds
+// zeros, so it only forces a clear when the destination page exists, and
+// copying absent-to-absent is a no-op.
 func (m *Memory) Copy(dst, src, size uint64) {
-	buf := make([]byte, 64)
 	for size > 0 {
-		n := uint64(len(buf))
+		n := PageSize - (src & offMask)
+		if r := PageSize - (dst & offMask); r < n {
+			n = r
+		}
 		if n > size {
 			n = size
 		}
-		m.ReadBytes(src, buf[:n])
-		m.WriteBytes(dst, buf[:n])
+		soff, doff := src&offMask, dst&offMask
+		if sp := m.page(src, false); sp != nil {
+			copy(m.page(dst, true)[doff:doff+n], sp[soff:soff+n])
+		} else if dp := m.page(dst, false); dp != nil {
+			clear(dp[doff : doff+n])
+		}
 		src += n
 		dst += n
 		size -= n

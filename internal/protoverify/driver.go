@@ -1,0 +1,210 @@
+package protoverify
+
+import (
+	"fmt"
+
+	"aos/internal/core"
+	"aos/internal/instrument"
+	"aos/internal/isa"
+	"aos/internal/pa"
+	"aos/internal/tracecheck"
+)
+
+// Canonical event payloads. allocSize and reallocSize are protocol-
+// irrelevant except that reallocSize must exceed allocSize (growth is the
+// interesting realloc direction: it may move the chunk). probeSize is the
+// resize probe's size class — larger than every other allocation in any
+// program, so a freed probe chunk can only be reused by the next probe,
+// which is what makes the home-row prediction reliable.
+const (
+	allocSize   = 48
+	reallocSize = 96
+	probeSize   = 4096
+	oobOffset   = 1 << 20
+)
+
+// fakeBoundsOffset is the heap offset where forced-resize filler bounds
+// live: inside the HBT's 33-bit coverage window but gigabytes above any
+// address the tiny enumerated programs can reach, so filler entries can
+// never cover (or match the base of) a real access.
+const fakeBoundsOffset = 0x1_8000_0000
+
+// driver executes one event program on a fresh machine, maintaining the
+// concrete counterparts of absState. The bookkeeping must mirror apply()
+// exactly — see the absState doc comment.
+type driver struct {
+	m     *core.Machine
+	live  []core.Ptr
+	freed []core.Ptr
+	// pinned holds resize-probe allocations, kept live and out of the
+	// event-addressable slots (their home rows are full of filler bounds).
+	pinned []core.Ptr
+}
+
+// step executes one event. Protection verdicts (exceptions, allocator
+// errors on stale frees) are modeled behavior and deliberately ignored:
+// acceptance is about the emitted op stream. Only genuinely impossible
+// situations — an out-of-memory malloc, an unforceable resize — surface
+// as harness errors.
+func (d *driver) step(ev Event) error {
+	switch ev {
+	case EvAlloc:
+		p, err := d.m.Malloc(allocSize)
+		if err != nil {
+			return fmt.Errorf("protoverify: malloc failed mid-program: %w", err)
+		}
+		d.live = append(d.live, p)
+	case EvFree:
+		p := d.live[len(d.live)-1]
+		d.live = d.live[:len(d.live)-1]
+		_ = d.m.Free(p)
+		d.freed = append(d.freed, p)
+	case EvFreeStale:
+		_ = d.m.Free(d.freed[len(d.freed)-1])
+	case EvRealloc:
+		p := d.live[len(d.live)-1]
+		np, err := d.m.Realloc(p, reallocSize)
+		if err == nil {
+			d.live[len(d.live)-1] = np
+		}
+		// On a suppressed realloc (stale-aliased pointer) the slot keeps
+		// its old value; either way the pre-realloc value is retired, so
+		// the concrete bookkeeping matches apply() unconditionally.
+		d.freed = append(d.freed, p)
+	case EvAccess:
+		p := d.live[len(d.live)-1]
+		_ = d.m.Load(p, 8, core.AccessOpts{})
+		_ = d.m.Store(p, 16, core.AccessOpts{})
+	case EvAccessOOB:
+		_ = d.m.Load(d.live[len(d.live)-1], oobOffset, core.AccessOpts{})
+	case EvAccessFreed:
+		_ = d.m.Load(d.freed[len(d.freed)-1], 0, core.AccessOpts{})
+	case EvCall:
+		d.m.Call()
+	case EvRet:
+		d.m.Ret()
+	case EvResize:
+		return d.forceResize()
+	default:
+		return fmt.Errorf("protoverify: unknown event %d", uint8(ev))
+	}
+	return nil
+}
+
+// forceResize drives the machine into an HBT associativity doubling using
+// only architectural operations plus direct (instruction-free) filler
+// insertions into the real table:
+//
+//  1. malloc a probe chunk and observe its PAC;
+//  2. free it (its chunk becomes the allocator's preferred reuse for the
+//     next probe-sized request);
+//  3. fill the PAC's home row to capacity with filler bounds far outside
+//     any reachable address window;
+//  4. malloc again: the allocator reuses the same VA, the PA unit derives
+//     the same PAC, the insert hits a full row, and the OS resize runs —
+//     announced by a Resize-flagged bndstr, which is exactly the
+//     transition TC08 checks.
+//
+// Allocator coalescing can occasionally hand back a different VA (a freed
+// neighbour merged), which lands in an unfilled row; the loop then fills
+// that row too and retries. Each attempt fills one more row, so the walk
+// terminates — the cap only guards against a broken prediction model.
+func (d *driver) forceResize() error {
+	for attempt := 0; attempt < 32; attempt++ {
+		before := d.m.Table().Assoc()
+		p, err := d.m.Malloc(probeSize)
+		if err != nil {
+			return fmt.Errorf("protoverify: resize probe malloc failed: %w", err)
+		}
+		if d.m.Table().Assoc() > before {
+			// This probe's insert itself overflowed a previously filled
+			// row: resize achieved. Pin the probe so no event frees a
+			// chunk whose home row is saturated.
+			d.pinned = append(d.pinned, p)
+			return nil
+		}
+		pacv := pa.PAC(p.Raw)
+		if err := d.m.Free(p); err != nil {
+			return fmt.Errorf("protoverify: resize probe free failed: %w", err)
+		}
+		t := d.m.Table()
+		base := d.m.Heap.Base() + fakeBoundsOffset + uint64(attempt)<<20
+		for {
+			if _, err := t.Insert(pacv, base, 16); err != nil {
+				break // row full
+			}
+			base += 16
+		}
+	}
+	return fmt.Errorf("protoverify: HBT resize not forced after 32 probe attempts")
+}
+
+// captureSink records the stream a downstream sink sees (post-mutation:
+// the stream the checker judged), for counterexample replay.
+type captureSink struct {
+	buf  []isa.Inst
+	next isa.Sink
+}
+
+func (s *captureSink) Emit(in *isa.Inst) {
+	s.buf = append(s.buf, *in)
+	s.next.Emit(in)
+}
+
+func (s *captureSink) EmitBatch(batch []isa.Inst) {
+	s.buf = append(s.buf, batch...)
+	for i := range batch {
+		s.next.Emit(&batch[i])
+	}
+}
+
+// runResult is one program's verdict.
+type runResult struct {
+	violations []tracecheck.Violation
+	coverage   map[string]uint64
+	insts      uint64
+	trace      []isa.Inst // populated only when capture was requested
+}
+
+// runProgram executes one event program against a fresh machine and
+// checker, optionally routing the emitted stream through a mutant
+// instrumenter and/or capturing it. The returned error is a harness
+// failure (the program could not be executed), never a verdict.
+func runProgram(scheme instrument.Scheme, events []Event, mutate MutateFunc, capture bool) (runResult, error) {
+	m, err := core.New(core.Config{Scheme: scheme})
+	if err != nil {
+		return runResult{}, fmt.Errorf("protoverify: machine construction: %w", err)
+	}
+	chk := tracecheck.New(scheme)
+	chk.EnableCoverage()
+	// Sink chain, innermost first: the capture (when requested) records
+	// exactly the stream the checker judges, so the mutant wraps outside it.
+	var sink isa.Sink = chk
+	var rec *captureSink
+	if capture {
+		rec = &captureSink{next: sink}
+		sink = rec
+	}
+	if mutate != nil {
+		sink = mutate(sink)
+	}
+	m.SetSink(sink)
+
+	d := &driver{m: m}
+	for _, ev := range events {
+		if err := d.step(ev); err != nil {
+			return runResult{}, err
+		}
+	}
+	chk.Finish()
+
+	res := runResult{
+		violations: chk.Violations(),
+		coverage:   chk.Coverage(),
+		insts:      m.Counts().Total,
+	}
+	if rec != nil {
+		res.trace = rec.buf
+	}
+	return res, nil
+}

@@ -1,0 +1,313 @@
+package protoverify
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"aos/internal/instrument"
+	"aos/internal/isa"
+	"aos/internal/tracecheck"
+)
+
+// DefaultK is the default enumeration depth: six events cover every
+// pairwise interleaving of the protocol phases (two full alloc/free
+// lifecycles, or a lifecycle nested two calls deep with a violating
+// access) while staying exhaustively enumerable in CI seconds.
+const DefaultK = 6
+
+// Options parameterizes one verification run.
+type Options struct {
+	// K is the event-program depth bound (DefaultK when zero).
+	K int
+	// Mutate, when non-nil, corrupts the checker-facing stream — used to
+	// seed defects and assert the contract catches them.
+	Mutate MutateFunc
+	// MaxPrograms caps the enumeration (0 = exhaustive). A truncated run
+	// reports Truncated and skips dead-rule accounting.
+	MaxPrograms uint64
+}
+
+// Counterexample is one rejected program, shrunk to a local minimum.
+type Counterexample struct {
+	// Events is the minimized failing program.
+	Events []Event
+	// OriginalLen is the length of the first failing program found.
+	OriginalLen int
+	// Violations are the contract violations the minimized program
+	// produces.
+	Violations []tracecheck.Violation
+	// Trace is the exact instruction stream the checker judged (post-
+	// mutation), writable as an aossim -replay trace.
+	Trace []isa.Inst
+}
+
+// Report is one scheme's verification outcome.
+type Report struct {
+	// Scheme is the verified scheme.
+	Scheme instrument.Scheme
+	// K is the depth bound used.
+	K int
+	// Programs, Events and Insts count the enumerated maximal programs,
+	// their events, and the dynamic instructions driven through the
+	// contract.
+	Programs uint64
+	Events   uint64
+	Insts    uint64
+	// Coverage aggregates per-rule armed-predicate counts across the
+	// enumeration (every rule ID, zeros included).
+	Coverage map[string]uint64
+	// Expected lists the rules the scheme's contract must exercise.
+	Expected []string
+	// Dead lists expected rules whose coverage stayed zero (only
+	// meaningful on an untruncated, counterexample-free run).
+	Dead []string
+	// CE is the minimized counterexample (nil when every program was
+	// accepted).
+	CE *Counterexample
+	// Truncated reports that MaxPrograms stopped the enumeration early.
+	Truncated bool
+}
+
+// OK reports whether the scheme passed: exhaustive enumeration, no
+// counterexample, no dead rules.
+func (r *Report) OK() bool { return r.CE == nil && len(r.Dead) == 0 && !r.Truncated }
+
+// ProgramResult is the outcome of checking one explicit event program.
+type ProgramResult struct {
+	Violations []tracecheck.Violation
+	Coverage   map[string]uint64
+	Insts      uint64
+	Trace      []isa.Inst
+}
+
+// CheckProgram runs a single event program through the scheme's rewriter
+// and contract, capturing the judged stream. The error is a harness
+// failure, never a verdict.
+func CheckProgram(scheme instrument.Scheme, events []Event, mutate MutateFunc) (*ProgramResult, error) {
+	res, err := runProgram(scheme, events, mutate, true)
+	if err != nil {
+		return nil, err
+	}
+	return &ProgramResult{
+		Violations: res.violations,
+		Coverage:   res.coverage,
+		Insts:      res.insts,
+		Trace:      res.trace,
+	}, nil
+}
+
+// Verify exhaustively enumerates every event program of exactly depth K
+// for the scheme and checks each against the scheme's contract. Prefix
+// programs need no separate runs: the checker is streaming, so a maximal
+// program's run also witnesses every prefix up to its Finish obligations,
+// and those are covered by the grammar's other extensions.
+//
+// Programs are independent (each runs on a fresh machine), so the leaves
+// execute on a worker pool; the results are folded back in enumeration
+// order and the fold stops at the first rejected program, which makes the
+// parallel run observably identical to a sequential one — same
+// counterexample, same counts, same coverage.
+func Verify(scheme instrument.Scheme, opts Options) (*Report, error) {
+	if opts.K <= 0 {
+		opts.K = DefaultK
+	}
+	signing := scheme.SignsDataPointers()
+	rep := &Report{
+		Scheme:   scheme,
+		K:        opts.K,
+		Expected: tracecheck.ExpectedRules(scheme),
+	}
+	progs, truncated := enumeratePrograms(signing, opts.K, opts.MaxPrograms)
+
+	type leaf struct {
+		res runResult
+		err error
+		ran bool
+	}
+	outs := make([]leaf, len(progs))
+	// minFail is the lowest index known to be rejected so far; leaves past
+	// it can be skipped — the fold never reads beyond the final minimum.
+	var minFail atomic.Int64
+	minFail.Store(int64(len(progs)))
+	idxCh := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workerCount(); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range idxCh {
+				if int64(idx) > minFail.Load() {
+					continue
+				}
+				res, err := runProgram(scheme, progs[idx], opts.Mutate, false)
+				outs[idx] = leaf{res: res, err: err, ran: true}
+				if err != nil || len(res.violations) > 0 {
+					for {
+						cur := minFail.Load()
+						if int64(idx) >= cur || minFail.CompareAndSwap(cur, int64(idx)) {
+							break
+						}
+					}
+				}
+			}
+		}()
+	}
+	for idx := range progs {
+		idxCh <- idx
+	}
+	close(idxCh)
+	wg.Wait()
+
+	// Sequential fold: identical to running the programs one by one and
+	// stopping at the first rejection.
+	agg := make(map[string]uint64, len(tracecheck.RuleIDs()))
+	for idx := range outs {
+		out := &outs[idx]
+		if !out.ran {
+			break // only reachable past a failing index
+		}
+		if out.err != nil {
+			return nil, fmt.Errorf("program %v: %w", progs[idx], out.err)
+		}
+		rep.Programs++
+		rep.Events += uint64(len(progs[idx]))
+		rep.Insts += out.res.insts
+		for id, n := range out.res.coverage {
+			agg[id] += n
+		}
+		if len(out.res.violations) > 0 {
+			ce, err := minimize(scheme, signing, progs[idx], opts.Mutate)
+			if err != nil {
+				return nil, err
+			}
+			rep.CE = ce
+			break
+		}
+	}
+	rep.Truncated = truncated && rep.CE == nil
+
+	cov := make(map[string]uint64, len(tracecheck.RuleIDs()))
+	for _, id := range tracecheck.RuleIDs() {
+		cov[id] = agg[id]
+	}
+	rep.Coverage = cov
+	if rep.CE == nil && !rep.Truncated {
+		for _, id := range rep.Expected {
+			if cov[id] == 0 {
+				rep.Dead = append(rep.Dead, id)
+			}
+		}
+	}
+	return rep, nil
+}
+
+// workerCount sizes the leaf pool. Schemes verified concurrently share the
+// scheduler, so this deliberately matches GOMAXPROCS rather than
+// multiplying by it.
+func workerCount() int {
+	n := runtime.GOMAXPROCS(0)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// enumeratePrograms materializes every maximal depth-k program of the
+// grammar, in the deterministic declaration order of the event alphabet,
+// optionally capped at max programs.
+func enumeratePrograms(signing bool, k int, max uint64) (progs [][]Event, truncated bool) {
+	buf := make([]Event, 0, k)
+	var walk func(s absState, depth int)
+	walk = func(s absState, depth int) {
+		if truncated {
+			return
+		}
+		if depth == k {
+			if max > 0 && uint64(len(progs)) >= max {
+				truncated = true
+				return
+			}
+			progs = append(progs, append([]Event(nil), buf...))
+			return
+		}
+		for ev := Event(0); ev < numEvents; ev++ {
+			if !enabled(s, signing, ev) {
+				continue
+			}
+			buf = append(buf, ev)
+			walk(apply(s, ev), depth+1)
+			buf = buf[:len(buf)-1]
+			if truncated {
+				return
+			}
+		}
+	}
+	walk(absState{}, 0)
+	return progs, truncated
+}
+
+// VerifyAll verifies every registered scheme concurrently and returns the
+// reports in registry order (the order one shared test pins for
+// deterministic CI logs).
+func VerifyAll(opts Options) ([]*Report, error) {
+	schemes := instrument.AllSchemes()
+	reports := make([]*Report, len(schemes))
+	errs := make([]error, len(schemes))
+	var wg sync.WaitGroup
+	for i, s := range schemes {
+		wg.Add(1)
+		go func(i int, s instrument.Scheme) {
+			defer wg.Done()
+			reports[i], errs[i] = Verify(s, opts)
+		}(i, s)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", schemes[i], err)
+		}
+	}
+	return reports, nil
+}
+
+// minimize shrinks a failing program by greedy event deletion (each
+// candidate re-validated against the grammar, then re-run) and captures
+// the minimized program's judged stream for replay.
+func minimize(scheme instrument.Scheme, signing bool, failing []Event, mutate MutateFunc) (*Counterexample, error) {
+	cur := append([]Event(nil), failing...)
+	for {
+		improved := false
+		for i := 0; i < len(cur); i++ {
+			cand := make([]Event, 0, len(cur)-1)
+			cand = append(cand, cur[:i]...)
+			cand = append(cand, cur[i+1:]...)
+			if !validSequence(cand, signing) {
+				continue
+			}
+			res, err := runProgram(scheme, cand, mutate, false)
+			if err != nil {
+				continue // candidate not executable; keep shrinking elsewhere
+			}
+			if len(res.violations) > 0 {
+				cur = cand
+				improved = true
+				break
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	final, err := runProgram(scheme, cur, mutate, true)
+	if err != nil {
+		return nil, fmt.Errorf("protoverify: minimized program no longer executable: %w", err)
+	}
+	return &Counterexample{
+		Events:      cur,
+		OriginalLen: len(failing),
+		Violations:  final.violations,
+		Trace:       final.trace,
+	}, nil
+}

@@ -79,8 +79,10 @@ func ruleFields(c *Checker, in *isa.Inst) { c.checkFields(in) }
 func ruleControlFlow(c *Checker, in *isa.Inst) {
 	switch in.Op {
 	case isa.OpCall:
+		c.touch(idxCallRet)
 		c.callDepth++
 	case isa.OpRet:
+		c.touch(idxCallRet)
 		c.callDepth--
 		if c.callDepth < 0 {
 			c.report(in, RuleCallRet, "ret without a matching call (depth %d)", c.callDepth)
@@ -100,6 +102,12 @@ func ruleControlFlow(c *Checker, in *isa.Inst) {
 // ruleAOSPairing enforces the adjacency contracts: pacma→bndstr on the
 // allocation side and bndclr→xpacm on the free side (TC02/TC04).
 func ruleAOSPairing(c *Checker, in *isa.Inst) {
+	if c.pending != nil {
+		c.touch(idxPacmaBndstr)
+	}
+	if c.phase != freeIdle {
+		c.touch(idxFreeProtocol)
+	}
 	if c.pending != nil && in.Op != isa.OpBndstr {
 		c.report(in, RulePacmaBndstr,
 			"pacma at inst %d (va %#x) not followed by its bndstr", c.pending.idx, c.pending.va)
@@ -163,10 +171,12 @@ func finishAOS(c *Checker, end *isa.Inst) {
 func ruleRASPairing(c *Checker, in *isa.Inst) {
 	switch in.Op {
 	case isa.OpCall:
+		c.touch(idxRASPairing)
 		if !c.havePrev || c.prevOp != isa.OpPacia {
 			c.report(in, RuleRASPairing, "call without a preceding pacia under %s", c.scheme)
 		}
 	case isa.OpRet:
+		c.touch(idxRASPairing)
 		if !c.havePrev || c.prevOp != isa.OpAutia {
 			c.report(in, RuleRASPairing, "ret without a preceding autia under %s", c.scheme)
 		}
@@ -182,6 +192,9 @@ func ruleRASPairing(c *Checker, in *isa.Inst) {
 // stg may only continue a tagging burst — after irg, another stg, or the
 // ret closing the allocator call of a free (free-side retag to 0).
 func ruleMTETagging(c *Checker, in *isa.Inst) {
+	if c.mteWantSTG || in.Op == isa.OpIRG || in.Op == isa.OpSTG {
+		c.touch(idxMTETagging)
+	}
 	if c.mteWantSTG && in.Op != isa.OpSTG {
 		c.report(in, RuleMTETagging, "irg not followed by its stg (granule retag missing)")
 		c.mteWantSTG = false

@@ -1,0 +1,169 @@
+package tracecheck
+
+import "aos/internal/instrument"
+
+// Rule coverage: the bounded model checker (internal/protoverify) needs to
+// know not just that a stream was accepted but that the acceptance was
+// meaningful — that each contract rule's predicate actually evaluated on
+// armed state at least once across the enumerated programs. A rule whose
+// counter stays zero over an exhaustive bounded enumeration is dead for
+// that scheme: either the scheme can never arm it (fine, it is then not in
+// ExpectedRules) or the event grammar fails to reach it (a verification
+// gap).
+//
+// "Exercised" is defined per rule as: the checker evaluated the rule's
+// predicate at a point where it could in principle have fired — e.g. TC02
+// counts when a pacma is pending, not merely because ruleAOSPairing was
+// invoked. Every report() also counts for its rule, so a firing rule is
+// never dead.
+
+// Rule indices, in TC order. numRules bounds the coverage array.
+const (
+	idxOpWhitelist = iota
+	idxPacmaBndstr
+	idxBndstr
+	idxFreeProtocol
+	idxUseAfterClear
+	idxSignedAccess
+	idxWayRange
+	idxAssoc
+	idxPACFields
+	idxRegDef
+	idxCallRet
+	idxRASPairing
+	idxStreamEnd
+	idxMTETagging
+	numRules
+)
+
+// ruleIDs maps rule index -> stable identifier, in TC order.
+var ruleIDs = [numRules]string{
+	idxOpWhitelist:   RuleOpWhitelist,
+	idxPacmaBndstr:   RulePacmaBndstr,
+	idxBndstr:        RuleBndstr,
+	idxFreeProtocol:  RuleFreeProtocol,
+	idxUseAfterClear: RuleUseAfterClear,
+	idxSignedAccess:  RuleSignedAccess,
+	idxWayRange:      RuleWayRange,
+	idxAssoc:         RuleAssoc,
+	idxPACFields:     RulePACFields,
+	idxRegDef:        RuleRegDef,
+	idxCallRet:       RuleCallRet,
+	idxRASPairing:    RuleRASPairing,
+	idxStreamEnd:     RuleStreamEnd,
+	idxMTETagging:    RuleMTETagging,
+}
+
+// ruleIdx maps stable identifier -> rule index.
+var ruleIdx = func() map[string]int {
+	m := make(map[string]int, numRules)
+	for i, id := range ruleIDs {
+		m[id] = i
+	}
+	return m
+}()
+
+// RuleIDs returns every rule identifier in TC order.
+func RuleIDs() []string {
+	ids := make([]string, numRules)
+	copy(ids, ruleIDs[:])
+	return ids
+}
+
+// explanations holds the one-paragraph human explanation per rule,
+// rendered by aosverify under counterexamples.
+var explanations = map[string]string{
+	RuleOpWhitelist: "Each scheme may only emit the instruction classes its " +
+		"instrumentation is defined over; a foreign op (e.g. pacma in a Watchdog " +
+		"stream) means the rewriter dispatched on the wrong scheme flags.",
+	RulePacmaBndstr: "Fig 7a: the allocation-side pacma must be immediately " +
+		"followed by the bndstr that inserts the same signed pointer's bounds — " +
+		"any instruction in between leaves a signed pointer without bounds.",
+	RuleBndstr: "A bndstr must match its pending pacma (same VA and PAC), be " +
+		"marked signed, report a valid home way, and carry encodable bounds; a " +
+		"double insert for live bounds is also a protocol break.",
+	RuleFreeProtocol: "Fig 7b: a successful bndclr must be immediately followed " +
+		"by the xpacm strip, and the freed base must be re-signed (pacma with xzr " +
+		"size — the temporal-safety lock) before any other bounds operation.",
+	RuleUseAfterClear: "Temporal safety: once an allocation's bounds are cleared, " +
+		"no signed access may resolve to a live HBT way for it, and a bndclr must " +
+		"not claim a way for bounds that are no longer live (undetected UAF or " +
+		"double free).",
+	RuleSignedAccess: "Every checked access's reported HomeWay must agree with " +
+		"the shadow bounds table: a hit requires covering live bounds in that way, " +
+		"a miss requires that none cover the address.",
+	RuleWayRange: "A reported HBT way index must fall inside the reported " +
+		"associativity (Eq. 1 geometry).",
+	RuleAssoc: "The HBT only grows, by power-of-two doubling announced with a " +
+		"resize-flagged bndstr, and RowAddr must stay consistent with the derived " +
+		"table base (Eq. 1+2).",
+	RulePACFields: "The Signed/PAC/AHC instruction fields must equal the bits " +
+		"embedded in the instruction's address, and non-signing schemes must " +
+		"never mark an access signed.",
+	RuleRegDef: "Dependency source registers must be defined before use " +
+		"(register 0 is the always-ready initial register).",
+	RuleCallRet: "Returns must never outnumber calls at any stream point.",
+	RuleRASPairing: "Fig 3: under return-address signing every call is " +
+		"immediately preceded by pacia and every ret by autia.",
+	RuleStreamEnd: "The stream must not end mid-protocol: no pacma awaiting its " +
+		"bndstr, no free missing its xpacm or re-signing lock, no irg awaiting " +
+		"its stg.",
+	RuleMTETagging: "MTE tagging sequences: an irg is immediately followed by " +
+		"its first stg, and stg only continues a tagging burst (after irg, " +
+		"another stg, or the allocator ret of a free).",
+}
+
+// Explain returns the human explanation for a rule identifier ("" for an
+// unknown rule). aosverify prints it under counterexamples and coverage
+// tables.
+func Explain(rule string) string { return explanations[rule] }
+
+// ExpectedRules returns the rule identifiers a scheme's contract is
+// expected to exercise under an exhaustive bounded enumeration of heap
+// events (TC order). protoverify fails a scheme whose coverage leaves any
+// expected rule dead.
+func ExpectedRules(s instrument.Scheme) []string {
+	ids := []string{RuleOpWhitelist}
+	if s.SignsDataPointers() {
+		ids = append(ids, RulePacmaBndstr, RuleBndstr, RuleFreeProtocol,
+			RuleUseAfterClear, RuleSignedAccess, RuleWayRange, RuleAssoc)
+	}
+	ids = append(ids, RulePACFields, RuleRegDef, RuleCallRet)
+	if s.HasReturnAddressSigning() {
+		ids = append(ids, RuleRASPairing)
+	}
+	ids = append(ids, RuleStreamEnd)
+	if s.UsesMemoryTagging() {
+		ids = append(ids, RuleMTETagging)
+	}
+	return ids
+}
+
+// EnableCoverage turns on per-rule coverage counting for this checker.
+// Off by default: the always-on sanitizer path pays only a nil check per
+// touch point.
+func (c *Checker) EnableCoverage() {
+	if c.cov == nil {
+		c.cov = make([]uint64, numRules)
+	}
+}
+
+// Coverage returns the per-rule exercise counts accumulated so far (nil
+// when coverage was never enabled). Keys are the stable rule identifiers.
+func (c *Checker) Coverage() map[string]uint64 {
+	if c.cov == nil {
+		return nil
+	}
+	m := make(map[string]uint64, numRules)
+	for i, n := range c.cov {
+		m[ruleIDs[i]] = n
+	}
+	return m
+}
+
+// touch records that a rule's predicate evaluated on armed state.
+func (c *Checker) touch(i int) {
+	if c.cov != nil {
+		c.cov[i]++
+	}
+}

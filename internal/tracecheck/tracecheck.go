@@ -86,6 +86,8 @@ const (
 
 // Violation is one detected protocol break.
 type Violation struct {
+	// Scheme is the protection scheme whose contract was violated.
+	Scheme instrument.Scheme
 	// Index is the 0-based position of the offending instruction in the
 	// stream (for RuleStreamEnd: the stream length).
 	Index uint64
@@ -99,9 +101,10 @@ type Violation struct {
 	Detail string
 }
 
-// String renders a violation on one line.
+// String renders a violation on one line: scheme, op index, location,
+// rule, explanation.
 func (v Violation) String() string {
-	return fmt.Sprintf("inst %d (pc %#x, %s): %s: %s", v.Index, v.PC, v.Op, v.Rule, v.Detail)
+	return fmt.Sprintf("%s inst %d (pc %#x, %s): %s: %s", v.Scheme, v.Index, v.PC, v.Op, v.Rule, v.Detail)
 }
 
 // Error aggregates a run's violations as an error value.
@@ -210,6 +213,11 @@ type Checker struct {
 	// Register definedness (register 0 is pre-defined by convention: the
 	// machine's lastALU/lastLoad start there).
 	regDef [isa.NumRegs]bool
+
+	// cov, when enabled, counts how often each rule's predicate evaluated
+	// on armed state (see coverage.go); nil keeps the hot path to one
+	// pointer compare per touch point.
+	cov []uint64
 }
 
 // New builds a checker for the given scheme with the default recording cap.
@@ -273,8 +281,14 @@ func baseAllowedOps(s instrument.Scheme) [isa.NumOps]bool {
 
 func (c *Checker) report(in *isa.Inst, rule, format string, args ...interface{}) {
 	c.total++
+	if c.cov != nil {
+		if i, ok := ruleIdx[rule]; ok {
+			c.cov[i]++
+		}
+	}
 	if len(c.violations) < c.maxRec {
 		c.violations = append(c.violations, Violation{
+			Scheme: c.scheme,
 			Index:  c.idx,
 			PC:     in.PC,
 			Op:     in.Op,
@@ -302,6 +316,7 @@ func (c *Checker) Err() error {
 // Finish runs the contract's end-of-stream checks and returns all
 // recorded violations. Call once, after the final Emit.
 func (c *Checker) Finish() []Violation {
+	c.touch(idxStreamEnd)
 	end := isa.Inst{Op: isa.OpNop}
 	for _, f := range c.ct.Finish {
 		f(c, &end)
@@ -321,6 +336,7 @@ func (c *Checker) EmitBatch(batch []isa.Inst) {
 // registered contract and updates the shadow state. The instruction is
 // not mutated.
 func (c *Checker) Emit(in *isa.Inst) {
+	c.touch(idxOpWhitelist)
 	if int(in.Op) >= isa.NumOps {
 		c.report(in, RuleOpWhitelist, "op byte %d outside the ISA", uint8(in.Op))
 		c.idx++
@@ -347,6 +363,7 @@ func (c *Checker) checkRegs(in *isa.Inst) {
 		if r == isa.RegNone {
 			continue
 		}
+		c.touch(idxRegDef)
 		if int(r) >= isa.NumRegs {
 			c.report(in, RuleRegDef, "source register %d outside the register file", r)
 			continue
@@ -363,6 +380,7 @@ func (c *Checker) checkRegs(in *isa.Inst) {
 func (c *Checker) checkFields(in *isa.Inst) {
 	switch in.Op {
 	case isa.OpLoad, isa.OpStore:
+		c.touch(idxPACFields)
 		if in.Signed && !c.scheme.SignsDataPointers() {
 			c.report(in, RulePACFields, "signed access under non-signing scheme %s", c.scheme)
 			return
@@ -372,6 +390,7 @@ func (c *Checker) checkFields(in *isa.Inst) {
 				"Signed=%v disagrees with address AHC bits (%#x)", in.Signed, in.Addr)
 		}
 	case isa.OpBndstr, isa.OpBndclr:
+		c.touch(idxPACFields)
 	default:
 		return
 	}
@@ -395,6 +414,11 @@ func (c *Checker) checkGeometry(in *isa.Inst) bool {
 		c.report(in, RuleAssoc, "reported associativity %d invalid", assoc)
 		return false
 	}
+	if c.assoc != 0 && assoc != c.assoc {
+		// A transition is the armed case for TC08: shrink, or growth that
+		// must carry the resize flag.
+		c.touch(idxAssoc)
+	}
 	if c.assoc != 0 && assoc < c.assoc {
 		c.report(in, RuleAssoc, "associativity shrank %d -> %d (HBT only grows)", c.assoc, assoc)
 		return false
@@ -414,6 +438,9 @@ func (c *Checker) checkGeometry(in *isa.Inst) bool {
 			"RowAddr %#x inconsistent with table base %#x (pac %#04x, %d ways)",
 			in.RowAddr, c.base, in.PAC, assoc)
 	}
+	if in.HomeWay >= 0 {
+		c.touch(idxWayRange)
+	}
 	if int(in.HomeWay) >= assoc {
 		c.report(in, RuleWayRange, "HomeWay %d outside %d-way row", in.HomeWay, assoc)
 		return false
@@ -426,6 +453,7 @@ func (c *Checker) checkGeometry(in *isa.Inst) bool {
 func (c *Checker) onPacma(in *isa.Inst) {
 	va := pa.VA(in.Addr)
 	if c.phase == freeWantResign {
+		c.touch(idxFreeProtocol)
 		if va == c.freeVA {
 			c.phase = freeIdle // temporal-safety lock applied
 			return
@@ -444,6 +472,7 @@ func (c *Checker) onPacma(in *isa.Inst) {
 // onBndstr matches the pending pacma, validates geometry, and inserts the
 // allocation into the shadow table.
 func (c *Checker) onBndstr(in *isa.Inst) {
+	c.touch(idxBndstr)
 	p := c.pending
 	c.pending = nil
 	if p == nil {
@@ -487,6 +516,7 @@ func (c *Checker) onBndstr(in *isa.Inst) {
 // onBndclr validates the clear against the shadow table and arms the
 // free-protocol expectations.
 func (c *Checker) onBndclr(in *isa.Inst) {
+	c.touch(idxFreeProtocol)
 	if c.phase == freeWantResign {
 		c.report(in, RuleFreeProtocol,
 			"bndclr while freed chunk %#x (bndclr at inst %d) awaits its re-sign", c.freeVA, c.freeIdx)
@@ -516,6 +546,10 @@ func (c *Checker) onBndclr(in *isa.Inst) {
 		if found && signed {
 			c.report(in, RuleSignedAccess,
 				"bndclr missed live bounds for %#x (shadow way %d)", base, row[matchBase].way)
+		} else if c.cov != nil && !found && c.clearedCovers(in.PAC, base) {
+			// Double free correctly detected against cleared bounds: the
+			// armed (non-firing) case of TC05.
+			c.touch(idxUseAfterClear)
 		}
 	case !found:
 		c.report(in, RuleUseAfterClear,
@@ -541,6 +575,7 @@ func (c *Checker) onBndclr(in *isa.Inst) {
 // onSignedAccess cross-checks a checked load/store against the shadow
 // bounds, distinguishing use-after-clear from plain resolution bugs.
 func (c *Checker) onSignedAccess(in *isa.Inst) {
+	c.touch(idxSignedAccess)
 	if !c.checkGeometry(in) {
 		return
 	}
@@ -570,6 +605,12 @@ func (c *Checker) onSignedAccess(in *isa.Inst) {
 	case in.HomeWay >= 0 && !wayOK:
 		c.report(in, RuleSignedAccess,
 			"access to %#x resolved to way %d; covering bounds live in a different way", va, in.HomeWay)
+	case in.HomeWay < 0:
+		// Correct miss. When cleared bounds cover the address this is a
+		// correctly-detected UAF — the armed (non-firing) case of TC05.
+		if c.cov != nil && c.clearedCovers(in.PAC, va) {
+			c.touch(idxUseAfterClear)
+		}
 	}
 }
 
