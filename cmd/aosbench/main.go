@@ -39,7 +39,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (fig11, fig14..fig18, table1..table3, resize, ablate, security, schemes, all)")
+	exp := flag.String("exp", "all", "experiment to run (fig11, fig14..fig18, table1..table3, resize, ablate, security, schemes, attacks, all)")
 	insts := flag.Uint64("insts", 0, "override per-benchmark instruction budget (0 = profile defaults)")
 	seed := flag.Int64("seed", 1, "workload generator seed")
 	scale := flag.Uint64("scale", 20, "allocation-count divisor for table2/table3")
@@ -50,6 +50,7 @@ func main() {
 	noAnsi := flag.Bool("no-ansi", false, "plain newline-delimited progress even on a terminal")
 	csv := flag.Bool("csv", false, "emit fig14/fig18 as CSV for plotting")
 	sanitize := flag.Bool("sanitize", false, "tee every run through the tracecheck protocol verifier; any violation fails the experiment")
+	attackPrograms := flag.Int("attack-programs", 0, "generated programs per attacks-matrix cell (0 = default)")
 	timeout := flag.Duration("timeout", 0, "abort in-flight experiments after this duration (0 = no limit); canceled jobs fail with context errors")
 	timelinePath := flag.String("timeline", "", "write one matrix cell's Perfetto trace_event JSON timeline to this file (matrix experiments; see -timeline-cell)")
 	timelineCell := flag.String("timeline-cell", "mcf/AOS", "matrix cell to record, as benchmark/scheme (with -timeline)")
@@ -171,9 +172,9 @@ func main() {
 		o.OnTimeline = nil
 	}
 
-	if *jsonOut {
+	if *jsonOut && *exp != "attacks" {
 		if matrix == nil {
-			fatal(fmt.Errorf("-json requires a matrix-backed experiment (fig14, fig16, fig17, fig18, all)"))
+			fatal(fmt.Errorf("-json requires a matrix-backed experiment (fig14, fig16, fig17, fig18, all) or -exp attacks"))
 		}
 		doc, err := experiments.MatrixDocument(matrix, o, matrixWall)
 		if err != nil {
@@ -279,6 +280,21 @@ func main() {
 			}
 			done()
 			fmt.Println(r)
+		case "attacks":
+			r, err := experiments.AttackMatrix(o, *attackPrograms, uint64(*seed))
+			if err != nil {
+				fatal(err)
+			}
+			done()
+			if *jsonOut {
+				out, err := r.Document().JSON()
+				if err != nil {
+					fatal(err)
+				}
+				fmt.Println(string(out))
+			} else {
+				fmt.Println(r)
+			}
 		default:
 			fatal(fmt.Errorf("unknown experiment %q", name))
 		}

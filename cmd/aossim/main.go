@@ -30,6 +30,8 @@ func main() {
 	record := flag.String("record", "", "record the dynamic instruction stream to this trace file")
 	pipetrace := flag.Int("pipetrace", 0, "print pipeline timestamps for the first N instructions")
 	replay := flag.String("replay", "", "replay a recorded trace through the timing core (ignores -workload)")
+	attackClass := flag.String("attack", "", "generate and grade one heap-attack program of this class under every scheme (see internal/security.ClassNames; ignores -workload)")
+	attackTrace := flag.String("attack-trace", "", "with -attack: when the program evades -scheme, write the minimized escape's trace here (replayable with -replay)")
 	nocheck := flag.Bool("nocheck", false, "disable the always-on tracecheck protocol sanitizer")
 	timeline := flag.String("timeline", "", "record cycle-sampled telemetry and write a Perfetto trace_event JSON timeline to this file")
 	timelineInterval := flag.Uint64("timeline-interval", telemetry.DefaultInterval, "telemetry sampling interval in commit cycles (with -timeline)")
@@ -60,6 +62,14 @@ func main() {
 		// The trace format does not record the scheme; -scheme tells the
 		// checker which contract the recorded stream promised.
 		replayTrace(*replay, scheme, !*nocheck)
+		return
+	}
+
+	if *attackClass != "" {
+		if err := runAttack(*attackClass, scheme, uint64(*seed), *attackTrace); err != nil {
+			fmt.Fprintln(os.Stderr, "aossim:", err)
+			os.Exit(1)
+		}
 		return
 	}
 

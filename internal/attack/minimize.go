@@ -1,0 +1,65 @@
+package attack
+
+// Minimize greedily deletes steps while the program stays well-formed and
+// keep still holds (keep is the "still interesting" predicate — e.g.
+// "still escapes under scheme S"). Passes repeat until a fixpoint, so the
+// result is 1-minimal: removing any single remaining step either breaks
+// validity or the property. The attack step itself is never a deletion
+// candidate; deleting an allocation renumbers later slots (and is skipped
+// while any surviving step still references it).
+func Minimize(p *Program, keep func(*Program) bool) *Program {
+	cur := &Program{Class: p.Class, Seed: p.Seed, Steps: append([]Step(nil), p.Steps...)}
+	if !keep(cur) {
+		return cur // the property does not even hold on the input
+	}
+	for shrunk := true; shrunk; {
+		shrunk = false
+		for i := 0; i < len(cur.Steps); i++ {
+			if cur.Steps[i].Attack {
+				continue
+			}
+			cand := deleteStep(cur, i)
+			if cand == nil || cand.Validate() != nil || !keep(cand) {
+				continue
+			}
+			cur = cand
+			shrunk = true
+			i-- // the slot that replaced i is a fresh candidate
+		}
+	}
+	return cur
+}
+
+// deleteStep builds a copy of p without step i, renumbering slots when an
+// allocation is removed. Returns nil when the deletion is structurally
+// impossible (a surviving step still uses the deleted slot).
+func deleteStep(p *Program, i int) *Program {
+	removed := p.Steps[i]
+	steps := make([]Step, 0, len(p.Steps)-1)
+	steps = append(steps, p.Steps[:i]...)
+	steps = append(steps, p.Steps[i+1:]...)
+	if removed.Kind == KAlloc {
+		for j := range steps {
+			if !usesSlot(steps[j].Kind) {
+				continue
+			}
+			switch {
+			case steps[j].Slot == removed.Slot:
+				return nil
+			case steps[j].Slot > removed.Slot:
+				steps[j].Slot--
+			}
+		}
+	}
+	return &Program{Class: p.Class, Seed: p.Seed, Steps: steps}
+}
+
+// usesSlot reports whether the kind references a slot.
+func usesSlot(k Kind) bool {
+	switch k {
+	case KAlloc, KFree, KLoad, KStore, KOverflow, KHeaderStore, KFreeOff, KScribble:
+		return true
+	default:
+		return false
+	}
+}

@@ -1,0 +1,273 @@
+package experiments
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"aos/internal/attack"
+	"aos/internal/instrument"
+	"aos/internal/runner"
+	"aos/internal/security"
+	"aos/internal/stats"
+)
+
+// DefaultAttackPrograms is the per-cell sample size the attacks matrix
+// (and an elided AttackSpec.Programs) uses: large enough that every
+// documented probabilistic bypass window is sampled, small enough that
+// the full 7x8 matrix runs in seconds.
+const DefaultAttackPrograms = 48
+
+// AttackSpec is the content-addressable identity of one detection-rate
+// cell: a scheme grading a sample of generated attack programs of one
+// class. Like SimSpec, runs are pure functions of this tuple — the
+// generator derives every program from (seed, class, index) alone — so
+// the cell is sound to cache by content address.
+type AttackSpec struct {
+	// Scheme is the protection scheme's canonical name.
+	Scheme string `json:"scheme"`
+	// Class is the attack class name (security.ClassNames spelling).
+	Class string `json:"class"`
+	// Programs is the sample size (0 normalizes to DefaultAttackPrograms).
+	Programs int `json:"programs"`
+	// Seed drives the program generator (0 normalizes to 1).
+	Seed uint64 `json:"seed"`
+}
+
+// Normalize validates the spec and resolves defaults, returning the
+// canonical form whose Hash identifies the cell.
+func (s AttackSpec) Normalize() (AttackSpec, error) {
+	scheme, err := parseSchemeField(s.Scheme)
+	if err != nil {
+		return AttackSpec{}, fmt.Errorf("attack spec: %w", err)
+	}
+	s.Scheme = scheme.String()
+	class, err := security.ParseClass(s.Class)
+	if err != nil {
+		return AttackSpec{}, fmt.Errorf("attack spec: %w", err)
+	}
+	s.Class = class.String()
+	if s.Programs == 0 {
+		s.Programs = DefaultAttackPrograms
+	}
+	if s.Programs < 0 || s.Programs > 1<<16 {
+		return AttackSpec{}, fmt.Errorf("attack spec: programs %d out of range", s.Programs)
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	return s, nil
+}
+
+// Canonical returns the spec's canonical JSON encoding — sorted keys, no
+// floats — the preimage of Hash (pinned by TestAttackSpecCanonical;
+// changing it invalidates every cached attacks cell).
+func (s AttackSpec) Canonical() []byte {
+	b, err := json.Marshal(map[string]any{
+		"class":    s.Class,
+		"programs": s.Programs,
+		"scheme":   s.Scheme,
+		"seed":     s.Seed,
+	})
+	if err != nil {
+		// Unreachable: the value set above cannot fail to marshal.
+		panic(err)
+	}
+	return b
+}
+
+// Hash is the cell's content address: hex SHA-256 of Canonical (callers
+// hash the Normalized spec so equivalent specs share an address).
+func (s AttackSpec) Hash() string {
+	sum := sha256.Sum256(s.Canonical())
+	return hex.EncodeToString(sum[:])
+}
+
+// AttackCell is one graded cell — the value cached under AttackSpec.Hash.
+// Counts partition the sample: every program is detected, bypassed (a
+// documented probabilistic window) or escaped (the model promises no
+// mechanism). Model violations never appear here: RunAttackSpec fails the
+// whole cell instead of reporting a corrupt statistic.
+type AttackCell struct {
+	Spec AttackSpec `json:"spec"`
+	// Expected is the model's promise for this cell (never, probabilistic,
+	// deterministic).
+	Expected string `json:"expected"`
+	Detected int    `json:"detected"`
+	Bypassed int    `json:"bypassed"`
+	Escaped  int    `json:"escaped"`
+}
+
+// JSON renders the cell deterministically (the cached representation).
+func (c *AttackCell) JSON() ([]byte, error) { return json.Marshal(c) }
+
+// DetectionRate is the detected fraction of the sample.
+func (c *AttackCell) DetectionRate() float64 {
+	n := c.Detected + c.Bypassed + c.Escaped
+	if n == 0 {
+		return 0
+	}
+	return float64(c.Detected) / float64(n)
+}
+
+// RunAttackSpec grades one cell: generate the sample, run every program
+// under the scheme, count verdicts. A model violation (MISSED/PHANTOM) or
+// a benign-step failure is an error carrying the offending program's
+// listing — the harness's soundness gate, enforced at every layer that
+// computes a cell.
+func RunAttackSpec(ctx context.Context, spec AttackSpec) (*AttackCell, error) {
+	spec, err := spec.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	scheme, err := instrument.ParseScheme(spec.Scheme)
+	if err != nil {
+		return nil, err
+	}
+	class, err := security.ParseClass(spec.Class)
+	if err != nil {
+		return nil, err
+	}
+	cell := &AttackCell{Spec: spec, Expected: security.Expected(scheme, class).String()}
+	for i := 0; i < spec.Programs; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		p, err := attack.Generate(class, attack.MixSeed(spec.Seed, class, i))
+		if err != nil {
+			return nil, err
+		}
+		r, err := attack.Run(p, scheme)
+		if err != nil {
+			return nil, fmt.Errorf("attacks %s/%s program %d: %w", spec.Scheme, spec.Class, i, err)
+		}
+		switch r.Verdict {
+		case attack.VerdictDetected:
+			cell.Detected++
+		case attack.VerdictBypassed:
+			cell.Bypassed++
+		case attack.VerdictEscaped:
+			cell.Escaped++
+		default:
+			return nil, fmt.Errorf("attacks %s/%s program %d: model violation %v (expected %v)\n%s",
+				spec.Scheme, spec.Class, i, r.Verdict, r.Expected, p.Listing())
+		}
+	}
+	return cell, nil
+}
+
+// AttackMatrixResult is the scheme x class detection-rate matrix.
+type AttackMatrixResult struct {
+	Programs int
+	Seed     uint64
+	// Cells is class-major, scheme-minor — security.Classes() x
+	// instrument.AllSchemes() order.
+	Cells []*AttackCell
+}
+
+// Cell returns the (scheme, class) cell.
+func (r *AttackMatrixResult) Cell(s instrument.Scheme, c security.Class) *AttackCell {
+	for _, cell := range r.Cells {
+		if cell.Spec.Scheme == s.String() && cell.Spec.Class == c.String() {
+			return cell
+		}
+	}
+	return nil
+}
+
+// AttackMatrix grades every registered scheme against every attack class.
+// Cells fan out over the runner and fold back in spec order, so the
+// result — and its rendering — is byte-identical at a fixed seed under
+// any worker count.
+func AttackMatrix(o Options, programs int, seed uint64) (*AttackMatrixResult, error) {
+	if programs == 0 {
+		programs = DefaultAttackPrograms
+	}
+	if seed == 0 {
+		seed = 1
+	}
+	var specs []AttackSpec
+	var jobs []runner.Job[*AttackCell]
+	ctx := o.ctx()
+	for _, class := range security.Classes() {
+		for _, s := range instrument.AllSchemes() {
+			spec := AttackSpec{Scheme: s.String(), Class: class.String(), Programs: programs, Seed: seed}
+			specs = append(specs, spec)
+			jobs = append(jobs, runner.Job[*AttackCell]{
+				Label: fmt.Sprintf("attacks: %s under %s", spec.Class, spec.Scheme),
+				Run:   func() (*AttackCell, error) { return RunAttackSpec(ctx, spec) },
+			})
+		}
+	}
+	results := runner.Run(ctx, jobs, o.runnerOptions())
+	res := &AttackMatrixResult{Programs: programs, Seed: seed}
+	for i, r := range results {
+		if r.Err != nil {
+			return nil, fmt.Errorf("attacks: %s/%s: %w", specs[i].Scheme, specs[i].Class, r.Err)
+		}
+		res.Cells = append(res.Cells, r.Value)
+	}
+	return res, nil
+}
+
+// String renders the detection-rate matrix: one row per attack class, one
+// column per scheme, each cell the detected percentage plus the model's
+// promise (D deterministic, P probabilistic, - never).
+func (r *AttackMatrixResult) String() string {
+	header := []string{"attack class"}
+	for _, s := range instrument.AllSchemes() {
+		header = append(header, s.String())
+	}
+	t := stats.NewTable(header...)
+	for _, class := range security.Classes() {
+		row := []interface{}{class.String()}
+		for _, s := range instrument.AllSchemes() {
+			cell := r.Cell(s, class)
+			if cell == nil {
+				row = append(row, "?")
+				continue
+			}
+			row = append(row, fmt.Sprintf("%3.0f%% %s", 100*cell.DetectionRate(), promiseMark(cell.Expected)))
+		}
+		t.AddRow(row...)
+	}
+	return fmt.Sprintf("Detection-rate matrix: %d generated programs per cell, seed %d\n",
+		r.Programs, r.Seed) + t.String() +
+		"cells: detected% + model promise (D = deterministic, P = probabilistic, - = never)\n"
+}
+
+func promiseMark(expected string) string {
+	switch expected {
+	case security.Deterministic.String():
+		return "D"
+	case security.Probabilistic.String():
+		return "P"
+	default:
+		return "-"
+	}
+}
+
+// AttacksSchema versions the attacks JSON document layout.
+const AttacksSchema = "aosbench/attacks/v1"
+
+// AttacksDoc is the machine-readable matrix (`aosbench -exp attacks
+// -json`, and the body aosd composes cell-by-cell from its cache).
+type AttacksDoc struct {
+	Schema   string        `json:"schema"`
+	Programs int           `json:"programs"`
+	Seed     uint64        `json:"seed"`
+	Cells    []*AttackCell `json:"cells"`
+}
+
+// Document assembles the machine-readable form.
+func (r *AttackMatrixResult) Document() *AttacksDoc {
+	return &AttacksDoc{Schema: AttacksSchema, Programs: r.Programs, Seed: r.Seed, Cells: r.Cells}
+}
+
+// JSON renders the document with stable formatting (structs marshal in
+// declaration order; counts are integers, so bytes are reproducible).
+func (d *AttacksDoc) JSON() ([]byte, error) {
+	return json.MarshalIndent(d, "", "  ")
+}

@@ -16,6 +16,7 @@ import (
 var enumTypes = map[string]bool{
 	"aos/internal/isa.Op":            true,
 	"aos/internal/instrument.Scheme": true,
+	"aos/internal/security.Class":    true,
 }
 
 // Exhaustive checks that switches over the configured enum types either

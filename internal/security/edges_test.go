@@ -1,0 +1,221 @@
+package security
+
+import (
+	"errors"
+	"testing"
+
+	"aos/internal/core"
+	"aos/internal/heap"
+	"aos/internal/instrument"
+)
+
+// These tests pin the *mechanisms* behind the Probabilistic cells of the
+// Expected model: for each scheme whose coverage has a known hole, one
+// concrete machine run demonstrates the bypass and a near-identical run
+// demonstrates the detection, so the model's P verdicts are anchored to
+// reproducible machine behaviour rather than prose.
+
+func newMachine(t *testing.T, s instrument.Scheme) *core.Machine {
+	t.Helper()
+	m, err := core.New(core.Config{Scheme: s})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestMTETagCycleUAF demonstrates MTE's temporal 1-in-15: the tag cycle
+// returns to the victim's tag after exactly 14 intervening allocations,
+// so a use-after-free against the 15th reuse of an address goes silent,
+// while the same attack against the very next reuse faults.
+func TestMTETagCycleUAF(t *testing.T) {
+	if Expected(instrument.MTE, UAFRead) != Probabilistic {
+		t.Fatal("model no longer calls MTE/UAF probabilistic; update this test")
+	}
+
+	uaf := func(fillers int) error {
+		m := newMachine(t, instrument.MTE)
+		a, err := m.Malloc(64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Free(a); err != nil {
+			t.Fatal(err)
+		}
+		// Fillers of a different size leave a's tcache bin alone but each
+		// consumes one allocation tag from the deterministic 1..15 cycle.
+		for i := 0; i < fillers; i++ {
+			if _, err := m.Malloc(80); err != nil {
+				t.Fatal(err)
+			}
+		}
+		reuse, err := m.Malloc(64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if reuse.VA() != a.VA() {
+			t.Fatalf("reuse at %#x, want the freed chunk %#x (tcache LIFO)", reuse.VA(), a.VA())
+		}
+		return m.Load(a, 0, core.AccessOpts{})
+	}
+
+	// 0 fillers: the reuse carries the next tag in the cycle — mismatch.
+	if err := uaf(0); err == nil {
+		t.Error("stale load against the immediate reuse went undetected")
+	}
+	// 14 fillers: the cycle wraps and the reuse carries the stale
+	// pointer's own tag — the violation completes silently.
+	if err := uaf(14); err != nil {
+		t.Errorf("stale load against the 15th reuse detected (%v); the tag cycle should have collided", err)
+	}
+}
+
+// TestMTESameTagDistantChunks demonstrates MTE's spatial 1-in-15
+// (MTEBypassProbability): two live chunks 15 allocations apart share a
+// tag, so an out-of-bounds access jumping from one to the other passes
+// the tag compare.
+func TestMTESameTagDistantChunks(t *testing.T) {
+	m := newMachine(t, instrument.MTE)
+	a, err := m.Malloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last core.Ptr
+	for i := 0; i < 14; i++ {
+		if last, err = m.Malloc(64); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b, err := m.Malloc(64) // 15th after a: same tag by the cycle
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reaching a differently-tagged live chunk faults...
+	if err := m.Load(a, last.VA()-a.VA(), core.AccessOpts{}); err == nil {
+		t.Error("OOB into a differently-tagged chunk went undetected")
+	}
+	// ...but reaching the tag-colliding one does not.
+	if err := m.Load(a, b.VA()-a.VA(), core.AccessOpts{}); err != nil {
+		t.Errorf("OOB into the tag-colliding chunk detected (%v); tags should agree 1 time in 15", err)
+	}
+}
+
+// TestMTEOffByOneGranuleRounding pins the spatial hole behind MTE's
+// off-by-one P cell: tagging rounds the allocation up to 16-byte
+// granules, so a one-past-the-end word store stays inside the tagged
+// region exactly when size % 16 == 8, and faults when the request fills
+// its granules exactly.
+func TestMTEOffByOneGranuleRounding(t *testing.T) {
+	if Expected(instrument.MTE, OffByOne) != Probabilistic {
+		t.Fatal("model no longer calls MTE/off-by-one probabilistic; update this test")
+	}
+
+	offByOne := func(size uint64) error {
+		m := newMachine(t, instrument.MTE)
+		a, err := m.Malloc(size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Malloc(size); err != nil { // a live neighbour to corrupt
+			t.Fatal(err)
+		}
+		return m.Store(a, size, core.AccessOpts{})
+	}
+
+	// 40 % 16 == 8: granule rounding tags 48 bytes, the overflow word
+	// lands in the slack — silent.
+	if err := offByOne(40); err != nil {
+		t.Errorf("off-by-one on a 40-byte chunk detected (%v); the padded granule should absorb it", err)
+	}
+	// 48 % 16 == 0: the chunk ends on a granule boundary, the overflow
+	// word lands in the neighbour's untagged header granule — caught.
+	if err := offByOne(48); err == nil {
+		t.Error("off-by-one on a 48-byte chunk went undetected")
+	}
+}
+
+// TestHardenedQuarantineExhaustion demonstrates the hardened allocator's
+// temporal hole: the quarantine FIFO holds 32 chunks, so a double free
+// is a hard error while the victim is parked, degrades to an
+// invalid-free error once evicted, and goes fully silent when the
+// attacker waits for eviction *and* reuse — the classic flush-the-
+// quarantine free storm.
+func TestHardenedQuarantineExhaustion(t *testing.T) {
+	if Expected(instrument.HardenedAlloc, DoubleFree) != Probabilistic {
+		t.Fatal("model no longer calls HardenedAlloc/double-free probabilistic; update this test")
+	}
+	depth := heap.DefaultHardening().QuarantineDepth
+
+	setup := func(storm int) (*core.Machine, core.Ptr) {
+		m := newMachine(t, instrument.HardenedAlloc)
+		a, err := m.Malloc(64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Free(a); err != nil {
+			t.Fatal(err)
+		}
+		// Each storm free pushes the victim one slot toward eviction;
+		// a different size keeps the victim's bin untouched.
+		for i := 0; i < storm; i++ {
+			f, err := m.Malloc(80)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := m.Free(f); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return m, a
+	}
+
+	// Victim still quarantined: the scan catches the second free.
+	m, a := setup(5)
+	if err := m.Free(a); !errors.Is(err, heap.ErrDoubleFree) {
+		t.Errorf("double free of a quarantined chunk = %v, want ErrDoubleFree", err)
+	}
+
+	// Victim evicted but its memory not yet reused: ownership validation
+	// still rejects the free (detected, as a different error).
+	m, a = setup(depth)
+	if err := m.Free(a); !errors.Is(err, heap.ErrInvalidFree) {
+		t.Errorf("double free of an evicted chunk = %v, want ErrInvalidFree", err)
+	}
+
+	// Victim evicted and reused: the second free is indistinguishable
+	// from a legitimate free of the new owner — the bypass.
+	m, a = setup(depth)
+	reuse, err := m.Malloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reuse.VA() != a.VA() {
+		t.Fatalf("reuse at %#x, want the evicted chunk %#x", reuse.VA(), a.VA())
+	}
+	if err := m.Free(a); err != nil {
+		t.Errorf("double free after eviction and reuse detected (%v); the allocator cannot tell it from the new owner's free", err)
+	}
+}
+
+// TestMisalignedFreeDetectedEverywhere pins the one deterministic column
+// of the attack matrix: a free of an interior (misaligned) pointer is
+// rejected by every scheme — each through its own mechanism (AOS finds
+// no bounds to clear, MTE reaches the allocator's alignment check, the
+// hardened allocator rejects unowned pointers, everything else falls
+// through to the allocator's own validation).
+func TestMisalignedFreeDetectedEverywhere(t *testing.T) {
+	for _, s := range instrument.AllSchemes() {
+		if Expected(s, InvalidFree) != Deterministic {
+			t.Errorf("model demoted %v/invalid-free from deterministic", s)
+		}
+		m := newMachine(t, s)
+		p, err := m.Malloc(64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Free(m.PointerArith(p, 8)); err == nil {
+			t.Errorf("%v: free(p+8) succeeded; interior frees must be rejected", s)
+		}
+	}
+}

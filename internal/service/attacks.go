@@ -1,0 +1,102 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"aos/internal/experiments"
+	"aos/internal/instrument"
+	"aos/internal/security"
+)
+
+// attacksDoc is the detection-rate matrix composed from per-cell cached
+// results — figDoc's shape for the adversarial harness.
+type attacksDoc struct {
+	Schema      string                    `json:"schema"`
+	Programs    int                       `json:"programs"`
+	Seed        uint64                    `json:"seed"`
+	Cells       int                       `json:"cells"`
+	CachedCells int                       `json:"cached_cells"`
+	Rows        []*experiments.AttackCell `json:"rows"`
+}
+
+// handleAttacks composes the scheme x attack-class detection-rate matrix
+// cell by cell. Each cell is content-addressed by its AttackSpec hash:
+// cached cells are free (a cache hit in /metrics), missing ones are
+// graded inline — cells are dozens of tiny machine runs, far below the
+// job queue's granularity — and stored, so a repeat request touches no
+// generator at all.
+func (s *Server) handleAttacks(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	for _, p := range []string{"benchmark", "scheme", "insts", "sanitize"} {
+		if q.Get(p) != "" {
+			writeError(w, http.StatusBadRequest,
+				"attacks takes programs/seed only; %q is fixed by the matrix", p)
+			return
+		}
+	}
+	base := experiments.AttackSpec{}
+	if v := q.Get("programs"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad programs %q", v)
+			return
+		}
+		base.Programs = n
+	}
+	if v := q.Get("seed"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad seed %q", v)
+			return
+		}
+		base.Seed = n
+	}
+
+	doc := attacksDoc{Schema: "aosd/attacks/v1"}
+	for _, class := range security.Classes() {
+		for _, scheme := range instrument.AllSchemes() {
+			spec := base
+			spec.Scheme = scheme.String()
+			spec.Class = class.String()
+			spec, err := spec.Normalize()
+			if err != nil {
+				writeError(w, http.StatusBadRequest, "%v", err)
+				return
+			}
+			doc.Programs = spec.Programs
+			doc.Seed = spec.Seed
+
+			key := spec.Hash()
+			if b, ok := s.cache.Get(key); ok {
+				var cell experiments.AttackCell
+				if err := json.Unmarshal(b, &cell); err != nil {
+					writeError(w, http.StatusInternalServerError, "corrupt cached attack cell: %v", err)
+					return
+				}
+				doc.Rows = append(doc.Rows, &cell)
+				doc.CachedCells++
+				continue
+			}
+			cell, err := experiments.RunAttackSpec(r.Context(), spec)
+			if err != nil {
+				writeError(w, http.StatusInternalServerError, "%v", err)
+				return
+			}
+			b, err := cell.JSON()
+			if err != nil {
+				writeError(w, http.StatusInternalServerError, "%v", err)
+				return
+			}
+			s.cache.Put(key, b)
+			doc.Rows = append(doc.Rows, cell)
+		}
+	}
+	doc.Cells = len(doc.Rows)
+	s.log.Info("attacks matrix served",
+		"cells", doc.Cells, "cached", doc.CachedCells,
+		"programs", doc.Programs, "seed", fmt.Sprint(doc.Seed))
+	writeJSON(w, http.StatusOK, doc)
+}

@@ -1,0 +1,150 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"aos/internal/instrument"
+	"aos/internal/security"
+)
+
+// getAttacks fetches the attacks matrix and returns both the decoded doc
+// and the raw response bytes (for byte-identity checks across requests).
+func getAttacks(t *testing.T, ts *httptest.Server, query string) (attacksDoc, []byte) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/experiments/attacks" + query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("attacks status = %d: %s", resp.StatusCode, raw)
+	}
+	var doc attacksDoc
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	return doc, raw
+}
+
+// TestAttacksEndpoint composes the full scheme x class detection matrix
+// from tiny per-cell batches and verifies the second request is served
+// entirely from the content-addressed cache.
+func TestAttacksEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2, QueueDepth: 4})
+
+	doc, raw := getAttacks(t, ts, "?programs=4&seed=1")
+	nCells := len(security.Classes()) * len(instrument.AllSchemes())
+	if doc.Schema != "aosd/attacks/v1" {
+		t.Fatalf("schema = %q", doc.Schema)
+	}
+	if doc.Cells != nCells || len(doc.Rows) != nCells {
+		t.Fatalf("cells = %d rows = %d, want %d", doc.Cells, len(doc.Rows), nCells)
+	}
+	if doc.Programs != 4 || doc.Seed != 1 {
+		t.Fatalf("programs/seed = %d/%d, want 4/1", doc.Programs, doc.Seed)
+	}
+	if doc.CachedCells != 0 {
+		t.Fatalf("cold request reports %d cached cells", doc.CachedCells)
+	}
+	for _, cell := range doc.Rows {
+		if got := cell.Detected + cell.Bypassed + cell.Escaped; got != 4 {
+			t.Fatalf("%s/%s verdicts sum to %d, want 4", cell.Spec.Scheme, cell.Spec.Class, got)
+		}
+		// The served matrix must agree with the documented detection
+		// model: deterministic cells catch everything, never cells catch
+		// nothing.
+		s, err := instrument.ParseScheme(cell.Spec.Scheme)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := security.ParseClass(cell.Spec.Class)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch security.Expected(s, c) {
+		case security.Deterministic:
+			if cell.Detected != 4 {
+				t.Errorf("%s/%s: deterministic cell detected %d/4", s, c, cell.Detected)
+			}
+		case security.Never:
+			if cell.Escaped != 4 {
+				t.Errorf("%s/%s: never cell escaped %d/4", s, c, cell.Escaped)
+			}
+		}
+	}
+
+	// Warm daemon: every cell comes from the cache and the body is
+	// byte-identical to the cold request.
+	doc2, raw2 := getAttacks(t, ts, "?programs=4&seed=1")
+	if doc2.CachedCells != nCells {
+		t.Fatalf("warm cached_cells = %d, want %d", doc2.CachedCells, nCells)
+	}
+	raw = bytes.Replace(raw, []byte(`"cached_cells": 0`),
+		[]byte(fmt.Sprintf(`"cached_cells": %d`, nCells)), 1)
+	if !bytes.Equal(raw, raw2) {
+		t.Fatalf("warm matrix differs from cold:\n%s\n%s", raw, raw2)
+	}
+	m := getMetrics(t, ts)
+	if hits := metricValue(t, m, "aosd_cache_hits_total"); hits < float64(nCells) {
+		t.Errorf("aosd_cache_hits_total = %g, want >= %d", hits, nCells)
+	}
+
+	// A different seed shares nothing with the warm cells.
+	doc3, _ := getAttacks(t, ts, "?programs=4&seed=2")
+	if doc3.CachedCells != 0 {
+		t.Errorf("seed=2 reused %d cells from seed=1", doc3.CachedCells)
+	}
+
+	// Defaults apply when the knobs are elided.
+	doc4, _ := getAttacks(t, ts, "?programs=4")
+	if doc4.Seed != 1 {
+		t.Errorf("default seed = %d, want 1", doc4.Seed)
+	}
+	if doc4.CachedCells != nCells {
+		t.Errorf("elided seed missed the seed=1 cache (%d cached)", doc4.CachedCells)
+	}
+}
+
+// TestAttacksEndpointRejects covers the parameter surface: simulation
+// knobs are fixed by the matrix and malformed values are 400s, and the
+// experiment is listed in the unknown-figure error.
+func TestAttacksEndpointRejects(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 4})
+
+	get := func(query string) (int, string) {
+		resp, err := http.Get(ts.URL + query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(b)
+	}
+
+	for _, q := range []string{
+		"?benchmark=mcf",
+		"?scheme=AOS",
+		"?insts=1000",
+		"?sanitize=true",
+		"?programs=x",
+		"?programs=-1",
+		"?seed=banana",
+	} {
+		if code, body := get("/v1/experiments/attacks" + q); code != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400 (%s)", q, code, body)
+		}
+	}
+
+	code, body := get("/v1/experiments/nosuchfig")
+	if code != http.StatusNotFound || !strings.Contains(body, "attacks") {
+		t.Errorf("unknown figure: status = %d body = %s, want 404 naming attacks", code, body)
+	}
+}

@@ -702,8 +702,11 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 		metric = func(res *experiments.SimResult) float64 { return float64(res.Cycles) }
 	case "fig18":
 		metric = func(res *experiments.SimResult) float64 { return float64(res.TrafficBytes) }
+	case "attacks":
+		s.handleAttacks(w, r)
+		return
 	default:
-		writeError(w, http.StatusNotFound, "unknown experiment %q (have fig14, fig18)", fig)
+		writeError(w, http.StatusNotFound, "unknown experiment %q (have fig14, fig18, attacks)", fig)
 		return
 	}
 	base, err := specFromQuery(r)
