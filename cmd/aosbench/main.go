@@ -7,7 +7,8 @@
 //	aosbench -exp fig14 -insts 200000 # quicker, scaled run
 //	aosbench -exp fig14 -j 8          # matrix over 8 workers
 //	aosbench -exp fig14 -json         # machine-readable matrix document
-//	aosbench -benchspeed              # simulator throughput + alloc gate
+//	aosbench -exp fig14 -sample       # SMARTS sampled simulation (fast, ~2% error)
+//	aosbench -benchspeed              # simulator throughput + alloc/speedup gates
 //	aosbench -exp all -cpuprofile cpu.pb.gz  # profile a full regeneration
 //
 // Matrix-style experiments fan out over a bounded worker pool (-j, default
@@ -34,6 +35,7 @@ import (
 
 	"aos/internal/experiments"
 	"aos/internal/instrument"
+	"aos/internal/sampling"
 	"aos/internal/telemetry"
 	"aos/internal/workload"
 )
@@ -59,6 +61,10 @@ func main() {
 	benchout := flag.String("benchout", "BENCH_simspeed.json", "output file for -benchspeed results")
 	benchruns := flag.Int("benchruns", 3, "measurement repetitions for -benchspeed")
 	maxAllocs := flag.Float64("max-allocs-per-inst", -1, "with -benchspeed: exit 1 when the best run allocates more than this per simulated instruction (<0 = no gate)")
+	minEffSpeedup := flag.Float64("min-effective-speedup", -1, "with -benchspeed: exit 1 when the sampled mode's effective speedup over the exact path is below this (<0 = no gate)")
+	sample := flag.Bool("sample", false, "SMARTS sampled simulation: only measurement windows run the detailed timing model; cycle figures become window-CPI extrapolations (architectural counts stay exact)")
+	sampleWindows := flag.Int("sample-windows", 0, "with -sample: measurement windows per run (0 = default, "+fmt.Sprint(sampling.DefaultWindows)+")")
+	sampleGap := flag.Uint64("sample-gap", 0, "with -sample: fast-forward gap between windows in instructions (0 = derived so windows tile the region)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	traceFile := flag.String("trace", "", "write a runtime execution trace to this file")
@@ -71,7 +77,7 @@ func main() {
 	defer stopProf()
 
 	if *benchspeed {
-		if err := benchSpeed(*insts, *benchruns, *benchout, *maxAllocs); err != nil {
+		if err := benchSpeed(*insts, *benchruns, *benchout, *maxAllocs, *minEffSpeedup); err != nil {
 			stopProf()
 			fatal(err)
 		}
@@ -85,6 +91,14 @@ func main() {
 		defer cancel()
 	}
 	o := experiments.Options{Instructions: *insts, Seed: *seed, Workers: *workers, Sanitize: *sanitize, Context: ctx}
+	if *sample {
+		// One store for the whole invocation: with -exp all, later
+		// matrix-backed experiments resume from checkpoints the first
+		// matrix populated. (Sanitized runs ignore the store and sample
+		// cold — a restore would desynchronize the teeing checker.)
+		o.Sampling = &sampling.Schedule{Windows: *sampleWindows, Gap: *sampleGap}
+		o.Checkpoints = sampling.NewStore()
+	}
 	ansi := !*noAnsi && stderrIsTerminal()
 	if !*quiet {
 		o.Progress = func(ev experiments.Event) {

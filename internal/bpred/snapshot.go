@@ -1,0 +1,40 @@
+package bpred
+
+// State is a deep copy of a TAGE predictor, taken by Snapshot. TAGE state
+// is a fixed ~25 KiB (bimodal table + 4 tagged banks), so checkpoints copy
+// it outright.
+type State struct {
+	base  []int8
+	banks [numBanks][]tagEntry
+	ghist [4]uint64
+	rng   uint32
+	ticks uint64
+	stats Stats
+}
+
+// Snapshot deep-copies the predictor.
+func (t *TAGE) Snapshot() *State {
+	s := &State{
+		base:  append([]int8(nil), t.base...),
+		ghist: t.ghist,
+		rng:   t.rng,
+		ticks: t.ticks,
+		stats: t.stats,
+	}
+	for b := range t.banks {
+		s.banks[b] = append([]tagEntry(nil), t.banks[b]...)
+	}
+	return s
+}
+
+// Restore rewinds the predictor to a snapshot. The snapshot stays valid.
+func (t *TAGE) Restore(s *State) {
+	copy(t.base, s.base)
+	for b := range t.banks {
+		copy(t.banks[b], s.banks[b])
+	}
+	t.ghist = s.ghist
+	t.rng = s.rng
+	t.ticks = s.ticks
+	t.stats = s.stats
+}

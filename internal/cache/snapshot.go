@@ -1,0 +1,92 @@
+package cache
+
+import "fmt"
+
+// CacheState is a deep copy of one cache's line array and counters, taken
+// by Cache.Snapshot. Geometry (config, set count) is not carried: restore
+// targets are built from the same configuration, and Restore checks the
+// shapes match rather than trusting the caller.
+type CacheState struct {
+	lines []line // flat [set*ways+way] copy of the backing array
+	ways  int
+	tick  uint64
+	stats Stats
+}
+
+// Snapshot deep-copies the cache contents and statistics.
+func (c *Cache) Snapshot() *CacheState {
+	s := &CacheState{
+		lines: make([]line, 0, len(c.sets)*c.cfg.Ways),
+		ways:  c.cfg.Ways,
+		tick:  c.tick,
+		stats: c.stats,
+	}
+	for _, set := range c.sets {
+		s.lines = append(s.lines, set...)
+	}
+	return s
+}
+
+// Restore rewinds the cache to a snapshot taken from an identically
+// configured cache. The snapshot stays valid for further restores.
+func (c *Cache) Restore(s *CacheState) error {
+	if len(s.lines) != len(c.sets)*c.cfg.Ways || s.ways != c.cfg.Ways {
+		return fmt.Errorf("cache: restore geometry mismatch: snapshot %d lines x %d ways, cache %d sets x %d ways",
+			len(s.lines), s.ways, len(c.sets), c.cfg.Ways)
+	}
+	for i, set := range c.sets {
+		copy(set, s.lines[i*c.cfg.Ways:(i+1)*c.cfg.Ways])
+	}
+	c.tick = s.tick
+	c.stats = s.stats
+	return nil
+}
+
+// HierarchyState is a deep copy of the whole memory system: every level's
+// contents plus the inter-level traffic counters.
+type HierarchyState struct {
+	l1i, l1d, l2 *CacheState
+	l1b          *CacheState // nil when no bounds cache configured
+	traffic      Traffic
+	dram         uint64
+}
+
+// Snapshot deep-copies the hierarchy.
+func (h *Hierarchy) Snapshot() *HierarchyState {
+	s := &HierarchyState{
+		l1i:     h.L1I.Snapshot(),
+		l1d:     h.L1D.Snapshot(),
+		l2:      h.L2.Snapshot(),
+		traffic: h.traffic,
+		dram:    h.DRAMAccesses,
+	}
+	if h.L1B != nil {
+		s.l1b = h.L1B.Snapshot()
+	}
+	return s
+}
+
+// Restore rewinds the hierarchy to a snapshot taken from an identically
+// configured hierarchy (including L1-B presence).
+func (h *Hierarchy) Restore(s *HierarchyState) error {
+	if (h.L1B != nil) != (s.l1b != nil) {
+		return fmt.Errorf("cache: restore mismatch: L1-B presence differs")
+	}
+	if err := h.L1I.Restore(s.l1i); err != nil {
+		return fmt.Errorf("L1I: %w", err)
+	}
+	if err := h.L1D.Restore(s.l1d); err != nil {
+		return fmt.Errorf("L1D: %w", err)
+	}
+	if err := h.L2.Restore(s.l2); err != nil {
+		return fmt.Errorf("L2: %w", err)
+	}
+	if h.L1B != nil {
+		if err := h.L1B.Restore(s.l1b); err != nil {
+			return fmt.Errorf("L1B: %w", err)
+		}
+	}
+	h.traffic = s.traffic
+	h.DRAMAccesses = s.dram
+	return nil
+}

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"aos/internal/instrument"
+	"aos/internal/isa"
+)
+
+// recSink records every emitted instruction for byte-level comparison.
+type recSink struct{ insts []isa.Inst }
+
+func (r *recSink) Emit(in *isa.Inst)      { r.insts = append(r.insts, *in) }
+func (r *recSink) EmitBatch(b []isa.Inst) { r.insts = append(r.insts, b...) }
+
+// churn drives a deterministic instruction mix through every instrumented
+// path: alloc/free, loads/stores (pointer and plain), arithmetic, branches,
+// call/return, pointer arithmetic.
+func churn(t *testing.T, m *Machine, live []Ptr, n, phase int) []Ptr {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		x := uint64(i+phase*100_000)*2654435761 + 7
+		switch x % 7 {
+		case 0:
+			p, err := m.Malloc(16 + x%400)
+			if err != nil {
+				t.Fatalf("malloc: %v", err)
+			}
+			live = append(live, p)
+		case 1:
+			if len(live) > 8 {
+				vi := int(x/11) % len(live)
+				if err := m.Free(live[vi]); err != nil {
+					t.Fatalf("free: %v", err)
+				}
+				live[vi] = live[len(live)-1]
+				live = live[:len(live)-1]
+			}
+		case 2:
+			if len(live) > 0 {
+				p := live[int(x/13)%len(live)]
+				off := (x / 3) % maxU64(p.Size, 1) &^ 7
+				if err := m.Load(p, off, AccessOpts{Pointer: x%5 == 0}); err != nil {
+					t.Fatalf("load: %v", err)
+				}
+			}
+		case 3:
+			if len(live) > 0 {
+				p := live[int(x/17)%len(live)]
+				off := (x / 5) % maxU64(p.Size, 1) &^ 7
+				if err := m.Store(p, off, AccessOpts{}); err != nil {
+					t.Fatalf("store: %v", err)
+				}
+			}
+		case 4:
+			m.Branch(uint32(x%64), x%3 == 0)
+			m.Compute(2, DepChain)
+		case 5:
+			m.Call()
+			m.ComputeMul(1, DepFree)
+			m.Ret()
+		default:
+			m.RawLoad(0x1000_0000+(x%4096)&^7, DepFree)
+			m.ComputeFP(1, DepFree)
+		}
+	}
+	return live
+}
+
+func maxU64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// TestMachineSnapshotRestoreDeterminism: for every scheme, a machine
+// restored from a checkpoint must produce a byte-identical instruction
+// trace, counts, and exception log to the original running straight
+// through.
+func TestMachineSnapshotRestoreDeterminism(t *testing.T) {
+	for _, s := range instrument.AllSchemes() {
+		s := s
+		t.Run(s.String(), func(t *testing.T) {
+			rA := &recSink{}
+			a, err := New(Config{Scheme: s})
+			if err != nil {
+				t.Fatal(err)
+			}
+			a.SetSink(rA)
+			a.SetBatch(64)
+			live := churn(t, a, nil, 3000, 0)
+			snap := a.Snapshot() // flushes
+			mark := len(rA.insts)
+			liveAtSnap := append([]Ptr(nil), live...)
+
+			churn(t, a, live, 3000, 1)
+			a.Flush()
+			wantTail := rA.insts[mark:]
+			wantCounts := a.Counts()
+			wantExcs := a.Exceptions()
+
+			for trial := 0; trial < 2; trial++ {
+				rB := &recSink{}
+				b, err := New(Config{Scheme: s})
+				if err != nil {
+					t.Fatal(err)
+				}
+				b.SetSink(rB)
+				b.SetBatch(64)
+				if err := b.Restore(snap); err != nil {
+					t.Fatal(err)
+				}
+				churn(t, b, append([]Ptr(nil), liveAtSnap...), 3000, 1)
+				b.Flush()
+				if !reflect.DeepEqual(rB.insts, wantTail) {
+					t.Fatalf("trial %d: restored trace diverged (%d vs %d insts)", trial, len(rB.insts), len(wantTail))
+				}
+				if b.Counts() != wantCounts {
+					t.Fatalf("trial %d: counts diverged", trial)
+				}
+				if !reflect.DeepEqual(b.Exceptions(), wantExcs) {
+					t.Fatalf("trial %d: exceptions diverged", trial)
+				}
+			}
+		})
+	}
+}
+
+// TestMachineRestoreSchemeMismatch: restoring across schemes must fail
+// loudly rather than corrupt state.
+func TestMachineRestoreSchemeMismatch(t *testing.T) {
+	a, _ := New(Config{Scheme: instrument.AOS})
+	b, _ := New(Config{Scheme: instrument.MTE})
+	if err := b.Restore(a.Snapshot()); err == nil {
+		t.Fatal("expected scheme-mismatch error")
+	}
+}
+
+// TestMachineSnapshotComplete is the reflection guard, in the style of
+// workload.Profile.Clone's completeness test: every Machine field must be
+// classified as snapshotted or explicitly operational, so a new field
+// cannot silently escape checkpoints.
+func TestMachineSnapshotComplete(t *testing.T) {
+	covered := map[string]bool{
+		"Mem": true, "Heap": true, "OS": true, "Scheme": true,
+		"counts": true, "pc": true, "codeSize": true, "sp": true,
+		"nextReg": true, "lastALU": true, "lastLoad": true,
+		"wdNextKey": true, "wdLockCursor": true, "wdFreeLocks": true,
+		"wdLockOf": true, "wdKeyOf": true,
+		"mteTags": true, "mteNext": true,
+	}
+	operational := map[string]bool{
+		// PAUnit is stateless (fixed QARMA keys); sink/batch/tel are the
+		// runtime wiring Restore deliberately preserves.
+		"PAUnit": true, "sink": true, "batch": true, "tel": true,
+	}
+	typ := reflect.TypeOf(Machine{})
+	for i := 0; i < typ.NumField(); i++ {
+		name := typ.Field(i).Name
+		if covered[name] == operational[name] {
+			t.Errorf("core.Machine field %q is not classified as snapshotted or operational; update Snapshot/Restore and this test", name)
+		}
+	}
+	// MachineState carries the covered set: 3 sub-states (mem/heap/os)
+	// stand in for Mem/Heap/OS, scheme for Scheme, the rest one-to-one.
+	st := reflect.TypeOf(MachineState{})
+	if st.NumField() != len(covered) {
+		t.Errorf("core.MachineState has %d fields, covered set has %d; keep them in sync", st.NumField(), len(covered))
+	}
+}

@@ -184,6 +184,10 @@ type Core struct {
 	// unreachable sentinel when disabled (see telemetry.go).
 	tel        *coreTelemetry
 	nextSample uint64
+
+	// mode selects detailed timing vs. functional fast-forward warming
+	// (see ff.go). Runtime control, not simulated state.
+	mode Mode
 }
 
 // Timestamps are one instruction's pipeline event cycles.
@@ -415,6 +419,10 @@ func (c *Core) EmitBatch(batch []isa.Inst) {
 
 // Emit processes one instruction; implements isa.Sink.
 func (c *Core) Emit(in *isa.Inst) {
+	if c.mode == ModeFastForward {
+		c.emitFF(in)
+		return
+	}
 	c.insts++
 	if c.insts%pruneEvery == 0 {
 		c.prunePorts()

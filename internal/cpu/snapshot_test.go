@@ -1,0 +1,238 @@
+package cpu
+
+import (
+	"reflect"
+	"testing"
+
+	"aos/internal/core"
+	"aos/internal/instrument"
+	"aos/internal/isa"
+)
+
+type captureSink struct{ insts []isa.Inst }
+
+func (r *captureSink) Emit(in *isa.Inst)      { r.insts = append(r.insts, *in) }
+func (r *captureSink) EmitBatch(b []isa.Inst) { r.insts = append(r.insts, b...) }
+
+// genStream produces a realistic instrumented stream through the functional
+// machine: allocs, frees, signed loads/stores, branches, calls.
+func genStream(t testing.TB, scheme instrument.Scheme, iters int) []isa.Inst {
+	rec := &captureSink{}
+	m, err := core.New(core.Config{Scheme: scheme})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.SetSink(rec)
+	var live []core.Ptr
+	for i := 0; i < iters; i++ {
+		x := uint64(i)*2654435761 + 13
+		switch x % 6 {
+		case 0:
+			p, err := m.Malloc(16 + x%512)
+			if err != nil {
+				t.Fatal(err)
+			}
+			live = append(live, p)
+		case 1:
+			if len(live) > 16 {
+				vi := int(x/7) % len(live)
+				if err := m.Free(live[vi]); err != nil {
+					t.Fatal(err)
+				}
+				live[vi] = live[len(live)-1]
+				live = live[:len(live)-1]
+			}
+		case 2, 3:
+			if len(live) > 0 {
+				p := live[int(x/11)%len(live)]
+				var off uint64
+				if p.Size > 8 {
+					off = ((x / 3) % (p.Size - 7)) &^ 7
+				}
+				store := x%2 == 0
+				var err error
+				if store {
+					err = m.Store(p, off, core.AccessOpts{})
+				} else {
+					err = m.Load(p, off, core.AccessOpts{})
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+		case 4:
+			m.Branch(uint32(x%128), x%3 == 0)
+			m.Compute(2, core.DepChain)
+		default:
+			m.Call()
+			m.ComputeMul(1, core.DepFree)
+			m.Ret()
+		}
+	}
+	m.Flush()
+	return rec.insts
+}
+
+// TestCoreSnapshotRestoreDeterminism: a restored timing core must produce
+// exactly the same cycle count and statistics as the original running
+// straight through the same stream.
+func TestCoreSnapshotRestoreDeterminism(t *testing.T) {
+	stream := genStream(t, instrument.AOS, 40_000)
+	half := len(stream) / 2
+
+	a := New(DefaultConfig())
+	for i := range stream[:half] {
+		a.Emit(&stream[i])
+	}
+	snap := a.Snapshot()
+	for i := half; i < len(stream); i++ {
+		a.Emit(&stream[i])
+	}
+	want := a.Finalize()
+	wantLC := a.LastCommit()
+
+	for trial := 0; trial < 2; trial++ {
+		b := New(DefaultConfig())
+		if err := b.Restore(snap); err != nil {
+			t.Fatal(err)
+		}
+		for i := half; i < len(stream); i++ {
+			b.Emit(&stream[i])
+		}
+		if got := b.Finalize(); !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: restored result diverged:\n got %+v\nwant %+v", trial, got, want)
+		}
+		if b.LastCommit() != wantLC {
+			t.Fatalf("trial %d: lastCommit %d, want %d", trial, b.LastCommit(), wantLC)
+		}
+	}
+}
+
+// TestCoreRestoreMismatch: geometry mismatches must fail loudly.
+func TestCoreRestoreMismatch(t *testing.T) {
+	a := New(DefaultConfig())
+	cfg := DefaultConfig()
+	cfg.ROBSize = 64
+	b := New(cfg)
+	if err := b.Restore(a.Snapshot()); err == nil {
+		t.Fatal("expected queue-geometry mismatch error")
+	}
+	cfg = DefaultConfig()
+	cfg.MCU.UseBWB = false
+	d := New(cfg)
+	if err := d.Restore(a.Snapshot()); err == nil {
+		t.Fatal("expected BWB presence mismatch error")
+	}
+}
+
+// TestFFWarmingMatchesDetailed: with forwarding disabled (the one
+// timing-dependent effect in the reference stream), a fast-forwarding core
+// must warm the caches, predictor, and BWB to a state bit-identical to a
+// detailed core consuming the same stream.
+func TestFFWarmingMatchesDetailed(t *testing.T) {
+	for _, scheme := range []instrument.Scheme{instrument.AOS, instrument.Watchdog, instrument.MTE} {
+		stream := genStream(t, scheme, 30_000)
+
+		cfg := DefaultConfig()
+		cfg.MCU.Forwarding = false
+		det := New(cfg)
+		ff := New(cfg)
+		ff.SetMode(ModeFastForward)
+		for i := range stream {
+			det.Emit(&stream[i])
+			ff.Emit(&stream[i])
+		}
+		if !reflect.DeepEqual(det.bp.Snapshot(), ff.bp.Snapshot()) {
+			t.Fatalf("%v: predictor state diverged between detailed and FF warming", scheme)
+		}
+		if !reflect.DeepEqual(det.hier.Snapshot(), ff.hier.Snapshot()) {
+			t.Fatalf("%v: cache hierarchy state diverged between detailed and FF warming", scheme)
+		}
+		if !reflect.DeepEqual(det.bwb.Snapshot(), ff.bwb.Snapshot()) {
+			t.Fatalf("%v: BWB state diverged between detailed and FF warming", scheme)
+		}
+		if det.insts != ff.insts || det.checked != ff.checked ||
+			det.boundsAccess != ff.boundsAccess || det.resizes != ff.resizes {
+			t.Fatalf("%v: counters diverged: detailed {i %d c %d b %d r %d} vs FF {i %d c %d b %d r %d}",
+				scheme, det.insts, det.checked, det.boundsAccess, det.resizes,
+				ff.insts, ff.checked, ff.boundsAccess, ff.resizes)
+		}
+		if ff.lastCommit != 0 {
+			t.Fatalf("%v: FF mode advanced the commit clock to %d", scheme, ff.lastCommit)
+		}
+	}
+}
+
+// TestFFThenDetailedResumes: after a fast-forward gap the core must accept
+// detailed consumption again and keep producing monotonic commit cycles.
+func TestFFThenDetailedResumes(t *testing.T) {
+	stream := genStream(t, instrument.AOS, 30_000)
+	third := len(stream) / 3
+
+	c := New(DefaultConfig())
+	for i := range stream[:third] {
+		c.Emit(&stream[i])
+	}
+	lc := c.LastCommit()
+	c.SetMode(ModeFastForward)
+	for i := third; i < 2*third; i++ {
+		c.Emit(&stream[i])
+	}
+	if c.LastCommit() != lc {
+		t.Fatalf("FF gap advanced commit clock: %d -> %d", lc, c.LastCommit())
+	}
+	c.SetMode(ModeDetailed)
+	for i := 2 * third; i < len(stream); i++ {
+		c.Emit(&stream[i])
+	}
+	if c.LastCommit() <= lc {
+		t.Fatalf("detailed resume did not advance commit clock past %d", lc)
+	}
+	if c.Insts() != uint64(len(stream)) {
+		t.Fatalf("insts = %d, want %d (both modes must count)", c.Insts(), len(stream))
+	}
+}
+
+// TestCoreSnapshotComplete is the reflection guard: every Core field must
+// be classified as snapshotted or explicitly operational.
+func TestCoreSnapshotComplete(t *testing.T) {
+	covered := map[string]bool{
+		"hier": true, "bp": true, "bwb": true,
+		"fetchCycle": true, "fetchCount": true, "lastLine": true, "redirect": true,
+		"regReady": true,
+		"robRing":  true, "robIdx": true, "lqRing": true, "lqIdx": true,
+		"sqRing": true, "sqIdx": true, "mcqRing": true, "mcqIdx": true,
+		"lastCommit": true, "commitCycle": true, "commitUsed": true,
+		"port": true, "dPort": true,
+		"dMSHR": true, "dMSHRIdx": true, "bMSHR": true, "bMSHRIdx": true,
+		"cryptoFree":  true,
+		"bndstrDrain": true, "checked": true, "boundsAccess": true,
+		"forwards": true, "resizes": true, "retireDelay": true,
+		"insts": true, "statsSince": true,
+	}
+	operational := map[string]bool{
+		// cfg is construction-time; wayScratch is a reusable scratch
+		// buffer; observer/tel/nextSample are host-side instrumentation;
+		// mode is the runtime consumption switch.
+		"cfg": true, "wayScratch": true, "observer": true,
+		"tel": true, "nextSample": true, "mode": true,
+	}
+	typ := reflect.TypeOf(Core{})
+	for i := 0; i < typ.NumField(); i++ {
+		name := typ.Field(i).Name
+		if covered[name] == operational[name] {
+			t.Errorf("cpu.Core field %q is not classified as snapshotted or operational; update Snapshot/Restore and this test", name)
+		}
+	}
+	st := reflect.TypeOf(CoreState{})
+	if st.NumField() != len(covered) {
+		t.Errorf("cpu.CoreState has %d fields, covered set has %d; keep them in sync", st.NumField(), len(covered))
+	}
+	// portSchedState must likewise track portSched (width is construction-
+	// time; everything else is state).
+	ps := reflect.TypeOf(portSched{})
+	pst := reflect.TypeOf(portSchedState{})
+	if ps.NumField() != pst.NumField()+2 { // width + mask are construction-time
+		t.Errorf("portSched has %d fields, portSchedState %d (+2 construction-time); keep snapshot() in sync", ps.NumField(), pst.NumField())
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"aos/internal/pa"
 	"aos/internal/qarma"
 	"aos/internal/runner"
+	"aos/internal/sampling"
 	"aos/internal/stats"
 	"aos/internal/telemetry"
 	"aos/internal/tracecheck"
@@ -80,6 +81,17 @@ type Options struct {
 	// callback must be safe for concurrent use; it is invoked once per
 	// successful run, after the run's last sample.
 	OnTimeline func(benchmark string, scheme instrument.Scheme, tl *telemetry.Timeline)
+	// Sampling, when non-nil, switches every job to SMARTS sampled
+	// simulation with this U/W/F shape (the per-job warmup is derived
+	// from the profile budget exactly as in exact mode). Cycle counts
+	// become statistical estimates; architectural outputs stay exact.
+	Sampling *sampling.Schedule
+	// Checkpoints, when non-nil alongside Sampling, shares window-
+	// boundary machine checkpoints across jobs and invocations: repeat
+	// runs of a cell restore instead of fast-forwarding the prefix.
+	// Safe for concurrent use. Ignored for sanitized runs (a teeing
+	// protocol checker needs the uncut stream, so those sample cold).
+	Checkpoints *sampling.Store
 }
 
 func (o Options) ctx() context.Context {
@@ -151,6 +163,9 @@ type aosVariant struct {
 }
 
 func runOne(p *workload.Profile, scheme instrument.Scheme, v aosVariant, o Options) (runSummary, error) {
+	if o.Sampling != nil {
+		return runOneSampled(p, scheme, v, o)
+	}
 	m, err := core.New(core.Config{
 		Scheme:             scheme,
 		UncompressedBounds: v.disableCompression,
@@ -193,15 +208,7 @@ func runOne(p *workload.Profile, scheme instrument.Scheme, v aosVariant, o Optio
 	if err := sanitizeErr(chk, p.Name, scheme); err != nil {
 		return runSummary{}, err
 	}
-	counts := m.Counts()
-	counts.Total -= warmCounts.Total
-	counts.SignedLoads -= warmCounts.SignedLoads
-	counts.UnsignedLoads -= warmCounts.UnsignedLoads
-	counts.SignedStores -= warmCounts.SignedStores
-	counts.UnsignedStore -= warmCounts.UnsignedStore
-	for i := range counts.ByOp {
-		counts.ByOp[i] -= warmCounts.ByOp[i]
-	}
+	counts := subtractWarm(m.Counts(), warmCounts)
 	if tl != nil && o.OnTimeline != nil {
 		o.OnTimeline(p.Name, scheme, tl)
 	}

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"aos/internal/instrument"
+	"aos/internal/sampling"
 	"aos/internal/telemetry"
 	"aos/internal/workload"
 )
@@ -136,6 +137,22 @@ type SimSpec struct {
 	Seed int64 `json:"seed"`
 	// Sanitize tees the run through the tracecheck protocol verifier.
 	Sanitize bool `json:"sanitize"`
+	// Sampling, when non-nil, runs the cell in SMARTS sampled mode:
+	// cycle counts become statistical estimates, so sampled cells are
+	// addressed separately from exact ones (the canonical encoding gains
+	// a "sampling" key only when the block is present — existing exact
+	// cache entries keep their addresses byte-for-byte).
+	Sampling *SamplingSpec `json:"sampling,omitempty"`
+}
+
+// SamplingSpec is the spec-level U/W/F shape. Zero fields normalize to
+// the sampling package defaults, so an explicit default and an elided one
+// address the same cell.
+type SamplingSpec struct {
+	Windows int    `json:"windows,omitempty"`
+	Detail  uint64 `json:"detail,omitempty"`
+	Window  uint64 `json:"window,omitempty"`
+	Gap     uint64 `json:"gap,omitempty"`
 }
 
 // UnmarshalJSON accepts the scheme field as either a name or a raw
@@ -149,6 +166,7 @@ func (s *SimSpec) UnmarshalJSON(b []byte) error {
 		Instructions uint64          `json:"instructions"`
 		Seed         int64           `json:"seed"`
 		Sanitize     bool            `json:"sanitize"`
+		Sampling     *SamplingSpec   `json:"sampling"`
 	}
 	var ws wire
 	dec := json.NewDecoder(bytes.NewReader(b))
@@ -160,6 +178,7 @@ func (s *SimSpec) UnmarshalJSON(b []byte) error {
 	s.Instructions = ws.Instructions
 	s.Seed = ws.Seed
 	s.Sanitize = ws.Sanitize
+	s.Sampling = ws.Sampling
 	s.Scheme = ""
 	if len(ws.Scheme) == 0 || bytes.Equal(ws.Scheme, []byte("null")) {
 		return nil
@@ -209,6 +228,23 @@ func (s SimSpec) Normalize() (SimSpec, error) {
 	if s.Seed == 0 {
 		s.Seed = 1
 	}
+	if s.Sampling != nil {
+		sched, err := (sampling.Schedule{
+			Windows: s.Sampling.Windows,
+			Detail:  s.Sampling.Detail,
+			Window:  s.Sampling.Window,
+			Gap:     s.Sampling.Gap,
+		}).Normalize(s.Instructions)
+		if err != nil {
+			return SimSpec{}, fmt.Errorf("spec: %w", err)
+		}
+		s.Sampling = &SamplingSpec{
+			Windows: sched.Windows,
+			Detail:  sched.Detail,
+			Window:  sched.Window,
+			Gap:     sched.Gap,
+		}
+	}
 	return s, nil
 }
 
@@ -220,14 +256,25 @@ func (s SimSpec) Normalize() (SimSpec, error) {
 func (s SimSpec) Canonical() []byte {
 	// encoding/json marshals map keys in sorted order; every value below
 	// is an exact type (string, uint64, int64, bool), so the byte stream
-	// is a pure function of the field values.
-	b, err := json.Marshal(map[string]any{
+	// is a pure function of the field values. The "sampling" key exists
+	// only for sampled cells: adding it unconditionally would shift the
+	// address of every exact cell already in a cache.
+	fields := map[string]any{
 		"benchmark":    s.Benchmark,
 		"instructions": s.Instructions,
 		"sanitize":     s.Sanitize,
 		"scheme":       s.Scheme,
 		"seed":         s.Seed,
-	})
+	}
+	if s.Sampling != nil {
+		fields["sampling"] = map[string]any{
+			"windows": s.Sampling.Windows,
+			"detail":  s.Sampling.Detail,
+			"window":  s.Sampling.Window,
+			"gap":     s.Sampling.Gap,
+		}
+	}
+	b, err := json.Marshal(fields)
 	if err != nil {
 		// Unreachable: the value set above cannot fail to marshal.
 		panic(err)
@@ -277,6 +324,11 @@ type RunConfig struct {
 	// (done, total — warmup included) on the simulation goroutine at
 	// the workload's cancellation-poll cadence plus once at completion.
 	OnProgress workload.ProgressFunc
+	// Checkpoints, when non-nil and the spec has a Sampling block, shares
+	// window-boundary checkpoints across invocations (operational like
+	// telemetry: restored runs produce byte-identical results, so the
+	// store never enters the cell's identity).
+	Checkpoints *sampling.Store
 }
 
 // RunSpec executes one simulation cell. The spec is normalized first, so
@@ -317,6 +369,15 @@ func RunSpecFull(ctx context.Context, spec SimSpec, cfg RunConfig) (*SimResult, 
 		OnTimeline: func(_ string, _ instrument.Scheme, t *telemetry.Timeline) {
 			tl = t
 		},
+	}
+	if spec.Sampling != nil {
+		o.Sampling = &sampling.Schedule{
+			Windows: spec.Sampling.Windows,
+			Detail:  spec.Sampling.Detail,
+			Window:  spec.Sampling.Window,
+			Gap:     spec.Sampling.Gap,
+		}
+		o.Checkpoints = cfg.Checkpoints
 	}
 	sum, err := runOne(p, scheme, aosVariant{}, o)
 	if err != nil {

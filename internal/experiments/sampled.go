@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"fmt"
+
+	"aos/internal/core"
+	"aos/internal/cpu"
+	"aos/internal/instrument"
+	"aos/internal/isa"
+	"aos/internal/sampling"
+	"aos/internal/telemetry"
+	"aos/internal/workload"
+)
+
+// subtractWarm removes the warmup phase's architectural counts from a
+// whole-run total, leaving the measurement region's counts.
+func subtractWarm(counts, warm isa.Counts) isa.Counts {
+	counts.Total -= warm.Total
+	counts.SignedLoads -= warm.SignedLoads
+	counts.UnsignedLoads -= warm.UnsignedLoads
+	counts.SignedStores -= warm.SignedStores
+	counts.UnsignedStore -= warm.UnsignedStore
+	for i := range counts.ByOp {
+		counts.ByOp[i] -= warm.ByOp[i]
+	}
+	return counts
+}
+
+// key renders the variant for checkpoint addressing ("" for the default
+// configuration; ablation variants never share checkpoints with it).
+func (v aosVariant) key() string {
+	if v == (aosVariant{}) {
+		return ""
+	}
+	return fmt.Sprintf("l1b=%t,comp=%t,bwb=%t,fwd=%t",
+		!v.disableL1B, !v.disableCompression, !v.disableBWB, !v.disableForwarding)
+}
+
+// runOneSampled is runOne's SMARTS sampled-simulation twin: the same cell
+// construction and warmup split, but only the schedule's measurement
+// windows run through the detailed timing model — the rest of the stream
+// functionally warms caches, predictor, BWB, heap and HBT in fast-forward
+// mode, and whole-run cycles are extrapolated from the window CPI. With a
+// checkpoint store attached, repeat runs of a cell restore the warmed
+// state at each window boundary instead of fast-forwarding to it.
+//
+// Architectural outputs (instruction counts, heap stats, resizes,
+// exceptions) are exact: the functional machine executes every
+// instruction in either mode. Only cycle-domain quantities are estimates.
+func runOneSampled(p *workload.Profile, scheme instrument.Scheme, v aosVariant, o Options) (runSummary, error) {
+	m, err := core.New(core.Config{
+		Scheme:             scheme,
+		UncompressedBounds: v.disableCompression,
+		CodeFootprint:      p.CodeFootprint,
+	})
+	if err != nil {
+		return runSummary{}, err
+	}
+	cfg := cpu.DefaultConfig()
+	if v.disableL1B {
+		cfg.Caches.L1B = nil
+	}
+	cfg.MCU.UseBWB = !v.disableBWB
+	cfg.MCU.Forwarding = !v.disableForwarding
+	c := cpu.New(cfg)
+	chk := o.sanitizer(scheme, m, c)
+	if !o.ScalarEmit {
+		m.SetBatch(core.EmitBatchSize)
+	}
+	var tl *telemetry.Timeline
+	if o.TelemetryInterval != 0 {
+		tl = telemetry.NewTimeline(telemetry.NewRegistry(), o.TelemetryInterval)
+		c.AttachTelemetry(tl)
+		m.AttachTelemetry(tl)
+	}
+
+	prof := p.Clone()
+	if o.Instructions != 0 {
+		prof.Instructions = o.Instructions
+	}
+	sched := *o.Sampling
+	sched.Warmup = prof.Instructions / 2
+	sched, err = sched.Normalize(prof.Instructions)
+	if err != nil {
+		return runSummary{}, err
+	}
+
+	scfg := sampling.Config{Schedule: sched}
+	// A restore replays no instructions, which would desynchronize the
+	// teeing protocol checker mid-stream; sanitized runs sample cold so
+	// the checker sees the complete, uncut trace.
+	if o.Checkpoints != nil && chk == nil {
+		scfg.Store = o.Checkpoints
+		scfg.Key = sampling.KeySpec{
+			Benchmark:    prof.Name,
+			Seed:         o.seed(),
+			Instructions: prof.Instructions,
+			Scheme:       scheme.String(),
+			Variant:      v.key(),
+		}
+	}
+	if tl != nil {
+		scfg.OnSegment = func(s sampling.Segment) {
+			name, mode := "sim/fastforward", uint64(0)
+			if s.Detailed {
+				name, mode = "sim/detailed", 1
+			}
+			tl.AddSlice(name, s.StartCycle, s.EndCycle-s.StartCycle, map[string]uint64{
+				"mode":  mode,
+				"insts": s.EndInst - s.StartInst,
+			})
+		}
+	}
+
+	res, err := sampling.Run(o.ctx(), prof, m, c, o.seed(), scfg)
+	if err != nil {
+		return runSummary{}, err
+	}
+	if err := sanitizeErr(chk, p.Name, scheme); err != nil {
+		return runSummary{}, err
+	}
+	if tl != nil && o.OnTimeline != nil {
+		o.OnTimeline(p.Name, scheme, tl)
+	}
+	cpuRes := c.Finalize()
+	cpuRes.Cycles = res.Est.Cycles
+	return runSummary{
+		Scheme:  scheme,
+		CPU:     cpuRes,
+		Counts:  subtractWarm(m.Counts(), res.WarmCounts),
+		Heap:    m.Heap.Stats(),
+		Resizes: len(m.OS.Resizes()),
+		Excs:    len(m.Exceptions()),
+	}, nil
+}

@@ -1,0 +1,93 @@
+package hbt
+
+import (
+	"reflect"
+	"testing"
+
+	"aos/internal/mem"
+)
+
+// TestTableSnapshotRestoreDeterminism: restoring a table plus its backing
+// memory must reproduce straight-line behavior exactly.
+func TestTableSnapshotRestoreDeterminism(t *testing.T) {
+	m := mem.New()
+	a, err := NewTable(m, 0x4000_0000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		low := uint64(0x1000_0000) + uint64(i)*256
+		if _, err := a.Insert(uint16(i*31), low, 128); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ms := m.Snapshot()
+	ts := a.Snapshot()
+
+	type probe struct {
+		way   int
+		found bool
+	}
+	replay := func(tb *Table) []probe {
+		var out []probe
+		for i := 0; i < 2000; i++ {
+			low := uint64(0x1000_0000) + uint64(i)*256
+			w, ok := tb.Lookup(uint16(i*31), low+64)
+			out = append(out, probe{w, ok})
+			if i%4 == 0 {
+				tb.Clear(uint16(i*31), low)
+			}
+			if i%8 == 0 {
+				tb.Insert(uint16(i*17+3), low+0x100_0000, 64)
+			}
+		}
+		return out
+	}
+	want := replay(a)
+	liveAfter := a.Live()
+
+	m2 := mem.New()
+	m2.Restore(ms)
+	b, _ := NewTable(m2, 0x4000_0000, 2)
+	b.Restore(ts)
+	got := replay(b)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("restored table diverged from straight-line execution")
+	}
+	if b.Live() != liveAfter {
+		t.Fatalf("live count diverged: %d vs %d", b.Live(), liveAfter)
+	}
+	// Snapshot survived the continuations: two fresh restores agree.
+	c, _ := NewTable(mem.New(), 0x4000_0000, 2)
+	d, _ := NewTable(mem.New(), 0x4000_0000, 2)
+	c.Restore(ts)
+	d.Restore(ts)
+	if c.live != d.live || !reflect.DeepEqual(c.mirror, d.mirror) {
+		t.Fatal("snapshot mutated by a restored table's continuation")
+	}
+}
+
+// TestTableSnapshotComplete is the reflection guard: every Table field must
+// be snapshotted or explicitly operational.
+func TestTableSnapshotComplete(t *testing.T) {
+	covered := map[string]bool{
+		"base": true, "assoc": true, "logA": true, "slots": true,
+		"entrySize": true, "mirror": true, "live": true,
+	}
+	operational := map[string]bool{
+		// mem is the runtime wiring to the simulated address space; the
+		// space itself is checkpointed by mem.Memory.Snapshot.
+		"mem": true,
+	}
+	typ := reflect.TypeOf(Table{})
+	for i := 0; i < typ.NumField(); i++ {
+		name := typ.Field(i).Name
+		if covered[name] == operational[name] {
+			t.Errorf("hbt.Table field %q is not classified as snapshotted or operational; update Snapshot/Restore and this test", name)
+		}
+	}
+	st := reflect.TypeOf(State{})
+	if st.NumField() != len(covered) {
+		t.Errorf("hbt.State has %d fields, covered set has %d; keep them in sync", st.NumField(), len(covered))
+	}
+}

@@ -1,0 +1,107 @@
+package heap
+
+import (
+	"reflect"
+	"testing"
+
+	"aos/internal/mem"
+)
+
+// heapChurn exercises allocator behavior from a given state: a fixed
+// pseudo-random malloc/free mix whose returned pointers are the probe.
+func heapChurn(t *testing.T, a *Allocator, live []uint64) ([]uint64, []uint64) {
+	t.Helper()
+	var ptrs []uint64
+	for i := 0; i < 1500; i++ {
+		x := uint64(i)*2654435761 + 12345
+		if len(live) > 4 && x%3 == 0 {
+			vi := int(x/7) % len(live)
+			if err := a.Free(live[vi]); err != nil {
+				t.Fatalf("free %d: %v", i, err)
+			}
+			live[vi] = live[len(live)-1]
+			live = live[:len(live)-1]
+		} else {
+			p, err := a.Malloc(16 + x%480)
+			if err != nil {
+				t.Fatalf("malloc %d: %v", i, err)
+			}
+			live = append(live, p)
+			ptrs = append(ptrs, p)
+		}
+	}
+	return ptrs, live
+}
+
+// TestAllocatorSnapshotRestoreDeterminism: a restored allocator (plus its
+// restored memory) must hand out the exact same pointer sequence as the
+// original continuing straight-line.
+func TestAllocatorSnapshotRestoreDeterminism(t *testing.T) {
+	for _, hard := range []Hardening{{}, {QuarantineDepth: 8, Canary: true, PoisonOnFree: true}} {
+		m := mem.New()
+		a := New(m, 0x2000_0000, 64<<20)
+		a.SetHardening(hard)
+		var live []uint64
+		for i := 0; i < 500; i++ {
+			p, err := a.Malloc(32 + uint64(i%7)*48)
+			if err != nil {
+				t.Fatal(err)
+			}
+			live = append(live, p)
+		}
+		ms := m.Snapshot()
+		as := a.Snapshot()
+		liveAtSnap := append([]uint64(nil), live...)
+
+		want, _ := heapChurn(t, a, live)
+		statsAfter := a.stats
+
+		m2 := mem.New()
+		m2.Restore(ms)
+		b := New(m2, 0x2000_0000, 64<<20)
+		b.Restore(as)
+		got, _ := heapChurn(t, b, append([]uint64(nil), liveAtSnap...))
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("hard=%+v: restored allocator pointer stream diverged", hard)
+		}
+		if b.stats != statsAfter {
+			t.Fatalf("hard=%+v: stats diverged: %+v vs %+v", hard, b.stats, statsAfter)
+		}
+		// Snapshot survived both continuations: two fresh restores agree.
+		c := New(mem.New(), 0x2000_0000, 64<<20)
+		d := New(mem.New(), 0x2000_0000, 64<<20)
+		c.Restore(as)
+		d.Restore(as)
+		if !reflect.DeepEqual(c.sizes, d.sizes) || c.stats != d.stats ||
+			c.fastbins != d.fastbins || c.top != d.top ||
+			!reflect.DeepEqual(c.quarantine, d.quarantine) {
+			t.Fatalf("hard=%+v: snapshot mutated by a restored allocator's continuation", hard)
+		}
+	}
+}
+
+// TestAllocatorSnapshotComplete is the reflection guard: every Allocator
+// field must be snapshotted or explicitly operational.
+func TestAllocatorSnapshotComplete(t *testing.T) {
+	covered := map[string]bool{
+		"base": true, "brk": true, "limit": true, "top": true,
+		"fastbins": true, "tcache": true, "bins": true, "sizes": true,
+		"accesses": true, "stats": true, "hard": true, "quarantine": true,
+	}
+	operational := map[string]bool{
+		// mem is runtime wiring (checkpointed by mem.Memory.Snapshot);
+		// hooks are host-side callbacks re-attached by the owner.
+		"mem": true, "hooks": true,
+	}
+	typ := reflect.TypeOf(Allocator{})
+	for i := 0; i < typ.NumField(); i++ {
+		name := typ.Field(i).Name
+		if covered[name] == operational[name] {
+			t.Errorf("heap.Allocator field %q is not classified as snapshotted or operational; update Snapshot/Restore and this test", name)
+		}
+	}
+	st := reflect.TypeOf(State{})
+	if st.NumField() != len(covered) {
+		t.Errorf("heap.State has %d fields, covered set has %d; keep them in sync", st.NumField(), len(covered))
+	}
+}

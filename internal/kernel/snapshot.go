@@ -1,0 +1,39 @@
+package kernel
+
+import "aos/internal/hbt"
+
+// State is a deep copy of the OS context, taken by Snapshot: table
+// placement bookkeeping, the resize/exception logs, and the bounds table's
+// own state. The table's architectural storage lives in simulated memory
+// and is checkpointed by mem.Memory.Snapshot.
+type State struct {
+	nextHBT    uint64
+	entryBytes int
+	resizes    []ResizeEvent
+	exceptions []Exception
+	table      *hbt.State
+}
+
+// Snapshot deep-copies the OS context.
+func (o *OS) Snapshot() *State {
+	return &State{
+		nextHBT:    o.nextHBT,
+		entryBytes: o.entryBytes,
+		resizes:    append([]ResizeEvent(nil), o.resizes...),
+		exceptions: append([]Exception(nil), o.exceptions...),
+		table:      o.table.Snapshot(),
+	}
+}
+
+// Restore rewinds the OS context to a snapshot. The backing memory must be
+// restored to the matching mem.State separately (core.Machine.Restore does
+// both). The existing table object is restored in place, so pointers to it
+// held by callers stay valid. The snapshot stays valid for further
+// restores.
+func (o *OS) Restore(s *State) {
+	o.nextHBT = s.nextHBT
+	o.entryBytes = s.entryBytes
+	o.resizes = append(o.resizes[:0:0], s.resizes...)
+	o.exceptions = append(o.exceptions[:0:0], s.exceptions...)
+	o.table.Restore(s.table)
+}

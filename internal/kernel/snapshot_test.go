@@ -1,0 +1,87 @@
+package kernel
+
+import (
+	"reflect"
+	"testing"
+
+	"aos/internal/mem"
+)
+
+// TestOSSnapshotRestoreDeterminism: restore must rewind table growth and
+// the exception/resize logs, even across a table migration.
+func TestOSSnapshotRestoreDeterminism(t *testing.T) {
+	m := mem.New()
+	o, err := NewOS(m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 300; i++ {
+		if _, err := o.Table().Insert(uint16(i*13), 0x1000_0000+uint64(i)*256, 64); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ms := m.Snapshot()
+	s := o.Snapshot()
+	baseAtSnap := o.Table().Base()
+	assocAtSnap := o.Table().Assoc()
+	liveAtSnap := o.Table().Live()
+
+	// Diverge: grow the table (allocates a new one at nextHBT) and log an
+	// exception.
+	if _, err := o.HandleTableFull(); err != nil {
+		t.Fatal(err)
+	}
+	o.RaiseException(ExcBoundsCheck, 0xdead, "post-snapshot")
+	if o.Table().Assoc() == assocAtSnap && o.Table().Base() == baseAtSnap {
+		t.Fatal("test is vacuous: HandleTableFull changed nothing")
+	}
+
+	m.Restore(ms)
+	o.Restore(s)
+	if o.Table().Base() != baseAtSnap || o.Table().Assoc() != assocAtSnap || o.Table().Live() != liveAtSnap {
+		t.Fatalf("table not rewound: base=%#x assoc=%d live=%d, want %#x/%d/%d",
+			o.Table().Base(), o.Table().Assoc(), o.Table().Live(), baseAtSnap, assocAtSnap, liveAtSnap)
+	}
+	if len(o.Exceptions()) != 0 || len(o.Resizes()) != 0 {
+		t.Fatalf("logs not rewound: %d exceptions, %d resizes", len(o.Exceptions()), len(o.Resizes()))
+	}
+	// The restored table agrees with the restored memory.
+	for i := 0; i < 300; i++ {
+		if _, ok := o.Table().Lookup(uint16(i*13), 0x1000_0000+uint64(i)*256+32); !ok {
+			t.Fatalf("entry %d missing after restore", i)
+		}
+	}
+	// The snapshot survives repeated restores.
+	if _, err := o.HandleTableFull(); err != nil {
+		t.Fatal(err)
+	}
+	m.Restore(ms)
+	o.Restore(s)
+	if o.Table().Base() != baseAtSnap || o.Table().Live() != liveAtSnap {
+		t.Fatal("second restore diverged: snapshot was mutated")
+	}
+}
+
+// TestOSSnapshotComplete is the reflection guard: every OS field must be
+// snapshotted or explicitly operational.
+func TestOSSnapshotComplete(t *testing.T) {
+	covered := map[string]bool{
+		"nextHBT": true, "entryBytes": true,
+		"resizes": true, "exceptions": true, "table": true,
+	}
+	operational := map[string]bool{
+		// mem is runtime wiring, checkpointed by mem.Memory.Snapshot.
+		"mem": true,
+	}
+	typ := reflect.TypeOf(OS{})
+	for i := 0; i < typ.NumField(); i++ {
+		name := typ.Field(i).Name
+		if covered[name] == operational[name] {
+			t.Errorf("kernel.OS field %q is not classified as snapshotted or operational; update Snapshot/Restore and this test", name)
+		}
+	}
+	st := reflect.TypeOf(State{})
+	if st.NumField() != len(covered) {
+		t.Errorf("kernel.State has %d fields, covered set has %d; keep them in sync", st.NumField(), len(covered))
+	}
+}

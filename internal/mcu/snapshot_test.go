@@ -1,0 +1,68 @@
+package mcu
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestBWBSnapshotRestoreDeterminism: a restored buffer must behave exactly
+// like the original from the snapshot point on.
+func TestBWBSnapshotRestoreDeterminism(t *testing.T) {
+	a := NewBWB()
+	for i := 0; i < 5000; i++ {
+		a.Update(uint32(i*2654435761), i%16)
+	}
+	s := a.Snapshot()
+
+	type probe struct {
+		way int
+		ok  bool
+	}
+	replay := func(b *BWB) []probe {
+		var out []probe
+		for i := 0; i < 3000; i++ {
+			w, ok := b.Lookup(uint32(i * 2654435761))
+			out = append(out, probe{w, ok})
+			if i%3 == 0 {
+				b.Update(uint32(i*40503), i%16)
+			}
+		}
+		return out
+	}
+	want := replay(a)
+
+	b := NewBWB()
+	b.Restore(s)
+	got := replay(b)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("restored BWB diverged from straight-line execution")
+	}
+	if a.stats != b.stats {
+		t.Fatalf("stats diverged: %+v vs %+v", a.stats, b.stats)
+	}
+	c, d := NewBWB(), NewBWB()
+	c.Restore(s)
+	d.Restore(s)
+	if !reflect.DeepEqual(c, d) {
+		t.Fatal("snapshot mutated by a restored buffer's continuation")
+	}
+}
+
+// TestBWBSnapshotComplete: the struct-copy snapshot is only a deep copy
+// while every field stays a value type (no pointers, maps, or slices).
+func TestBWBSnapshotComplete(t *testing.T) {
+	var check func(typ reflect.Type, path string)
+	check = func(typ reflect.Type, path string) {
+		switch typ.Kind() {
+		case reflect.Pointer, reflect.Map, reflect.Slice, reflect.Chan, reflect.Func, reflect.Interface:
+			t.Errorf("mcu.BWB field %s is a reference type (%s); the struct-copy Snapshot no longer deep-copies — rewrite snapshot.go", path, typ.Kind())
+		case reflect.Struct:
+			for i := 0; i < typ.NumField(); i++ {
+				check(typ.Field(i).Type, path+"."+typ.Field(i).Name)
+			}
+		case reflect.Array:
+			check(typ.Elem(), path+"[]")
+		}
+	}
+	check(reflect.TypeOf(BWB{}), "BWB")
+}

@@ -26,6 +26,13 @@ type Memory struct {
 	// PagesTouched counts distinct pages ever materialized (memory
 	// footprint proxy).
 	pagesTouched uint64
+
+	// shared lists pages whose backing arrays are co-owned by a Snapshot
+	// (copy-on-write): a write to a shared page copies it first, so the
+	// snapshot's view stays frozen while the live space moves on. nil —
+	// the common case for spaces that were never snapshotted — keeps the
+	// write path at a single pointer compare.
+	shared map[uint64]struct{}
 }
 
 // New returns an empty address space.
@@ -40,6 +47,34 @@ func (m *Memory) page(addr uint64, create bool) *[PageSize]byte {
 		p = new([PageSize]byte)
 		m.pages[pn] = p
 		m.pagesTouched++
+	}
+	return p
+}
+
+// wpage is page for mutating callers: it additionally unshares a page
+// co-owned by a snapshot before handing it out, so every write path is a
+// copy-on-write point. Newly materialized pages are private by
+// construction (a snapshot can only hold pages that existed when it was
+// taken).
+func (m *Memory) wpage(addr uint64, create bool) *[PageSize]byte {
+	pn := addr >> PageBits
+	p := m.pages[pn]
+	if p == nil {
+		if !create {
+			return nil
+		}
+		p = new([PageSize]byte)
+		m.pages[pn] = p
+		m.pagesTouched++
+		return p
+	}
+	if m.shared != nil {
+		if _, ok := m.shared[pn]; ok {
+			q := *p
+			p = &q
+			m.pages[pn] = p
+			delete(m.shared, pn)
+		}
 	}
 	return p
 }
@@ -60,7 +95,7 @@ func (m *Memory) ReadU8(addr uint64) byte {
 
 // WriteU8 writes one byte.
 func (m *Memory) WriteU8(addr uint64, v byte) {
-	m.page(addr, true)[addr&offMask] = v
+	m.wpage(addr, true)[addr&offMask] = v
 }
 
 // ReadU64 reads a little-endian 64-bit word.
@@ -82,7 +117,7 @@ func (m *Memory) ReadU64(addr uint64) uint64 {
 func (m *Memory) WriteU64(addr uint64, v uint64) {
 	off := addr & offMask
 	if off <= PageSize-8 {
-		binary.LittleEndian.PutUint64(m.page(addr, true)[off:off+8], v)
+		binary.LittleEndian.PutUint64(m.wpage(addr, true)[off:off+8], v)
 		return
 	}
 	var b [8]byte
@@ -109,7 +144,7 @@ func (m *Memory) ReadU32(addr uint64) uint32 {
 func (m *Memory) WriteU32(addr uint64, v uint32) {
 	off := addr & offMask
 	if off <= PageSize-4 {
-		binary.LittleEndian.PutUint32(m.page(addr, true)[off:off+4], v)
+		binary.LittleEndian.PutUint32(m.wpage(addr, true)[off:off+4], v)
 		return
 	}
 	var b [4]byte
@@ -145,7 +180,7 @@ func (m *Memory) WriteBytes(addr uint64, src []byte) {
 		if n > uint64(len(src)) {
 			n = uint64(len(src))
 		}
-		copy(m.page(addr, true)[off:off+n], src[:n])
+		copy(m.wpage(addr, true)[off:off+n], src[:n])
 		src = src[n:]
 		addr += n
 	}
@@ -162,7 +197,7 @@ func (m *Memory) Zero(addr, size uint64) {
 		if n > size {
 			n = size
 		}
-		if p := m.page(addr, false); p != nil {
+		if p := m.wpage(addr, false); p != nil {
 			clear(p[off : off+n])
 		}
 		size -= n
@@ -186,8 +221,8 @@ func (m *Memory) Copy(dst, src, size uint64) {
 		}
 		soff, doff := src&offMask, dst&offMask
 		if sp := m.page(src, false); sp != nil {
-			copy(m.page(dst, true)[doff:doff+n], sp[soff:soff+n])
-		} else if dp := m.page(dst, false); dp != nil {
+			copy(m.wpage(dst, true)[doff:doff+n], sp[soff:soff+n])
+		} else if dp := m.wpage(dst, false); dp != nil {
 			clear(dp[doff : doff+n])
 		}
 		src += n

@@ -1,0 +1,101 @@
+package mem
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestSnapshotFreezesContents: writes after Snapshot must not leak into
+// the snapshot's view, whole-page or sub-word.
+func TestSnapshotFreezesContents(t *testing.T) {
+	m := New()
+	m.WriteU64(0x1000, 0xAAAA)
+	m.WriteU64(0x2000, 0xBBBB)
+	s := m.Snapshot()
+
+	m.WriteU64(0x1000, 0xDEAD) // dirty an existing page
+	m.WriteU8(0x2004, 0xFF)    // sub-word write on another
+	m.WriteU64(0x3000, 0xCCCC) // materialize a new page
+	m.Zero(0x2000, 8)          // zero through a shared page
+	m.Copy(0x1100, 0x3000, 8)  // copy into a shared page
+
+	r := New()
+	r.Restore(s)
+	if got := r.ReadU64(0x1000); got != 0xAAAA {
+		t.Fatalf("restored 0x1000 = %#x, want 0xAAAA", got)
+	}
+	if got := r.ReadU64(0x2000); got != 0xBBBB {
+		t.Fatalf("restored 0x2000 = %#x, want 0xBBBB", got)
+	}
+	if got := r.ReadU64(0x3000); got != 0 {
+		t.Fatalf("restored 0x3000 = %#x, want 0 (page did not exist)", got)
+	}
+	if got := r.PagesTouched(); got != 2 {
+		t.Fatalf("restored PagesTouched = %d, want 2", got)
+	}
+	// The live space saw all its writes.
+	if got := m.ReadU64(0x1000); got != 0xDEAD {
+		t.Fatalf("live 0x1000 = %#x, want 0xDEAD", got)
+	}
+	if got := m.ReadU64(0x2000); got != 0 {
+		t.Fatalf("live 0x2000 = %#x, want 0 after Zero", got)
+	}
+}
+
+// TestSnapshotRestoreThenDiverge: two spaces restored from one snapshot
+// diverge independently without corrupting each other or the snapshot.
+func TestSnapshotRestoreThenDiverge(t *testing.T) {
+	m := New()
+	for a := uint64(0); a < 4*PageSize; a += 8 {
+		m.WriteU64(a, a)
+	}
+	s := m.Snapshot()
+
+	a, b := New(), New()
+	a.Restore(s)
+	b.Restore(s)
+	a.WriteU64(0, 111)
+	b.WriteU64(0, 222)
+	if got := a.ReadU64(0); got != 111 {
+		t.Fatalf("a = %d, want 111", got)
+	}
+	if got := b.ReadU64(0); got != 222 {
+		t.Fatalf("b = %d, want 222", got)
+	}
+	c := New()
+	c.Restore(s)
+	if got := c.ReadU64(0); got != 0 {
+		t.Fatalf("snapshot corrupted: c = %d, want 0", got)
+	}
+	// Unwritten pages still share backing arrays (the point of COW).
+	if a.pages[1] != b.pages[1] || a.pages[1] != s.pages[1] {
+		t.Fatal("clean pages should share one backing array")
+	}
+}
+
+// TestMemorySnapshotComplete is the reflection guard: every Memory field
+// must be classified as snapshotted or explicitly operational, so a new
+// field cannot silently escape checkpoints.
+func TestMemorySnapshotComplete(t *testing.T) {
+	covered := map[string]bool{
+		"pages":        true,
+		"pagesTouched": true,
+	}
+	operational := map[string]bool{
+		// shared is COW bookkeeping for the live side; a snapshot's view
+		// never needs it (State is immutable by construction).
+		"shared": true,
+	}
+	typ := reflect.TypeOf(Memory{})
+	for i := 0; i < typ.NumField(); i++ {
+		name := typ.Field(i).Name
+		if covered[name] == operational[name] {
+			t.Errorf("mem.Memory field %q is not classified as snapshotted or operational; update Snapshot/Restore and this test", name)
+		}
+	}
+	// And the converse: State must mirror the covered set.
+	st := reflect.TypeOf(State{})
+	if st.NumField() != len(covered) {
+		t.Errorf("mem.State has %d fields, covered set has %d; keep them in sync", st.NumField(), len(covered))
+	}
+}

@@ -1,0 +1,81 @@
+package sampling
+
+import (
+	"fmt"
+	"math"
+)
+
+// WindowStat is one measurement window's timing observation: commit cycles
+// and consumed instructions (instrumentation included) over the W segment.
+type WindowStat struct {
+	Cycles uint64 `json:"cycles"`
+	Insts  uint64 `json:"insts"`
+}
+
+// Estimate is the systematic-sampling extrapolation of a run's timing from
+// its measurement windows, with the dispersion statistics SMARTS uses to
+// bound sampling error.
+type Estimate struct {
+	Windows []WindowStat `json:"windows"`
+
+	// SampledCycles/SampledInsts sum the measurement windows.
+	SampledCycles uint64 `json:"sampled_cycles"`
+	SampledInsts  uint64 `json:"sampled_insts"`
+
+	// CPI is the ratio estimator SampledCycles/SampledInsts; IPC its
+	// inverse; Cycles the extrapolation CPI*TotalInsts rounded to nearest.
+	CPI        float64 `json:"cpi"`
+	IPC        float64 `json:"ipc"`
+	TotalInsts uint64  `json:"total_insts"`
+	Cycles     uint64  `json:"cycles"`
+
+	// CV is the coefficient of variation of per-window CPI; CI95 the
+	// relative half-width of the 95% confidence interval on the mean CPI
+	// (1.96*CV/sqrt(n)) — e.g. 0.01 means the estimate is within ±1% of
+	// the true mean with 95% confidence, under the usual normality
+	// approximation.
+	CV   float64 `json:"cv"`
+	CI95 float64 `json:"ci95"`
+}
+
+// Summarize reduces per-window observations into a whole-run estimate.
+// totalInsts is the exact number of instructions the timing model would
+// have consumed over the measured region (known exactly even in a sampled
+// run: fast-forward consumption counts instructions too).
+func Summarize(windows []WindowStat, totalInsts uint64) (*Estimate, error) {
+	if len(windows) < 2 {
+		return nil, fmt.Errorf("sampling: need at least 2 windows, got %d", len(windows))
+	}
+	e := &Estimate{Windows: windows, TotalInsts: totalInsts}
+	cpis := make([]float64, len(windows))
+	for i, w := range windows {
+		if w.Insts == 0 {
+			return nil, fmt.Errorf("sampling: window %d measured no instructions", i)
+		}
+		e.SampledCycles += w.Cycles
+		e.SampledInsts += w.Insts
+		cpis[i] = float64(w.Cycles) / float64(w.Insts)
+	}
+	e.CPI = float64(e.SampledCycles) / float64(e.SampledInsts)
+	if e.CPI > 0 {
+		e.IPC = 1 / e.CPI
+	}
+	e.Cycles = uint64(e.CPI*float64(totalInsts) + 0.5)
+
+	var mean float64
+	for _, v := range cpis {
+		mean += v
+	}
+	mean /= float64(len(cpis))
+	var ss float64
+	for _, v := range cpis {
+		d := v - mean
+		ss += d * d
+	}
+	if mean > 0 && len(cpis) > 1 {
+		sd := math.Sqrt(ss / float64(len(cpis)-1))
+		e.CV = sd / mean
+		e.CI95 = 1.96 * e.CV / math.Sqrt(float64(len(cpis)))
+	}
+	return e, nil
+}

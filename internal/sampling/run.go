@@ -1,0 +1,195 @@
+package sampling
+
+import (
+	"context"
+	"fmt"
+
+	"aos/internal/core"
+	"aos/internal/cpu"
+	"aos/internal/isa"
+	"aos/internal/workload"
+)
+
+// Segment is one contiguous stretch of the run consumed in a single mode,
+// in commit-cycle and consumed-instruction coordinates. Fast-forward
+// segments have StartCycle == EndCycle (the commit clock is frozen);
+// instruction counts always advance.
+type Segment struct {
+	Detailed   bool
+	StartCycle uint64
+	EndCycle   uint64
+	StartInst  uint64
+	EndInst    uint64
+}
+
+// Config parameterizes a sampled run.
+type Config struct {
+	// Schedule must be normalized (Schedule.Normalize) against the
+	// profile's instruction budget.
+	Schedule Schedule
+	// Store, when non-nil, enables checkpoint reuse: window-boundary
+	// checkpoints are looked up before fast-forwarding and stored after.
+	// A fully warm store turns the run into pure detailed windows plus
+	// one tail gap — this is where the order-of-magnitude effective
+	// speedup comes from.
+	Store *Store
+	// Key identifies the simulation cell for checkpoint addressing; the
+	// Schedule and Boundary fields are filled in by Run.
+	Key KeySpec
+	// OnSegment, when non-nil, observes each mode segment as it closes
+	// (for telemetry timelines). Instruction counts reset with the
+	// measurement region: the first detailed segment restarts near zero.
+	OnSegment func(Segment)
+}
+
+// Result is the outcome of a sampled run.
+type Result struct {
+	Est      *Estimate
+	Segments []Segment
+	// WarmCounts is the machine's architectural counts at the start of
+	// the measurement region (the window-0 boundary), for warmup
+	// subtraction — identical whether the run reached the boundary by
+	// fast-forwarding or by checkpoint restore.
+	WarmCounts isa.Counts
+	// Hits/Misses count this run's checkpoint lookups (subset of the
+	// store's lifetime counters).
+	Hits   int
+	Misses int
+}
+
+// Run executes profile p on the (machine, timing core) pair in SMARTS
+// U/W/F fashion and returns the timing estimate. The machine must already
+// be wired to the core (directly or via a batch sink); m and c must be
+// freshly constructed — Run positions them itself, restoring from the
+// store when it can.
+//
+// The functional machine executes every instruction of the run regardless
+// of mode, so architectural outputs — heap stats, exception logs, counts —
+// are exact; only cycle-domain quantities are estimated. The run is
+// deterministic: a cold run and a checkpoint-resumed run produce
+// byte-identical estimates and architectural state.
+func Run(ctx context.Context, p *workload.Profile, m *core.Machine, c *cpu.Core, seed int64, cfg Config) (*Result, error) {
+	sched := cfg.Schedule
+	if err := sched.Validate(p.Instructions); err != nil {
+		return nil, err
+	}
+	total := sched.Warmup + p.Instructions
+	res := &Result{}
+
+	var r *workload.Runner
+	var err error
+
+	var segStartC, segStartI uint64
+	beginSeg := func() { segStartC, segStartI = c.LastCommit(), c.Insts() }
+	endSeg := func(detailed bool) {
+		seg := Segment{
+			Detailed:   detailed,
+			StartCycle: segStartC, EndCycle: c.LastCommit(),
+			StartInst: segStartI, EndInst: c.Insts(),
+		}
+		if seg.EndInst > seg.StartInst {
+			res.Segments = append(res.Segments, seg)
+			if cfg.OnSegment != nil {
+				cfg.OnSegment(seg)
+			}
+		}
+	}
+
+	windows := make([]WindowStat, 0, sched.Windows)
+	for i := 0; i < sched.Windows; i++ {
+		ustart := sched.Start(i)
+		var key string
+		restored := false
+		if cfg.Store != nil {
+			k := cfg.Key
+			k.Schedule = sched
+			k.Boundary = i
+			key = k.Hash()
+			if cp, ok := cfg.Store.Get(key); ok {
+				if err := m.Restore(cp.Machine); err != nil {
+					return nil, fmt.Errorf("sampling: window %d: %w", i, err)
+				}
+				if err := c.Restore(cp.Core); err != nil {
+					return nil, fmt.Errorf("sampling: window %d: %w", i, err)
+				}
+				if r, err = workload.NewRunnerFromState(p, m, cp.Runner); err != nil {
+					return nil, fmt.Errorf("sampling: window %d: %w", i, err)
+				}
+				res.Hits++
+				restored = true
+			} else {
+				res.Misses++
+			}
+		}
+		if !restored {
+			// Fast-forward (functionally warming) to the window start.
+			// The workload's setup phase also runs in FF mode: its
+			// emissions only warm state the first window's U segment
+			// re-settles anyway.
+			c.SetMode(cpu.ModeFastForward)
+			beginSeg()
+			if r == nil {
+				if r, err = workload.NewRunner(p, m, seed); err != nil {
+					return nil, err
+				}
+			}
+			if err := r.RunTo(ctx, ustart, total); err != nil {
+				return nil, err
+			}
+			m.Flush()
+			endSeg(false)
+			if i == 0 {
+				// Measurement region begins here; the reset lands in the
+				// checkpoint below, so resumed runs inherit it.
+				c.ResetStats()
+			}
+			if cfg.Store != nil {
+				cfg.Store.Put(key, &Checkpoint{
+					Machine: m.Snapshot(), // flushes m first
+					Core:    c.Snapshot(),
+					Runner:  r.State(),
+				})
+			}
+		}
+
+		if i == 0 {
+			res.WarmCounts = m.Counts()
+		}
+
+		// U: detailed warmup (re-settles pipeline/queue transients after
+		// the mode switch or restore), then W: the measurement window.
+		c.SetMode(cpu.ModeDetailed)
+		beginSeg()
+		if err := r.RunTo(ctx, ustart+sched.Detail, total); err != nil {
+			return nil, err
+		}
+		m.Flush()
+		wc, wi := c.LastCommit(), c.Insts()
+		if err := r.RunTo(ctx, ustart+sched.Detail+sched.Window, total); err != nil {
+			return nil, err
+		}
+		m.Flush()
+		endSeg(true)
+		windows = append(windows, WindowStat{Cycles: c.LastCommit() - wc, Insts: c.Insts() - wi})
+	}
+
+	// Tail: finish the run functionally so architectural outputs cover
+	// the full budget.
+	c.SetMode(cpu.ModeFastForward)
+	beginSeg()
+	if err := r.RunTo(ctx, total, total); err != nil {
+		return nil, err
+	}
+	m.Flush()
+	endSeg(false)
+	c.SetMode(cpu.ModeDetailed)
+
+	// c.Insts() counts consumption since the measurement-region reset —
+	// in both modes — so it is the exact detailed-equivalent denominator.
+	est, err := Summarize(windows, c.Insts())
+	if err != nil {
+		return nil, err
+	}
+	res.Est = est
+	return res, nil
+}

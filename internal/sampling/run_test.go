@@ -1,0 +1,157 @@
+package sampling
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"aos/internal/core"
+	"aos/internal/cpu"
+	"aos/internal/instrument"
+	"aos/internal/workload"
+)
+
+func sampledCell(t *testing.T, scheme instrument.Scheme) (*workload.Profile, *core.Machine, *cpu.Core) {
+	t.Helper()
+	p, ok := workload.ByName("hmmer")
+	if !ok {
+		t.Fatal("no hmmer profile")
+	}
+	p = p.Clone()
+	p.Instructions = 120_000
+	m, err := core.New(core.Config{Scheme: scheme})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := cpu.New(cpu.DefaultConfig())
+	m.SetSink(c)
+	m.SetBatch(core.EmitBatchSize)
+	return p, m, c
+}
+
+func testSchedule() Schedule {
+	return Schedule{Warmup: 60_000, Detail: 1_000, Window: 4_000, Windows: 4}
+}
+
+// TestSampledColdVsResumedByteIdentical: a run resumed entirely from the
+// checkpoint store must produce the byte-identical estimate, architectural
+// counts, and timing statistics of the cold run that populated the store —
+// for every protection scheme.
+func TestSampledColdVsResumedByteIdentical(t *testing.T) {
+	for _, scheme := range instrument.AllSchemes() {
+		p, m, c := sampledCell(t, scheme)
+		sched, err := testSchedule().Normalize(p.Instructions)
+		if err != nil {
+			t.Fatal(err)
+		}
+		store := NewStore()
+		key := KeySpec{Benchmark: p.Name, Seed: 7, Instructions: p.Instructions, Scheme: scheme.String()}
+		cfg := Config{Schedule: sched, Store: store, Key: key}
+
+		cold, err := Run(context.Background(), p, m, c, 7, cfg)
+		if err != nil {
+			t.Fatalf("%v: cold: %v", scheme, err)
+		}
+		if cold.Hits != 0 || cold.Misses != sched.Windows {
+			t.Fatalf("%v: cold run hits/misses = %d/%d", scheme, cold.Hits, cold.Misses)
+		}
+		coldCounts := m.Counts()
+		coldCPU := c.Finalize()
+
+		p2, m2, c2 := sampledCell(t, scheme)
+		warm, err := Run(context.Background(), p2, m2, c2, 7, cfg)
+		if err != nil {
+			t.Fatalf("%v: resumed: %v", scheme, err)
+		}
+		if warm.Hits != sched.Windows || warm.Misses != 0 {
+			t.Fatalf("%v: resumed run hits/misses = %d/%d, want %d/0", scheme, warm.Hits, warm.Misses, sched.Windows)
+		}
+		if !reflect.DeepEqual(warm.Est, cold.Est) {
+			t.Fatalf("%v: estimates diverged:\ncold %+v\nwarm %+v", scheme, cold.Est, warm.Est)
+		}
+		if !reflect.DeepEqual(m2.Counts(), coldCounts) {
+			t.Fatalf("%v: machine counts diverged", scheme)
+		}
+		if !reflect.DeepEqual(c2.Finalize(), coldCPU) {
+			t.Fatalf("%v: timing statistics diverged", scheme)
+		}
+		if len(m2.Exceptions()) != len(m.Exceptions()) {
+			t.Fatalf("%v: exception logs diverged", scheme)
+		}
+	}
+}
+
+// TestSampledSegments: the mode timeline must alternate FF/detailed with
+// frozen commit clocks in FF segments and advancing clocks in detailed
+// ones.
+func TestSampledSegments(t *testing.T) {
+	p, m, c := sampledCell(t, instrument.AOS)
+	sched, err := testSchedule().Normalize(p.Instructions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var observed []Segment
+	res, err := Run(context.Background(), p, m, c, 7, Config{
+		Schedule:  sched,
+		OnSegment: func(s Segment) { observed = append(observed, s) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(observed, res.Segments) {
+		t.Fatal("OnSegment stream differs from Result.Segments")
+	}
+	// warmup FF + per-window (FF gap reaching it + detailed U+W) + tail FF.
+	detailed := 0
+	for i, s := range res.Segments {
+		if s.Detailed {
+			detailed++
+			if s.EndCycle <= s.StartCycle {
+				t.Errorf("segment %d: detailed segment did not advance the commit clock", i)
+			}
+		} else if s.EndCycle != s.StartCycle {
+			t.Errorf("segment %d: FF segment advanced the commit clock %d -> %d", i, s.StartCycle, s.EndCycle)
+		}
+		if i > 0 && s.Detailed == res.Segments[i-1].Detailed {
+			t.Errorf("segment %d: consecutive segments share mode %v", i, s.Detailed)
+		}
+	}
+	if detailed != sched.Windows {
+		t.Fatalf("detailed segments = %d, want %d", detailed, sched.Windows)
+	}
+	if res.Segments[0].Detailed || res.Segments[len(res.Segments)-1].Detailed {
+		t.Fatal("run must start and end in fast-forward")
+	}
+}
+
+// TestSampledEstimateTracksExact: on a steady-state workload the sampled
+// estimate must land near the full-detail cycle count (the tight 2% matrix
+// bound lives in the experiments error-bound test; this is the unit-level
+// sanity version).
+func TestSampledEstimateTracksExact(t *testing.T) {
+	p, m, c := sampledCell(t, instrument.AOS)
+	sched, err := testSchedule().Normalize(p.Instructions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(context.Background(), p, m, c, 7, Config{Schedule: sched})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Full-detail reference: same cell, warmup then measure.
+	p2, m2, c2 := sampledCell(t, instrument.AOS)
+	if err := p2.RunWarm(m2, 7, sched.Warmup, c2.ResetStats); err != nil {
+		t.Fatal(err)
+	}
+	m2.Flush()
+	exact := c2.Finalize()
+
+	ratio := float64(res.Est.Cycles) / float64(exact.Cycles)
+	if ratio < 0.90 || ratio > 1.10 {
+		t.Fatalf("sampled cycles %d vs exact %d (ratio %.3f) outside 10%%", res.Est.Cycles, exact.Cycles, ratio)
+	}
+	if res.Est.TotalInsts != exact.Insts {
+		t.Fatalf("sampled total insts %d != exact consumed insts %d", res.Est.TotalInsts, exact.Insts)
+	}
+}

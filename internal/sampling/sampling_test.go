@@ -1,0 +1,119 @@
+package sampling
+
+import (
+	"math"
+	"testing"
+)
+
+func TestScheduleNormalizeDefaults(t *testing.T) {
+	s, err := (Schedule{Warmup: 50_000}).Normalize(1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Windows != DefaultWindows || s.Detail != DefaultDetail || s.Window != DefaultWindow {
+		t.Fatalf("defaults not applied: %+v", s)
+	}
+	wantGap := (1_000_000 - uint64(s.Windows)*(s.Detail+s.Window)) / uint64(s.Windows)
+	if s.Gap != wantGap {
+		t.Fatalf("derived gap %d, want %d", s.Gap, wantGap)
+	}
+	if err := s.Validate(1_000_000); err != nil {
+		t.Fatalf("normalized schedule failed validation: %v", err)
+	}
+	// Layout invariant: the last window must end inside the region.
+	end := s.Start(s.Windows-1) + s.Detail + s.Window
+	if end > s.Warmup+1_000_000 {
+		t.Fatalf("last window ends at %d, past region end %d", end, s.Warmup+1_000_000)
+	}
+}
+
+func TestScheduleNormalizeErrors(t *testing.T) {
+	if _, err := (Schedule{Windows: 1}).Normalize(1_000_000); err == nil {
+		t.Error("accepted a single window (no variance estimate possible)")
+	}
+	if _, err := (Schedule{Windows: 100, Detail: 5_000, Window: 20_000}).Normalize(100_000); err == nil {
+		t.Error("accepted windows exceeding the region")
+	}
+	if _, err := (Schedule{Windows: 4, Detail: 1_000, Window: 4_000, Gap: 1 << 40}).Normalize(100_000); err == nil {
+		t.Error("accepted a gap pushing the schedule past the region")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	// Two windows, CPI 2.0 and 4.0; pooled CPI = (200+400)/(100+100) = 3.
+	ws := []WindowStat{{Cycles: 200, Insts: 100}, {Cycles: 400, Insts: 100}}
+	e, err := Summarize(ws, 1_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.CPI != 3.0 {
+		t.Fatalf("CPI = %v, want 3.0", e.CPI)
+	}
+	if e.Cycles != 3_000 {
+		t.Fatalf("Cycles = %d, want 3000", e.Cycles)
+	}
+	if math.Abs(e.IPC-1.0/3.0) > 1e-12 {
+		t.Fatalf("IPC = %v", e.IPC)
+	}
+	// Per-window CPIs 2 and 4: mean 3, sd sqrt(2), CV = sqrt(2)/3.
+	wantCV := math.Sqrt2 / 3
+	if math.Abs(e.CV-wantCV) > 1e-12 {
+		t.Fatalf("CV = %v, want %v", e.CV, wantCV)
+	}
+	wantCI := 1.96 * wantCV / math.Sqrt2
+	if math.Abs(e.CI95-wantCI) > 1e-12 {
+		t.Fatalf("CI95 = %v, want %v", e.CI95, wantCI)
+	}
+
+	if _, err := Summarize(ws[:1], 10); err == nil {
+		t.Error("accepted a single window")
+	}
+	if _, err := Summarize([]WindowStat{{0, 0}, {1, 1}}, 10); err == nil {
+		t.Error("accepted an empty window")
+	}
+}
+
+func TestKeySpecHash(t *testing.T) {
+	base := KeySpec{
+		Benchmark: "mcf", Seed: 7, Instructions: 100_000, Scheme: "aos",
+		Schedule: Schedule{Warmup: 50_000, Detail: 1_000, Window: 4_000, Gap: 20_000, Windows: 4},
+	}
+	if base.Hash() != base.Hash() {
+		t.Fatal("hash is not deterministic")
+	}
+	seen := map[string]string{base.Hash(): "base"}
+	for name, k := range map[string]KeySpec{
+		"boundary": func() KeySpec { k := base; k.Boundary = 1; return k }(),
+		"scheme":   func() KeySpec { k := base; k.Scheme = "mte"; return k }(),
+		"seed":     func() KeySpec { k := base; k.Seed = 8; return k }(),
+		"variant":  func() KeySpec { k := base; k.Variant = "nobwb"; return k }(),
+		"schedule": func() KeySpec { k := base; k.Schedule.Gap = 10_000; return k }(),
+	} {
+		h := k.Hash()
+		if prev, dup := seen[h]; dup {
+			t.Errorf("key collision between %s and %s", name, prev)
+		}
+		seen[h] = name
+	}
+}
+
+func TestStore(t *testing.T) {
+	s := NewStore()
+	if _, ok := s.Get("a"); ok {
+		t.Fatal("empty store returned a checkpoint")
+	}
+	cp1 := &Checkpoint{}
+	s.Put("a", cp1)
+	s.Put("a", &Checkpoint{}) // duplicate: first writer wins
+	got, ok := s.Get("a")
+	if !ok || got != cp1 {
+		t.Fatal("store did not keep the first checkpoint")
+	}
+	hits, misses, entries := s.Stats()
+	if hits != 1 || misses != 1 || entries != 1 {
+		t.Fatalf("stats = %d/%d/%d, want 1/1/1", hits, misses, entries)
+	}
+	if keys := s.Keys(); len(keys) != 1 || keys[0] != "a" {
+		t.Fatalf("keys = %v", keys)
+	}
+}

@@ -36,6 +36,7 @@ import (
 	"aos/internal/experiments"
 	"aos/internal/instrument"
 	"aos/internal/runner"
+	"aos/internal/sampling"
 	"aos/internal/stats"
 	"aos/internal/telemetry"
 )
@@ -117,6 +118,11 @@ type Server struct {
 	cache   *Cache
 	metrics *metrics
 	mux     *http.ServeMux
+	// checkpoints is the daemon-lifetime store for sampled jobs: window
+	// checkpoints populated by one sampled run are resumed by every later
+	// sampled run of the same cell (results are byte-identical either
+	// way, so the store never changes what the cache sees).
+	checkpoints *sampling.Store
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -146,15 +152,16 @@ func New(cfg Config) (*Server, error) {
 		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
 	s := &Server{
-		cfg:        cfg,
-		pool:       runner.NewPool(cfg.Workers, cfg.QueueDepth),
-		cache:      cache,
-		metrics:    &metrics{},
-		baseCtx:    baseCtx,
-		baseCancel: baseCancel,
-		log:        logger,
-		start:      time.Now(),
-		jobs:       make(map[string]*job),
+		cfg:         cfg,
+		pool:        runner.NewPool(cfg.Workers, cfg.QueueDepth),
+		cache:       cache,
+		metrics:     &metrics{},
+		baseCtx:     baseCtx,
+		baseCancel:  baseCancel,
+		log:         logger,
+		start:       time.Now(),
+		jobs:        make(map[string]*job),
+		checkpoints: sampling.NewStore(),
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
@@ -308,6 +315,7 @@ func (s *Server) runJob(ctx context.Context, j *job) {
 
 	res, tl, err := runSpecFull(ctx, j.spec, experiments.RunConfig{
 		TelemetryInterval: s.cfg.TelemetryInterval,
+		Checkpoints:       s.checkpoints,
 		OnProgress: func(done, total uint64) {
 			ev := jobEvent{Type: "progress", Done: done, Total: total}
 			if total > 0 {
@@ -617,6 +625,45 @@ func specFromQuery(r *http.Request) (experiments.SimSpec, error) {
 			return spec, fmt.Errorf("bad sanitize %q", v)
 		}
 		spec.Sanitize = b
+	}
+	// sample=1 opts the job into SMARTS sampled simulation (defaults from
+	// Normalize); the sample_* knobs refine the schedule and imply sample.
+	sampled := false
+	var sb experiments.SamplingSpec
+	if v := q.Get("sample"); v != "" {
+		b, err := strconv.ParseBool(v)
+		if err != nil {
+			return spec, fmt.Errorf("bad sample %q", v)
+		}
+		sampled = b
+	}
+	for _, p := range []struct {
+		name string
+		dst  *uint64
+	}{
+		{"sample_detail", &sb.Detail},
+		{"sample_window", &sb.Window},
+		{"sample_gap", &sb.Gap},
+	} {
+		if v := q.Get(p.name); v != "" {
+			n, err := strconv.ParseUint(v, 10, 64)
+			if err != nil {
+				return spec, fmt.Errorf("bad %s %q", p.name, v)
+			}
+			*p.dst = n
+			sampled = true
+		}
+	}
+	if v := q.Get("sample_windows"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return spec, fmt.Errorf("bad sample_windows %q", v)
+		}
+		sb.Windows = n
+		sampled = true
+	}
+	if sampled {
+		spec.Sampling = &sb
 	}
 	return spec, nil
 }

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"sort"
+	"strings"
 )
 
 // TraceStats summarises a validated trace_event document.
@@ -12,6 +13,9 @@ type TraceStats struct {
 	CounterTracks []string // distinct "C" event names, sorted
 	SliceNames    []string // distinct "X" event names, sorted
 	Slices        int
+	// SimSlices counts "sim/*" mode slices (sampled-simulation runs
+	// annotate every detailed/fast-forward segment with one).
+	SimSlices int
 }
 
 // ValidateTraceJSON is the in-tree schema check for the Perfetto
@@ -37,6 +41,8 @@ func ValidateTraceJSON(data []byte) (TraceStats, error) {
 	}
 	counters := map[string]uint64{} // track -> last ts
 	slices := map[string]bool{}
+	var counterTs []float64  // every "C" sample's ts, in document order
+	var ffSpans [][2]float64 // sim/fastforward slice intervals [ts, ts+dur)
 	for i, raw := range doc.TraceEvents {
 		var ev struct {
 			Name *string        `json:"name"`
@@ -78,6 +84,7 @@ func ValidateTraceJSON(data []byte) (TraceStats, error) {
 				return st, fmt.Errorf("telemetry: counter track %q: ts went backwards (%d after %d)", *ev.Name, ts, last)
 			}
 			counters[*ev.Name] = ts
+			counterTs = append(counterTs, *ev.Ts)
 		case "X":
 			if ev.Ts == nil || *ev.Ts < 0 {
 				return st, fmt.Errorf("telemetry: slice event %q: missing or negative ts", *ev.Name)
@@ -87,8 +94,34 @@ func ValidateTraceJSON(data []byte) (TraceStats, error) {
 			}
 			slices[*ev.Name] = true
 			st.Slices++
+			// Sampled-simulation mode slices: a timeline that interleaves
+			// detailed and fast-forward execution is only interpretable
+			// when every sim/* slice says which mode it covers.
+			if strings.HasPrefix(*ev.Name, "sim/") {
+				v, ok := ev.Args["mode"]
+				if !ok {
+					return st, fmt.Errorf("telemetry: sim slice %q: missing args.mode (detailed/FF interleaving must be annotated)", *ev.Name)
+				}
+				if _, ok := v.(float64); !ok {
+					return st, fmt.Errorf("telemetry: sim slice %q: args.mode is %T, want number", *ev.Name, v)
+				}
+				st.SimSlices++
+				if *ev.Name == "sim/fastforward" {
+					ffSpans = append(ffSpans, [2]float64{*ev.Ts, *ev.Ts + *ev.Dur})
+				}
+			}
 		default:
 			return st, fmt.Errorf("telemetry: traceEvents[%d] (%s): unexpected phase %q", i, *ev.Name, *ev.Ph)
+		}
+	}
+	// Probes pause during fast-forward (sampling is driven from the
+	// detailed commit path), so a counter sample strictly inside a
+	// fast-forward span means the timeline and the mode slices disagree.
+	for _, ts := range counterTs {
+		for _, span := range ffSpans {
+			if ts > span[0] && ts < span[1] {
+				return st, fmt.Errorf("telemetry: counter sample at ts %v falls inside fast-forward slice [%v,%v)", ts, span[0], span[1])
+			}
 		}
 	}
 	st.Events = len(doc.TraceEvents)

@@ -1,0 +1,110 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// simDoc builds a minimal trace document with one counter track and the
+// given extra events appended after the counter samples.
+func simDoc(counterTs []uint64, extra string) []byte {
+	var b strings.Builder
+	b.WriteString(`{"traceEvents":[`)
+	b.WriteString(`{"name":"process_name","ph":"M","pid":1,"tid":1,"args":{"name":"t"}}`)
+	for _, ts := range counterTs {
+		b.WriteString(`,{"name":"cpu_insts_total","ph":"C","ts":`)
+		b.WriteString(u64(ts))
+		b.WriteString(`,"pid":1,"tid":1,"args":{"value":1}}`)
+	}
+	if extra != "" {
+		b.WriteString("," + extra)
+	}
+	b.WriteString(`]}`)
+	return []byte(b.String())
+}
+
+func u64(v uint64) string {
+	buf := make([]byte, 0, 20)
+	if v == 0 {
+		return "0"
+	}
+	var digits []byte
+	for v > 0 {
+		digits = append(digits, byte('0'+v%10))
+		v /= 10
+	}
+	for i := len(digits) - 1; i >= 0; i-- {
+		buf = append(buf, digits[i])
+	}
+	return string(buf)
+}
+
+func TestValidateSimSlicesRequireModeArg(t *testing.T) {
+	good := simDoc([]uint64{10},
+		`{"name":"sim/detailed","ph":"X","ts":5,"dur":20,"pid":1,"tid":2,"args":{"mode":1,"insts":100}}`)
+	st, err := ValidateTraceJSON(good)
+	if err != nil {
+		t.Fatalf("annotated sim slice rejected: %v", err)
+	}
+	if st.SimSlices != 1 {
+		t.Fatalf("SimSlices = %d, want 1", st.SimSlices)
+	}
+
+	missing := simDoc([]uint64{10},
+		`{"name":"sim/fastforward","ph":"X","ts":5,"dur":20,"pid":1,"tid":2,"args":{"insts":100}}`)
+	if _, err := ValidateTraceJSON(missing); err == nil || !strings.Contains(err.Error(), "args.mode") {
+		t.Fatalf("sim slice without args.mode accepted (err = %v)", err)
+	}
+
+	wrongType := simDoc(nil,
+		`{"name":"sim/detailed","ph":"X","ts":5,"dur":20,"pid":1,"tid":2,"args":{"mode":"detailed"}}`)
+	if _, err := ValidateTraceJSON(wrongType); err == nil || !strings.Contains(err.Error(), "args.mode") {
+		t.Fatalf("sim slice with string args.mode accepted (err = %v)", err)
+	}
+}
+
+func TestValidateRejectsSamplesInsideFastForward(t *testing.T) {
+	// Counter sample at ts 50, strictly inside the FF span [40, 80).
+	bad := simDoc([]uint64{50},
+		`{"name":"sim/fastforward","ph":"X","ts":40,"dur":40,"pid":1,"tid":2,"args":{"mode":0}}`)
+	if _, err := ValidateTraceJSON(bad); err == nil || !strings.Contains(err.Error(), "fast-forward") {
+		t.Fatalf("counter sample inside FF slice accepted (err = %v)", err)
+	}
+
+	// Boundary samples (at the span edges) are legal: the mode switch
+	// lands exactly on a commit-cycle boundary.
+	edge := simDoc([]uint64{40, 80},
+		`{"name":"sim/fastforward","ph":"X","ts":40,"dur":40,"pid":1,"tid":2,"args":{"mode":0}}`)
+	if _, err := ValidateTraceJSON(edge); err != nil {
+		t.Fatalf("boundary samples rejected: %v", err)
+	}
+
+	// Samples inside a detailed slice are of course fine.
+	det := simDoc([]uint64{50},
+		`{"name":"sim/detailed","ph":"X","ts":40,"dur":40,"pid":1,"tid":2,"args":{"mode":1}}`)
+	if _, err := ValidateTraceJSON(det); err != nil {
+		t.Fatalf("samples inside detailed slice rejected: %v", err)
+	}
+}
+
+func TestValidateSimTimelineRoundTrip(t *testing.T) {
+	// A timeline carrying mode slices must render to a document the
+	// validator accepts, with the slice names surfaced in the stats.
+	tl := NewTimeline(NewRegistry(), 64)
+	tl.Registry().Counter("cpu_insts_total").Add(5)
+	tl.Sample(64, 100)
+	tl.AddSlice("sim/fastforward", 64, 0, map[string]uint64{"mode": 0, "insts": 5_000})
+	tl.AddSlice("sim/detailed", 64, 900, map[string]uint64{"mode": 1, "insts": 1_000})
+	var buf bytes.Buffer
+	if err := tl.WriteTraceEvents(&buf, "test"); err != nil {
+		t.Fatal(err)
+	}
+	st, err := ValidateTraceJSON(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SimSlices != 2 {
+		t.Fatalf("SimSlices = %d, want 2", st.SimSlices)
+	}
+}

@@ -1,0 +1,125 @@
+package workload
+
+import (
+	"math/rand"
+	"reflect"
+	"unsafe"
+)
+
+// countingSource wraps the runner's PRNG source and counts draws, so a
+// checkpoint can record "seed + N draws" — enough to reconstruct the exact
+// generator state on any restore path. The wrapper is draw-transparent:
+// rand.Rand sees a Source64 and pulls the same values it would from the
+// bare source, so streams are bit-identical to pre-checkpoint code.
+type countingSource struct {
+	src   rand.Source64
+	draws uint64
+}
+
+func newCountingSource(seed int64) *countingSource {
+	return &countingSource{src: rand.NewSource(seed).(rand.Source64)}
+}
+
+func (c *countingSource) Int63() int64 {
+	c.draws++
+	return c.src.Int63()
+}
+
+func (c *countingSource) Uint64() uint64 {
+	c.draws++
+	return c.src.Uint64()
+}
+
+func (c *countingSource) Seed(s int64) {
+	c.src.Seed(s)
+	c.draws = 0
+}
+
+// rngVecLen is math/rand's additive-generator vector length (stable since
+// Go 1.0; pinned by TestRNGCaptureFastPath against the running toolchain).
+const rngVecLen = 607
+
+// rngState is a checkpoint of the PRNG: always the draw count (sufficient
+// to re-derive the state from the seed by burning draws), plus — when the
+// runtime's generator has the expected layout — a direct copy of the
+// additive generator's internals, making restore O(1) instead of O(draws).
+type rngState struct {
+	draws uint64
+	fast  bool
+	tap   int
+	feed  int
+	vec   [rngVecLen]int64
+}
+
+// captureRNG snapshots the source state. The fast path reads math/rand's
+// unexported rngSource{tap, feed int; vec [607]int64} via reflection —
+// reads of unexported fields are legal, only Interface() is not — and
+// degrades to count-only if the layout ever changes.
+func captureRNG(c *countingSource) rngState {
+	st := rngState{draws: c.draws}
+	v := reflect.ValueOf(c.src)
+	if v.Kind() != reflect.Pointer || v.Elem().Kind() != reflect.Struct {
+		return st
+	}
+	e := v.Elem()
+	tap := e.FieldByName("tap")
+	feed := e.FieldByName("feed")
+	vec := e.FieldByName("vec")
+	if !tap.IsValid() || !feed.IsValid() || !vec.IsValid() ||
+		tap.Kind() != reflect.Int || feed.Kind() != reflect.Int ||
+		vec.Kind() != reflect.Array || vec.Len() != rngVecLen ||
+		vec.Type().Elem().Kind() != reflect.Int64 {
+		return st
+	}
+	st.fast = true
+	st.tap = int(tap.Int())
+	st.feed = int(feed.Int())
+	for i := 0; i < rngVecLen; i++ {
+		st.vec[i] = vec.Index(i).Int()
+	}
+	return st
+}
+
+// restoreRNG builds a source whose state matches the capture, given the
+// original seed. With a fast capture it writes the generator internals
+// directly (via unsafe, since the fields are unexported); otherwise it
+// replays the recorded number of draws — exact but O(draws).
+func restoreRNG(seed int64, st rngState) *countingSource {
+	c := newCountingSource(seed)
+	if st.fast && writeRNG(c.src, st) {
+		c.draws = st.draws
+		return c
+	}
+	for i := uint64(0); i < st.draws; i++ {
+		// Int63 and Uint64 advance the additive generator identically
+		// (Int63 is Uint64 masked), so burning with either replays the
+		// stream position exactly.
+		c.src.Uint64()
+	}
+	c.draws = st.draws
+	return c
+}
+
+// writeRNG pokes a fast capture into a fresh source; false if the layout
+// does not match (the caller then falls back to burning draws).
+func writeRNG(src rand.Source64, st rngState) bool {
+	v := reflect.ValueOf(src)
+	if v.Kind() != reflect.Pointer || v.Elem().Kind() != reflect.Struct {
+		return false
+	}
+	e := v.Elem()
+	tap := e.FieldByName("tap")
+	feed := e.FieldByName("feed")
+	vec := e.FieldByName("vec")
+	if !tap.IsValid() || !feed.IsValid() || !vec.IsValid() ||
+		tap.Kind() != reflect.Int || feed.Kind() != reflect.Int ||
+		vec.Kind() != reflect.Array || vec.Len() != rngVecLen ||
+		vec.Type().Elem().Kind() != reflect.Int64 || !tap.CanAddr() {
+		return false
+	}
+	*(*int)(unsafe.Pointer(tap.UnsafeAddr())) = st.tap
+	*(*int)(unsafe.Pointer(feed.UnsafeAddr())) = st.feed
+	dst := (*[rngVecLen]int64)(unsafe.Pointer(vec.UnsafeAddr()))
+	copy(dst[:], st.vec[:])
+	return true
+}

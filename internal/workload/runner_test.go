@@ -1,0 +1,205 @@
+package workload
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"aos/internal/core"
+	"aos/internal/instrument"
+	"aos/internal/isa"
+)
+
+type streamSink struct{ insts []isa.Inst }
+
+func (r *streamSink) Emit(in *isa.Inst)      { r.insts = append(r.insts, *in) }
+func (r *streamSink) EmitBatch(b []isa.Inst) { r.insts = append(r.insts, b...) }
+
+func newRecordedMachine(t *testing.T, scheme instrument.Scheme) (*core.Machine, *streamSink) {
+	t.Helper()
+	m, err := core.New(core.Config{Scheme: scheme})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &streamSink{}
+	m.SetSink(rec)
+	return m, rec
+}
+
+// TestRunnerPiecewiseMatchesRunCtx: driving a Runner in several RunTo slices
+// must produce the byte-identical instruction stream of a one-shot RunCtx —
+// the property every checkpoint boundary relies on.
+func TestRunnerPiecewiseMatchesRunCtx(t *testing.T) {
+	p, _ := ByName("mcf")
+	p = p.Clone()
+	p.Instructions = 60_000
+	total := p.Instructions
+
+	mA, recA := newRecordedMachine(t, instrument.AOS)
+	if err := p.RunCtx(context.Background(), mA, 7, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	mC, recC := newRecordedMachine(t, instrument.AOS)
+	rc, err := NewRunner(p, mC, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, until := range []uint64{13_000, 13_001, 40_000, total} {
+		if err := rc.RunTo(context.Background(), until, total); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mC.Flush()
+
+	if len(recA.insts) == 0 {
+		t.Fatal("one-shot run produced no instructions")
+	}
+	if !reflect.DeepEqual(recA.insts, recC.insts) {
+		t.Fatalf("sliced RunTo diverged from one-shot RunCtx: %d vs %d insts", len(recC.insts), len(recA.insts))
+	}
+	if rc.Produced() < total {
+		t.Fatalf("sliced runner stopped at %d, want >= %d", rc.Produced(), total)
+	}
+}
+
+// TestRunnerStateResumeDeterminism: checkpoint a (machine, runner) pair at an
+// arbitrary boundary, resume both into fresh objects, and require the
+// continuation's instruction stream and final counts to be byte-identical to
+// the original running straight through.
+func TestRunnerStateResumeDeterminism(t *testing.T) {
+	for _, scheme := range []instrument.Scheme{instrument.AOS, instrument.Watchdog, instrument.MTE} {
+		p, _ := ByName("hmmer")
+		const half, total = 30_000, 60_000
+
+		m, rec := newRecordedMachine(t, scheme)
+		r, err := NewRunner(p, m, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := r.RunTo(context.Background(), half, total); err != nil {
+			t.Fatal(err)
+		}
+		msnap := m.Snapshot()
+		rsnap := r.State()
+		prefix := len(rec.insts)
+		if err := r.RunTo(context.Background(), total, total); err != nil {
+			t.Fatal(err)
+		}
+		m.Flush()
+		wantTail := rec.insts[prefix:]
+		wantCounts := m.Counts()
+
+		for trial := 0; trial < 2; trial++ {
+			m2, rec2 := newRecordedMachine(t, scheme)
+			if err := m2.Restore(msnap); err != nil {
+				t.Fatal(err)
+			}
+			r2, err := NewRunnerFromState(p, m2, rsnap)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r2.Produced() != rsnap.Produced() {
+				t.Fatalf("%v: resumed runner at %d, checkpoint at %d", scheme, r2.Produced(), rsnap.Produced())
+			}
+			if err := r2.RunTo(context.Background(), total, total); err != nil {
+				t.Fatal(err)
+			}
+			m2.Flush()
+			if !reflect.DeepEqual(rec2.insts, wantTail) {
+				t.Fatalf("%v trial %d: resumed stream diverged (%d vs %d insts)",
+					scheme, trial, len(rec2.insts), len(wantTail))
+			}
+			got := m2.Counts()
+			// The resumed machine's counts continue from the checkpoint, so
+			// they must equal the straight-through totals exactly.
+			if !reflect.DeepEqual(got, wantCounts) {
+				t.Fatalf("%v trial %d: counts diverged:\n got %+v\nwant %+v", scheme, trial, got, wantCounts)
+			}
+		}
+	}
+}
+
+// TestRunnerStateWrongProfile: resuming under a different profile must fail.
+func TestRunnerStateWrongProfile(t *testing.T) {
+	p, _ := ByName("mcf")
+	m, _ := newRecordedMachine(t, instrument.Baseline)
+	r, err := NewRunner(p, m, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, _ := ByName("gobmk")
+	if _, err := NewRunnerFromState(other, m, r.State()); err == nil {
+		t.Fatal("NewRunnerFromState accepted a state from a different profile")
+	}
+}
+
+// TestRNGCaptureFastPath pins the math/rand layout assumption: on this
+// toolchain the reflection capture must take the fast path, and both restore
+// paths (direct state write and draw burning) must reproduce the exact
+// stream the original source continues to produce.
+func TestRNGCaptureFastPath(t *testing.T) {
+	src := newCountingSource(42)
+	r := rand.New(src)
+	for i := 0; i < 12_345; i++ {
+		r.Float64()
+	}
+	st := captureRNG(src)
+	if !st.fast {
+		t.Fatal("captureRNG did not take the fast path; math/rand layout changed — restore falls back to O(draws) burning")
+	}
+	if st.draws != src.draws {
+		t.Fatalf("captured draws %d, source drew %d", st.draws, src.draws)
+	}
+
+	fast := restoreRNG(42, st)
+	slow := st
+	slow.fast = false
+	burned := restoreRNG(42, slow)
+	if fast.draws != st.draws || burned.draws != st.draws {
+		t.Fatalf("restored draw counts %d/%d, want %d", fast.draws, burned.draws, st.draws)
+	}
+	for i := 0; i < 2_000; i++ {
+		want := src.Uint64()
+		if got := fast.Uint64(); got != want {
+			t.Fatalf("draw %d: fast-path restore diverged: %x != %x", i, got, want)
+		}
+		if got := burned.Uint64(); got != want {
+			t.Fatalf("draw %d: burn restore diverged: %x != %x", i, got, want)
+		}
+	}
+}
+
+// TestRunnerStateComplete is the reflection guard: every Runner field must be
+// classified as checkpointed (appearing in RunnerState, possibly under a
+// different representation) or explicitly derived/operational.
+func TestRunnerStateComplete(t *testing.T) {
+	covered := map[string]bool{
+		// p is captured as the profile name; src as the captured RNG state.
+		"p": true, "src": true,
+		"seed": true, "chunks": true, "bias": true,
+		"cur": true, "curOff": true, "remaining": true,
+		"produced": true, "sinceCall": true, "sinceAlloc": true,
+		"nextCtxCheck": true,
+	}
+	operational := map[string]bool{
+		// m is runtime wiring; rng is a view over src; the rest are
+		// draw-free derivations recomputed by deriveParams on every
+		// construction path.
+		"m": true, "rng": true,
+		"chainFrac": true, "memFrac": true, "storeShare": true,
+		"burstLen": true, "stride": true, "callGap": true, "allocGap": true,
+	}
+	typ := reflect.TypeOf(Runner{})
+	for i := 0; i < typ.NumField(); i++ {
+		name := typ.Field(i).Name
+		if covered[name] == operational[name] {
+			t.Errorf("workload.Runner field %q is not classified as checkpointed or derived; update State/NewRunnerFromState and this test", name)
+		}
+	}
+	st := reflect.TypeOf(RunnerState{})
+	if st.NumField() != len(covered) {
+		t.Errorf("RunnerState has %d fields, covered set has %d; keep them in sync", st.NumField(), len(covered))
+	}
+}

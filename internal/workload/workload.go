@@ -14,7 +14,6 @@ import (
 	"math/rand"
 
 	"aos/internal/core"
-	"aos/internal/kernel"
 )
 
 // Profile describes one benchmark.
@@ -151,233 +150,23 @@ func (p *Profile) RunCtx(ctx context.Context, m *core.Machine, seed int64, warmu
 	// instructions on any exit path (the caller finalizes the timing core
 	// or a protocol checker right after we return).
 	defer m.Flush()
-	rng := rand.New(rand.NewSource(seed))
-
-	// Warm-up: build the steady-state heap.
-	chunks := make([]core.Ptr, 0, p.LiveChunks)
-	alloc := func() error {
-		size := p.ChunkSize[0]
-		if p.ChunkSize[1] > p.ChunkSize[0] {
-			size += uint64(rng.Int63n(int64(p.ChunkSize[1] - p.ChunkSize[0] + 1)))
-		}
-		ptr, err := m.Malloc(size)
-		if err != nil {
-			return err
-		}
-		chunks = append(chunks, ptr)
-		return nil
+	r, err := NewRunner(p, m, seed)
+	if err != nil {
+		return err
 	}
-	for i := 0; i < p.LiveChunks; i++ {
-		if err := alloc(); err != nil {
-			return err
-		}
-	}
-
-	// Prefault: when the data footprint is cache-scale, touch it once at
-	// line granularity (heap and globals) so the measurement window sees
-	// capacity and conflict behaviour instead of compulsory misses — the
-	// moral equivalent of measuring a window of the paper's 3B-instruction
-	// runs. Genuinely DRAM-bound workloads (mcf-class footprints) skip it.
-	var footprint uint64
-	for _, c := range chunks {
-		footprint += c.Size
-	}
-	if footprint <= 16<<20 {
-		for _, c := range chunks {
-			for off := uint64(0); off+8 <= c.Size; off += 64 {
-				if err := m.Load(c, off, core.AccessOpts{}); err != nil {
-					return fmt.Errorf("workload %s: prefault: %w", p.Name, err)
-				}
-			}
-		}
-		for off := uint64(0); off < p.GlobalBytes; off += 64 {
-			m.RawLoad(0x1000_0000+off, core.DepFree)
-		}
-		if m.Scheme.HasWatchdogChecks() {
-			// Watchdog's shadow metadata (24B per pointer-holding data
-			// line) is part of the program's working set; prefault it.
-			shadow := uint64(float64(footprint*24/64) * p.PointerValueFrac)
-			for off := uint64(0); off < shadow; off += 64 {
-				m.RawLoad(kernel.ShadowBase+off, core.DepFree)
-			}
-		}
-	}
-
-	// Branch pattern state: per-site bias.
-	bias := make([]float64, p.BranchSites)
-	for i := range bias {
-		if rng.Float64() < 0.5 {
-			bias[i] = p.BranchEntropy / 2
-		} else {
-			bias[i] = 1 - p.BranchEntropy/2
-		}
-	}
-
-	chainFrac := p.ChainFrac
-	if chainFrac == 0 {
-		chainFrac = 0.12
-	}
-
-	// Derived per-instruction event probabilities.
-	memFrac := p.LoadFrac + p.StoreFrac
-	storeShare := 0.0
-	if memFrac > 0 {
-		storeShare = p.StoreFrac / memFrac
-	}
-
-	pickChunk := func() core.Ptr {
-		if p.HotChunks > 0 && rng.Float64() < p.HotFrac {
-			return chunks[rng.Intn(minInt(p.HotChunks, len(chunks)))]
-		}
-		return chunks[rng.Intn(len(chunks))]
-	}
-
-	// Strided-burst state for heap accesses.
-	burstLen := p.BurstLen
-	if burstLen <= 0 {
-		burstLen = 16
-	}
-	stride := p.Stride
-	if stride == 0 {
-		stride = 8
-	}
-	var cur core.Ptr
-	var curOff uint64
-	var remaining int
-	nextHeapTarget := func() (core.Ptr, uint64) {
-		if remaining <= 0 || cur.Raw == 0 || !stillLive(chunks, cur) {
-			cur = pickChunk()
-			span := cur.Size &^ 7
-			if span == 0 {
-				span = 8
-			}
-			curOff = uint64(rng.Int63n(int64(span))) &^ 7
-			remaining = 1 + rng.Intn(2*burstLen)
-		}
-		remaining--
-		off := curOff
-		curOff += stride
-		if curOff+8 > cur.Size {
-			curOff = 0
-		}
-		return cur, off
-	}
-
-	emitted := func() uint64 { return m.Counts().Total }
-	_ = emitted
-
-	var produced uint64 // program instructions (intent count)
-	callGap := gap(p.CallsPer1K)
-	allocGap := gap(p.AllocPer1K)
-	var sinceCall, sinceAlloc uint64
-
 	target := p.Instructions + warmupInsts
-	warmed := onWarm == nil
-	progress := progressFrom(ctx)
-	nextCtxCheck := uint64(ctxCheckEvery)
-	for produced < target {
-		if produced >= nextCtxCheck {
-			nextCtxCheck = produced + ctxCheckEvery
-			if err := ctx.Err(); err != nil {
-				return fmt.Errorf("workload %s: canceled after %d of %d instructions: %w",
-					p.Name, produced, target, err)
-			}
-			if progress != nil {
-				progress(produced, target)
-			}
-		}
-		if !warmed && produced >= warmupInsts {
-			warmed = true
-			// The warmup boundary is observed sink-side (timing-core stats
-			// reset): the core must have consumed every pre-boundary
-			// instruction before the callback runs, exactly as in scalar
-			// emission.
-			m.Flush()
-			onWarm()
-		}
-		r := rng.Float64()
-		switch {
-		case r < memFrac:
-			// A data access.
-			store := rng.Float64() < storeShare
-			opts := core.AccessOpts{}
-			if rng.Float64() < p.ChaseFrac {
-				opts.Dep = core.DepChase
-			}
-			if rng.Float64() < p.HeapFrac {
-				c, off := nextHeapTarget()
-				// Pointer-valued data lives at fixed locations (struct
-				// layout), so pointer-ness is a deterministic property of
-				// the line: Watchdog's shadow footprint then scales with
-				// pointer density rather than covering the whole heap.
-				line := (c.VA() + off) >> 6
-				opts.Pointer = float64(line*2654435761%1000)/1000 < p.PointerValueFrac
-				var err error
-				if store {
-					err = m.Store(c, off, opts)
-				} else {
-					err = m.Load(c, off, opts)
-				}
-				if err != nil {
-					return fmt.Errorf("workload %s: unexpected violation: %w", p.Name, err)
-				}
-			} else {
-				addr := 0x1000_0000 + uint64(rng.Int63n(int64(maxU64(p.GlobalBytes, 64))))&^7
-				if store {
-					m.RawStore(addr, opts.Dep)
-				} else {
-					m.RawLoad(addr, opts.Dep)
-				}
-			}
-			produced++
-		case r < memFrac+p.BranchFrac:
-			site := rng.Intn(p.BranchSites)
-			taken := rng.Float64() < bias[site]
-			m.Branch(uint32(site), taken)
-			produced++
-		case r < memFrac+p.BranchFrac+p.FPFrac:
-			m.ComputeFP(1, depOf(rng, p.ChaseFrac, chainFrac))
-			produced++
-		case r < memFrac+p.BranchFrac+p.FPFrac+p.MulFrac:
-			m.ComputeMul(1, depOf(rng, p.ChaseFrac, chainFrac))
-			produced++
-		default:
-			m.Compute(1, depOf(rng, p.ChaseFrac, chainFrac))
-			produced++
-		}
-
-		sinceCall++
-		if callGap > 0 && sinceCall >= callGap {
-			sinceCall = 0
-			m.Call()
-			m.Compute(2, core.DepFree)
-			m.Ret()
-			produced += 4
-		}
-		sinceAlloc++
-		if allocGap > 0 && sinceAlloc >= allocGap {
-			sinceAlloc = 0
-			// Steady state: free a random victim, allocate a replacement.
-			vi := rng.Intn(len(chunks))
-			victim := chunks[vi]
-			chunks[vi] = chunks[len(chunks)-1]
-			chunks = chunks[:len(chunks)-1]
-			if victim.Raw == cur.Raw {
-				remaining = 0 // current burst target freed; repick
-			}
-			if err := m.Free(victim); err != nil {
-				return fmt.Errorf("workload %s: free failed: %w", p.Name, err)
-			}
-			if err := alloc(); err != nil {
-				return err
-			}
-			produced += 2 // the call/free intents
-		}
+	if onWarm == nil {
+		return r.RunTo(ctx, target, target)
 	}
-	if progress != nil {
-		progress(produced, target)
+	if err := r.RunTo(ctx, warmupInsts, target); err != nil {
+		return err
 	}
-	return nil
+	// The warmup boundary is observed sink-side (timing-core stats
+	// reset): the core must have consumed every pre-boundary instruction
+	// before the callback runs, exactly as in scalar emission.
+	m.Flush()
+	onWarm()
+	return r.RunTo(ctx, target, target)
 }
 
 // stillLive reports whether c is still in the live set (cheap check: the
