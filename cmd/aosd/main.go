@@ -53,6 +53,10 @@ func main() {
 		"flight-recorder sampling cadence in commit cycles for fresh runs (0 disables; summaries ride on job documents and SSE streams)")
 	logFormat := flag.String("log", "text", "structured log format: text or json")
 	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
+	trace := flag.Bool("trace", false,
+		"enable distributed tracing: W3C traceparent propagation plus per-job span trees served as Perfetto documents from /v1/jobs/{id}/trace and /v1/traces/{id}")
+	sloAvailability := flag.Float64("slo-availability", 0,
+		"availability objective for the /metrics error-budget burn gauges (0 = 0.99)")
 	flag.Parse()
 
 	logger, err := buildLogger(*logFormat, *logLevel)
@@ -70,6 +74,8 @@ func main() {
 		MaxInstructions:   *maxInsts,
 		TelemetryInterval: *telemetryInterval,
 		Logger:            logger,
+		Tracing:           *trace,
+		SLOAvailability:   *sloAvailability,
 	}, *drain, *pprof, logger); err != nil {
 		logger.Error("exiting", "error", err)
 		os.Exit(1)

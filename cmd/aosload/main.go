@@ -1,0 +1,118 @@
+// Command aosload is an open-loop load generator for the aosd serving
+// API: it drives a configurable request mix (single cells, figure
+// compositions, attack matrices) at a target rate with cold-vs-warm
+// cache ratios and optional burst schedules, and emits an
+// aosload/report/v1 JSON document with an HDR-style latency breakdown
+// and an SLO pass/fail verdict.
+//
+// Usage:
+//
+//	aosload -url http://127.0.0.1:8080 -mix mixed -rate 50 -duration 30s
+//	aosload -mix single -warm 0.8 -rate 200 -duration 10s -slo-p99 250ms
+//	aosload -burst-every 10s -burst-len 2s -burst-factor 5
+//	aosload -self -duration 5s            # boot an in-process aosd first
+//
+// Exit status: 0 when the SLO verdict passes, 1 when it fails, 2 on
+// configuration or transport-setup errors. The report always goes to
+// -out (default stdout), pass or fail, so CI can archive it either way.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"aos/internal/loadgen"
+	"aos/internal/service"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	url := flag.String("url", "http://127.0.0.1:8080", "aosd base URL")
+	mix := flag.String("mix", "single", fmt.Sprintf("request mix %v", loadgen.Mixes()))
+	rate := flag.Float64("rate", 10, "open-loop target rate in requests/second")
+	duration := flag.Duration("duration", 10*time.Second, "run length")
+	inflight := flag.Int("inflight", 64, "max concurrent requests (exhausted slots count as client shed)")
+	warm := flag.Float64("warm", 0, "fraction [0,1] of requests repeating the base seed (cache-warm traffic)")
+	insts := flag.Uint64("insts", 20000, "instruction budget per simulation cell")
+	seed := flag.Int64("seed", 1, "schedule seed (mix choices, warm/cold split, cold seeds)")
+	burstEvery := flag.Duration("burst-every", 0, "burst period (0 = no bursts)")
+	burstLen := flag.Duration("burst-len", 0, "burst length within each period")
+	burstFactor := flag.Float64("burst-factor", 0, "rate multiplier during bursts")
+	sloAvail := flag.Float64("slo-availability", 0.99, "availability objective the verdict is graded against")
+	sloP99 := flag.Duration("slo-p99", 0, "p99 latency objective (0 = ungated)")
+	out := flag.String("out", "-", "report path (- = stdout)")
+	self := flag.Bool("self", false, "boot an in-process aosd and load it (ignores -url; demos and smoke tests)")
+	flag.Parse()
+
+	cfg := loadgen.Config{
+		BaseURL:         *url,
+		Mix:             *mix,
+		Rate:            *rate,
+		Duration:        *duration,
+		MaxInFlight:     *inflight,
+		WarmRatio:       *warm,
+		Instructions:    *insts,
+		Seed:            *seed,
+		SLOAvailability: *sloAvail,
+		SLOP99:          *sloP99,
+	}
+	if *burstEvery > 0 {
+		cfg.Burst = &loadgen.BurstSpec{Every: *burstEvery, Len: *burstLen, Factor: *burstFactor}
+	}
+
+	if *self {
+		svc, err := service.New(service.Config{Tracing: true})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "aosload: self-serve:", err)
+			return 2
+		}
+		ts := httptest.NewServer(svc.Handler())
+		defer func() {
+			ts.Close()
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			svc.Close(ctx)
+		}()
+		cfg.BaseURL = ts.URL
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	rep, err := loadgen.Run(ctx, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "aosload:", err)
+		return 2
+	}
+
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "aosload:", err)
+			return 2
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "aosload:", err)
+		return 2
+	}
+	if !rep.SLO.Pass {
+		fmt.Fprintf(os.Stderr, "aosload: SLO FAIL: %v\n", rep.SLO.Reasons)
+		return 1
+	}
+	return 0
+}

@@ -92,6 +92,11 @@ type Options struct {
 	// Safe for concurrent use. Ignored for sanitized runs (a teeing
 	// protocol checker needs the uncut stream, so those sample cold).
 	Checkpoints *sampling.Store
+	// JobID is the serving layer's correlation id for this run (empty
+	// for batch invocations). Purely diagnostic: it is stamped onto
+	// sanitizer verdicts so tracecheck violations in daemon logs join
+	// the job's trail, and never influences results.
+	JobID string
 }
 
 func (o Options) ctx() context.Context {
@@ -127,6 +132,7 @@ func (o Options) sanitizer(scheme instrument.Scheme, m *core.Machine, c *cpu.Cor
 		return nil
 	}
 	chk := tracecheck.New(scheme)
+	chk.SetJob(o.JobID)
 	m.SetSink(isa.MultiSink{c, chk})
 	return chk
 }

@@ -329,6 +329,11 @@ type RunConfig struct {
 	// telemetry: restored runs produce byte-identical results, so the
 	// store never enters the cell's identity).
 	Checkpoints *sampling.Store
+	// JobID is the serving layer's correlation id for this run. It is
+	// stamped onto sanitizer verdicts and worker log records — purely
+	// diagnostic, so like the other knobs here it stays outside the
+	// cell's identity and the cached result bytes.
+	JobID string
 }
 
 // RunSpec executes one simulation cell. The spec is normalized first, so
@@ -365,6 +370,7 @@ func RunSpecFull(ctx context.Context, spec SimSpec, cfg RunConfig) (*SimResult, 
 		Seed:              spec.Seed,
 		Sanitize:          spec.Sanitize,
 		Context:           ctx,
+		JobID:             cfg.JobID,
 		TelemetryInterval: cfg.TelemetryInterval,
 		OnTimeline: func(_ string, _ instrument.Scheme, t *telemetry.Timeline) {
 			tl = t

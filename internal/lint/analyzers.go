@@ -189,6 +189,11 @@ var detrandAllowedPkgs = map[string]bool{
 	"aos/internal/runner":   true,
 	"aos/internal/workload": true,
 	"aos/internal/service":  true,
+	// Spans are timestamped operational metadata (the trace layer never
+	// feeds a simulation); the load generator measures request latency
+	// and draws its request schedule from a seeded source.
+	"aos/internal/tracespan": true,
+	"aos/internal/loadgen":   true,
 }
 
 // DetRand flags nondeterminism sources outside the allowlisted packages:
@@ -326,6 +331,17 @@ var probeSubsystems = map[string]bool{
 	"heap": true,
 }
 
+// spanSubsystems are the layer prefixes a trace span name may start
+// with, mirroring probeSubsystems for the serving path: spans narrate
+// which layer owns each segment of a job's life, so the first token is
+// the layer. Extending the span vocabulary to a new layer means adding
+// it here, in review.
+var spanSubsystems = map[string]bool{
+	"service":     true,
+	"runner":      true,
+	"experiments": true,
+}
+
 // ProbeName checks telemetry.Registry registrations (Counter, Gauge,
 // Histogram): the probe name must be a constant string in
 // lower_snake_case with a known subsystem prefix, and no name may be
@@ -333,10 +349,12 @@ var probeSubsystems = map[string]bool{
 // probe namespace statically auditable (grep finds every series a
 // dashboard can reference); the duplicate check catches the
 // copy-paste-and-forget-to-rename bug before the registry's runtime
-// panic does.
+// panic does. tracespan.Trace.StartSpan names are held to the same
+// shape with the layer allowlist (service, runner, experiments) — a
+// trace is only navigable when its span vocabulary is flat and grepable.
 var ProbeName = &Analyzer{
 	Name: "probename",
-	Doc:  "telemetry probe names are constant lower_snake strings with a known subsystem prefix, registered once",
+	Doc:  "telemetry probe and trace span names are constant lower_snake strings with a known subsystem prefix",
 	Run: func(p *Pass) {
 		info := p.Pkg.Info
 		if info == nil {
@@ -368,7 +386,14 @@ func checkProbeRegistrations(p *Pass, body *ast.BlockStmt) {
 			return true
 		}
 		sel, ok := call.Fun.(*ast.SelectorExpr)
-		if !ok || !isRegistryRegistration(info, sel) || len(call.Args) == 0 {
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		if isSpanStart(info, sel) {
+			checkSpanName(p, call)
+			return true
+		}
+		if !isRegistryRegistration(info, sel) {
 			return true
 		}
 		v := info.Types[call.Args[0]].Value
@@ -398,6 +423,49 @@ func checkProbeRegistrations(p *Pass, body *ast.BlockStmt) {
 		seen[name] = call.Pos()
 		return true
 	})
+}
+
+// checkSpanName audits one Trace.StartSpan call: constant string,
+// lower_snake shape, first token a known layer.
+func checkSpanName(p *Pass, call *ast.CallExpr) {
+	info := p.Pkg.Info
+	v := info.Types[call.Args[0]].Value
+	if v == nil || v.Kind() != constant.String {
+		p.Reportf(call.Args[0].Pos(),
+			"span name passed to Trace.StartSpan must be a constant string (dynamic names defeat the static span audit)")
+		return
+	}
+	name := constant.StringVal(v)
+	if !probeStyleRE.MatchString(name) {
+		p.Reportf(call.Args[0].Pos(),
+			"span name %q is not lower_snake_case with a layer prefix (want e.g. service_cache_lookup)", name)
+		return
+	}
+	if prefix := name[:strings.IndexByte(name, '_')]; !spanSubsystems[prefix] {
+		p.Reportf(call.Args[0].Pos(),
+			"span name %q starts with unknown layer %q (known: service, runner, experiments; extend the lint allowlist to add one)",
+			name, prefix)
+	}
+}
+
+// isSpanStart matches StartSpan method calls whose receiver is
+// aos/internal/tracespan.Trace (or a pointer to it).
+func isSpanStart(info *types.Info, sel *ast.SelectorExpr) bool {
+	if sel.Sel.Name != "StartSpan" {
+		return false
+	}
+	t := info.TypeOf(sel.X)
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Name() == "Trace" && named.Obj().Pkg().Path() == "aos/internal/tracespan"
 }
 
 // isRegistryRegistration matches Counter/Gauge/Histogram method calls

@@ -403,6 +403,72 @@ func NotARegistry(o other) {
 	}
 }
 
+// TestSpanName checks the probename analyzer's span-name arm:
+// tracespan.Trace.StartSpan takes constant lower_snake names whose first
+// token is a known layer (service, runner, experiments); dynamic names,
+// camelCase and unknown layers are flagged, and unrelated StartSpan
+// methods are ignored.
+func TestSpanName(t *testing.T) {
+	files := miniEnums()
+	files["internal/tracespan/tracespan.go"] = `package tracespan
+
+type Trace struct{}
+type Span struct{}
+
+func (t *Trace) StartSpan(name string) *Span { return new(Span) }
+`
+	files["internal/handlers/handlers.go"] = `package handlers
+
+import "aos/internal/tracespan"
+
+const execName = "runner_execute"
+
+func Good(tr *tracespan.Trace) {
+	tr.StartSpan("service_cache_lookup")
+	tr.StartSpan("experiments_compose")
+	tr.StartSpan(execName) // named constants are fine
+}
+
+func BadStyle(tr *tracespan.Trace) {
+	tr.StartSpan("serviceIngress")
+}
+
+func BadLayer(tr *tracespan.Trace) {
+	tr.StartSpan("cache_lookup")
+}
+
+func BadDynamic(tr *tracespan.Trace, name string) {
+	tr.StartSpan(name)
+}
+
+func Allowed(tr *tracespan.Trace) {
+	tr.StartSpan("scratch_probe") //aoslint:allow probename — prototype span
+}
+
+type other struct{}
+
+func (other) StartSpan(name string) {}
+
+func NotATrace(o other) {
+	o.StartSpan("whatever") // different receiver type: ignored
+}
+`
+	got := findingsOf(runLint(t, files), "probename")
+	if len(got) != 3 {
+		t.Fatalf("want 3 span findings, got %v", got)
+	}
+	wantFragments := []string{
+		"not lower_snake_case",      // serviceIngress
+		"unknown layer \"cache\"",   // cache_lookup
+		"must be a constant string", // dynamic name
+	}
+	for i, frag := range wantFragments {
+		if !strings.Contains(got[i].Message, frag) {
+			t.Errorf("finding %d = %v, want fragment %q", i, got[i], frag)
+		}
+	}
+}
+
 // TestRepoIsClean runs the full suite over the real repository: the lint
 // gate that CI enforces, enforced from go test as well so a seeded
 // violation fails both.

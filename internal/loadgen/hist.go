@@ -1,0 +1,80 @@
+package loadgen
+
+import "math"
+
+// The latency histogram is HDR-style: geometric buckets growing by
+// histFactor from histMin seconds, so relative error is bounded (~12%)
+// across six decades — 50µs interactive cache hits to minute-long cold
+// figure compositions land in meaningfully-sized buckets. 64 buckets
+// reach ~64s; slower responses fall into the overflow slot and are
+// reported via Max (tracked exactly).
+const (
+	histMin     = 50e-6
+	histFactor  = 1.25
+	histBuckets = 64
+)
+
+// hist accumulates request latencies. Not goroutine-safe; the runner
+// guards it with its own mutex.
+type hist struct {
+	counts [histBuckets + 1]uint64
+	total  uint64
+	sum    float64
+	max    float64
+}
+
+func (h *hist) observe(seconds float64) {
+	i := 0
+	if seconds > histMin {
+		i = int(math.Ceil(math.Log(seconds/histMin) / math.Log(histFactor)))
+		if i > histBuckets {
+			i = histBuckets
+		}
+	}
+	h.counts[i]++
+	h.total++
+	h.sum += seconds
+	if seconds > h.max {
+		h.max = seconds
+	}
+}
+
+// bound returns bucket i's upper latency bound in seconds.
+func (h *hist) bound(i int) float64 {
+	return histMin * math.Pow(histFactor, float64(i))
+}
+
+// quantile returns the upper bound of the bucket containing the q-th
+// latency (0 < q <= 1), capped at the exact observed max. Zero when
+// nothing was observed.
+func (h *hist) quantile(q float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(h.total))
+	if rank >= h.total {
+		rank = h.total - 1
+	}
+	cum := uint64(0)
+	for i := range h.counts {
+		cum += h.counts[i]
+		if cum > rank {
+			if i == histBuckets {
+				return h.max // overflow bucket: its bound means nothing
+			}
+			b := h.bound(i)
+			if b > h.max {
+				b = h.max
+			}
+			return b
+		}
+	}
+	return h.max
+}
+
+func (h *hist) mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.sum / float64(h.total)
+}

@@ -1,0 +1,292 @@
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"aos/internal/service"
+)
+
+// TestHistQuantiles checks the HDR-style histogram brackets known
+// distributions within one bucket's relative error.
+func TestHistQuantiles(t *testing.T) {
+	var h hist
+	for i := 1; i <= 100; i++ {
+		h.observe(float64(i) * 1e-3) // 1ms..100ms uniform
+	}
+	if h.total != 100 {
+		t.Fatalf("total = %d", h.total)
+	}
+	p50 := h.quantile(0.50)
+	if p50 < 0.040 || p50 > 0.070 {
+		t.Errorf("p50 = %g, want ~0.05 within bucket error", p50)
+	}
+	p99 := h.quantile(0.99)
+	if p99 < 0.090 || p99 > 0.130 {
+		t.Errorf("p99 = %g, want ~0.1 within bucket error", p99)
+	}
+	if h.max != 0.1 {
+		t.Errorf("max = %g, want exact 0.1", h.max)
+	}
+	if m := h.mean(); m < 0.050 || m > 0.051 {
+		t.Errorf("mean = %g, want 0.0505", m)
+	}
+	// Sub-minimum and overflow land in the end buckets, not out of range.
+	h.observe(1e-9)
+	h.observe(1e9)
+	if h.quantile(1.0) != h.max {
+		t.Errorf("q(1.0) = %g, want max %g", h.quantile(1.0), h.max)
+	}
+}
+
+// TestRunAgainstStub drives the generator against a canned handler and
+// checks the report's accounting: counts add up, statuses are
+// classified, the verdict passes on a healthy server, and the JSON
+// document carries the pinned schema.
+func TestRunAgainstStub(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.Write([]byte(`{}`))
+	}))
+	defer ts.Close()
+
+	rep, err := Run(context.Background(), Config{
+		BaseURL:      ts.URL,
+		Mix:          MixMixed,
+		Rate:         200,
+		Duration:     300 * time.Millisecond,
+		MaxInFlight:  32,
+		WarmRatio:    0.5,
+		Seed:         42,
+		Instructions: 20000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != "aosload/report/v1" {
+		t.Errorf("schema = %q", rep.Schema)
+	}
+	if rep.Sent == 0 || rep.Completed != rep.Sent {
+		t.Fatalf("sent %d / completed %d on a healthy stub", rep.Sent, rep.Completed)
+	}
+	if int64(rep.Completed) != hits.Load() {
+		t.Errorf("completed %d but server saw %d", rep.Completed, hits.Load())
+	}
+	if rep.Status["2xx"] != rep.Completed {
+		t.Errorf("status classification: %v, completed %d", rep.Status, rep.Completed)
+	}
+	if rep.Warm+rep.Cold != rep.Sent {
+		t.Errorf("warm %d + cold %d != sent %d", rep.Warm, rep.Cold, rep.Sent)
+	}
+	if rep.Warm == 0 || rep.Cold == 0 {
+		t.Errorf("warm ratio 0.5 produced warm=%d cold=%d", rep.Warm, rep.Cold)
+	}
+	if !rep.SLO.Pass || len(rep.SLO.Reasons) != 0 {
+		t.Errorf("healthy run failed SLO: %v", rep.SLO.Reasons)
+	}
+	if rep.Availability != 1 {
+		t.Errorf("availability = %g, want 1", rep.Availability)
+	}
+	if rep.LatencySeconds.P99 <= 0 || rep.LatencySeconds.Max <= 0 {
+		t.Errorf("latency percentiles unpopulated: %+v", rep.LatencySeconds)
+	}
+
+	b, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"schema":"aosload/report/v1"`) {
+		t.Errorf("marshalled report missing schema: %s", b)
+	}
+}
+
+// TestRunMixURLs pins the request populations: each mix must only touch
+// its own endpoints, warm requests repeat the base seed, cold seeds are
+// unique.
+func TestRunMixURLs(t *testing.T) {
+	for _, mix := range Mixes() {
+		var pmu sync.Mutex
+		var paths []string
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			pmu.Lock()
+			paths = append(paths, r.URL.Path+"?"+r.URL.RawQuery)
+			pmu.Unlock()
+			w.Write([]byte(`{}`))
+		}))
+		rep, err := Run(context.Background(), Config{
+			BaseURL: ts.URL, Mix: mix, Rate: 300, Duration: 100 * time.Millisecond, Seed: 7,
+		})
+		ts.Close()
+		if err != nil {
+			t.Fatalf("%s: %v", mix, err)
+		}
+		if rep.Sent == 0 {
+			t.Fatalf("%s: nothing sent", mix)
+		}
+		seen := map[string]bool{}
+		for _, p := range paths {
+			switch {
+			case strings.HasPrefix(p, "/v1/results?"):
+				seen["single"] = true
+			case strings.HasPrefix(p, "/v1/experiments/fig14?"):
+				seen["fig14"] = true
+			case strings.HasPrefix(p, "/v1/experiments/fig18?"):
+				seen["fig18"] = true
+			case strings.HasPrefix(p, "/v1/experiments/attacks?"):
+				seen["attacks"] = true
+			default:
+				t.Errorf("%s: unexpected request %s", mix, p)
+			}
+		}
+		switch mix {
+		case MixMixed:
+			if !seen["single"] {
+				t.Errorf("mixed: no single-cell requests in %d", len(paths))
+			}
+		default:
+			if len(seen) != 1 || !seen[mix] {
+				t.Errorf("%s: request kinds %v, want only %s", mix, seen, mix)
+			}
+		}
+	}
+}
+
+// TestSLOFailures checks the graded verdicts: a 5xx-heavy server fails
+// availability, a slow server fails the p99 gate, and 429 shed load
+// fails neither.
+func TestSLOFailures(t *testing.T) {
+	t.Run("availability", func(t *testing.T) {
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			http.Error(w, "boom", http.StatusInternalServerError)
+		}))
+		defer ts.Close()
+		rep, err := Run(context.Background(), Config{BaseURL: ts.URL, Rate: 200, Duration: 100 * time.Millisecond, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.SLO.Pass || rep.Availability != 0 {
+			t.Fatalf("all-5xx run passed (availability %g)", rep.Availability)
+		}
+	})
+	t.Run("p99", func(t *testing.T) {
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			time.Sleep(20 * time.Millisecond)
+			w.Write([]byte(`{}`))
+		}))
+		defer ts.Close()
+		rep, err := Run(context.Background(), Config{
+			BaseURL: ts.URL, Rate: 100, Duration: 200 * time.Millisecond, Seed: 1,
+			SLOP99: time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.SLO.Pass {
+			t.Fatalf("20ms server passed a 1ms p99 gate: %+v", rep.LatencySeconds)
+		}
+	})
+	t.Run("shed is not an error", func(t *testing.T) {
+		var n atomic.Int64
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if n.Add(1)%2 == 0 {
+				w.Header().Set("Retry-After", "1")
+				http.Error(w, "full", http.StatusTooManyRequests)
+				return
+			}
+			w.Write([]byte(`{}`))
+		}))
+		defer ts.Close()
+		rep, err := Run(context.Background(), Config{BaseURL: ts.URL, Rate: 200, Duration: 100 * time.Millisecond, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Status["429"] == 0 {
+			t.Fatal("stub shed nothing")
+		}
+		if !rep.SLO.Pass || rep.Availability != 1 {
+			t.Fatalf("shed load burned the budget: pass=%v availability=%g reasons=%v",
+				rep.SLO.Pass, rep.Availability, rep.SLO.Reasons)
+		}
+	})
+}
+
+// TestBurstSchedule checks the burst overlay raises the issued request
+// count above the base schedule.
+func TestBurstSchedule(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{}`))
+	}))
+	defer ts.Close()
+	base, err := Run(context.Background(), Config{BaseURL: ts.URL, Rate: 100, Duration: 300 * time.Millisecond, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	burst, err := Run(context.Background(), Config{
+		BaseURL: ts.URL, Rate: 100, Duration: 300 * time.Millisecond, Seed: 1,
+		Burst: &BurstSpec{Every: 100 * time.Millisecond, Len: 50 * time.Millisecond, Factor: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if burst.Sent <= base.Sent {
+		t.Errorf("burst sent %d <= base %d", burst.Sent, base.Sent)
+	}
+}
+
+// TestRunAgainstService drives single-cell traffic against a real
+// in-process aosd: every generated request must be well-formed (no 4xx —
+// this pins URL escaping of the PA+AOS scheme) and the healthy daemon
+// must not 5xx. 429 backpressure is allowed and not an error. The mixed
+// population's figure compositions are covered by the CI soak, where the
+// wall-clock budget is real; here single cells keep the suite fast.
+func TestRunAgainstService(t *testing.T) {
+	svc, err := service.New(service.Config{QueueDepth: 256, Tracing: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(svc.Handler())
+	defer func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		svc.Close(ctx)
+	}()
+
+	rep, err := Run(context.Background(), Config{
+		BaseURL: ts.URL, Mix: MixSingle, Rate: 40, Duration: 1500 * time.Millisecond,
+		WarmRatio: 0.5, Seed: 42, Instructions: 5000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sent == 0 {
+		t.Fatal("nothing sent")
+	}
+	if rep.Status["4xx"] != 0 {
+		t.Errorf("%d malformed requests (4xx) from the generator", rep.Status["4xx"])
+	}
+	if rep.Status["5xx"] != 0 || rep.TransportErrors != 0 {
+		t.Errorf("healthy daemon errored: %v transport=%d", rep.Status, rep.TransportErrors)
+	}
+	if !rep.SLO.Pass {
+		t.Errorf("SLO failed: %v", rep.SLO.Reasons)
+	}
+}
+
+// TestRejectsBadConfig pins the input validation.
+func TestRejectsBadConfig(t *testing.T) {
+	if _, err := Run(context.Background(), Config{}); err == nil {
+		t.Error("empty BaseURL accepted")
+	}
+	if _, err := Run(context.Background(), Config{BaseURL: "http://x", Mix: "nope"}); err == nil {
+		t.Error("unknown mix accepted")
+	}
+}

@@ -1,0 +1,80 @@
+package loadgen
+
+import "fmt"
+
+// Schema identifies the report document version. Consumers (the CI soak
+// gate, dashboards) select on it; additive changes keep v1, breaking
+// changes bump it.
+const Schema = "aosload/report/v1"
+
+// Percentiles summarises the completed-request latency distribution in
+// seconds. Values are HDR-style bucket bounds (~12% relative error)
+// except Max, which is exact.
+type Percentiles struct {
+	P50  float64 `json:"p50"`
+	P90  float64 `json:"p90"`
+	P99  float64 `json:"p99"`
+	Max  float64 `json:"max"`
+	Mean float64 `json:"mean"`
+}
+
+// Verdict is the SLO gate's outcome: the objectives the run was graded
+// against and the reasons it failed, empty when it passed.
+type Verdict struct {
+	AvailabilityObjective float64  `json:"availability_objective"`
+	P99ObjectiveSeconds   float64  `json:"p99_objective_seconds,omitempty"`
+	Pass                  bool     `json:"pass"`
+	Reasons               []string `json:"reasons,omitempty"`
+}
+
+// Report is the generator's result document (schema aosload/report/v1).
+//
+// Counting rules: Sent counts requests put on the wire; Completed those
+// that got any HTTP response. Shed load — HTTP 429 from the daemon's
+// bounded queue, plus ClientShed ticks skipped because MaxInFlight was
+// exhausted — is visible but is NOT an availability error; only 5xx
+// responses and transport failures burn the budget, mirroring the
+// daemon's own aosd_slo_error_budget_burn accounting.
+type Report struct {
+	Schema          string  `json:"schema"`
+	Mix             string  `json:"mix"`
+	TargetRPS       float64 `json:"target_rps"`
+	DurationSeconds float64 `json:"duration_seconds"`
+	WarmRatio       float64 `json:"warm_ratio"`
+
+	Sent            uint64            `json:"sent"`
+	Completed       uint64            `json:"completed"`
+	Status          map[string]uint64 `json:"status"` // 2xx / 429 / 4xx / 5xx
+	TransportErrors uint64            `json:"transport_errors"`
+	ClientShed      uint64            `json:"client_shed"`
+	Warm            uint64            `json:"warm_requests"`
+	Cold            uint64            `json:"cold_requests"`
+
+	ThroughputRPS  float64     `json:"throughput_rps"`
+	Availability   float64     `json:"availability"`
+	LatencySeconds Percentiles `json:"latency_seconds"`
+
+	SLO Verdict `json:"slo"`
+}
+
+// grade fills the report's verdict from the configured objectives.
+func (r *Report) grade(availObjective float64, p99Objective float64) {
+	r.SLO = Verdict{AvailabilityObjective: availObjective, P99ObjectiveSeconds: p99Objective, Pass: true}
+	fail := func(format string, args ...any) {
+		r.SLO.Pass = false
+		r.SLO.Reasons = append(r.SLO.Reasons, fmt.Sprintf(format, args...))
+	}
+	if r.Completed == 0 {
+		fail("no request completed")
+		return
+	}
+	if r.Availability < availObjective {
+		fail("availability %.6f below objective %.6f", r.Availability, availObjective)
+	}
+	if r.TransportErrors > 0 {
+		fail("%d transport errors (connection refused/reset)", r.TransportErrors)
+	}
+	if p99Objective > 0 && r.LatencySeconds.P99 > p99Objective {
+		fail("p99 latency %.4fs above objective %.4fs", r.LatencySeconds.P99, p99Objective)
+	}
+}

@@ -3,6 +3,7 @@ package runner
 import (
 	"context"
 	"errors"
+	"log/slog"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -23,6 +24,10 @@ var (
 type Task struct {
 	// Label identifies the task (diagnostics only).
 	Label string
+	// ID is the submitting layer's correlation id for the task — for the
+	// aosd service, the job's content-address hash. Workers attach it to
+	// their slog records so pool-side log lines join the job's trail.
+	ID string
 	// Ctx is the task's context; nil means context.Background(). A task
 	// whose context is already done is still handed to Run — the body
 	// decides how to record the cancellation.
@@ -39,6 +44,7 @@ type Pool struct {
 	queue    chan Task
 	wg       sync.WaitGroup
 	inFlight atomic.Int64
+	log      atomic.Pointer[slog.Logger] // nil: workers stay silent
 
 	mu     sync.Mutex // guards closed vs. Submit's queue send
 	closed bool
@@ -56,7 +62,7 @@ func NewPool(workers, queueDepth int) *Pool {
 	p := &Pool{queue: make(chan Task, queueDepth)}
 	for w := 0; w < workers; w++ {
 		p.wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer p.wg.Done()
 			for t := range p.queue {
 				ctx := t.Ctx
@@ -64,13 +70,26 @@ func NewPool(workers, queueDepth int) *Pool {
 					ctx = context.Background()
 				}
 				p.inFlight.Add(1)
-				runTaskGuarded(t.Run, ctx)
+				if log := p.log.Load(); log != nil {
+					log.Debug("task start", "worker", worker, "job", t.ID, "label", t.Label)
+					runTaskGuarded(t.Run, ctx)
+					log.Debug("task done", "worker", worker, "job", t.ID, "label", t.Label)
+				} else {
+					runTaskGuarded(t.Run, ctx)
+				}
 				p.inFlight.Add(-1)
 			}
-		}()
+		}(w)
 	}
 	return p
 }
+
+// SetLogger attaches a structured logger to the pool's workers: each
+// task is bracketed by debug records carrying the worker index and the
+// task's correlation ID, so pool-side timing joins the per-job log
+// trail the service layer starts. A nil logger silences the workers
+// (the default). Safe to call while the pool is running.
+func (p *Pool) SetLogger(log *slog.Logger) { p.log.Store(log) }
 
 // runTaskGuarded invokes fn, swallowing a panic so one broken task cannot
 // take down a pool worker (the task body is responsible for recording its

@@ -1,8 +1,12 @@
 package runner
 
 import (
+	"bytes"
 	"context"
 	"errors"
+	"io"
+	"log/slog"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -240,4 +244,52 @@ func TestPoolPanicGuard(t *testing.T) {
 	case <-time.After(5 * time.Second):
 		t.Fatal("worker died after task panic")
 	}
+}
+
+// TestPoolWorkerLogsCarryJobID: with a logger attached, workers bracket
+// each task with debug records carrying the task's correlation id.
+func TestPoolWorkerLogsCarryJobID(t *testing.T) {
+	var mu sync.Mutex
+	var buf bytes.Buffer
+	log := slog.New(slog.NewTextHandler(&lockedWriter{mu: &mu, w: &buf},
+		&slog.HandlerOptions{Level: slog.LevelDebug}))
+
+	p := NewPool(1, 4)
+	p.SetLogger(log)
+	done := make(chan struct{})
+	if err := p.Submit(Task{ID: "cafebabe42", Label: "fig14 cell", Run: func(context.Context) {
+		close(done)
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	p.Close()
+
+	mu.Lock()
+	out := buf.String()
+	mu.Unlock()
+	for _, want := range []string{"task start", "task done", "job=cafebabe42", `label="fig14 cell"`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("worker log missing %q:\n%s", want, out)
+		}
+	}
+
+	// Without a logger the workers stay silent.
+	p2 := NewPool(1, 1)
+	done2 := make(chan struct{})
+	_ = p2.Submit(Task{ID: "x", Run: func(context.Context) { close(done2) }})
+	<-done2
+	p2.Close()
+}
+
+// lockedWriter serializes concurrent handler writes for the test buffer.
+type lockedWriter struct {
+	mu *sync.Mutex
+	w  io.Writer
+}
+
+func (l *lockedWriter) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.w.Write(p)
 }

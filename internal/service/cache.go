@@ -19,6 +19,9 @@ type CacheStats struct {
 	Evictions uint64
 	Entries   int
 	Bytes     int64
+	// BudgetBytes is the configured in-memory byte budget the LRU trims
+	// to — the denominator dashboards need next to Bytes.
+	BudgetBytes int64
 }
 
 // HitRate returns Hits/(Hits+Misses), or 0 for an untouched cache.
@@ -156,11 +159,12 @@ func (c *Cache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return CacheStats{
-		Hits:      c.hits,
-		DiskHits:  c.diskHits,
-		Misses:    c.misses,
-		Evictions: c.evictions,
-		Entries:   c.ll.Len(),
-		Bytes:     c.bytes,
+		Hits:        c.hits,
+		DiskHits:    c.diskHits,
+		Misses:      c.misses,
+		Evictions:   c.evictions,
+		Entries:     c.ll.Len(),
+		Bytes:       c.bytes,
+		BudgetBytes: c.budget,
 	}
 }

@@ -28,32 +28,54 @@ type jobEvent struct {
 // terminal frame is delivered out of band (the job's done channel),
 // so dropped intermediate frames cost nothing but granularity.
 type broadcaster struct {
-	mu     sync.Mutex
-	subs   map[chan jobEvent]struct{}
-	last   *jobEvent
-	closed bool
+	mu      sync.Mutex
+	subs    map[chan jobEvent]struct{}
+	last    *jobEvent
+	closed  bool
+	dropped uint64
+	// onDrop, when non-nil, is called (outside the lock) once per frame
+	// dropped on a full subscriber buffer — the service counts these on
+	// aosd_sse_dropped_frames_total.
+	onDrop func()
 }
 
-func newBroadcaster() *broadcaster {
-	return &broadcaster{subs: make(map[chan jobEvent]struct{})}
+func newBroadcaster(onDrop func()) *broadcaster {
+	return &broadcaster{subs: make(map[chan jobEvent]struct{}), onDrop: onDrop}
 }
 
 // publish fans ev out without blocking and remembers it for late
 // subscribers. No-op after close.
 func (b *broadcaster) publish(ev jobEvent) {
 	b.mu.Lock()
-	defer b.mu.Unlock()
 	if b.closed {
+		b.mu.Unlock()
 		return
 	}
 	b.last = &ev
+	drops := 0
 	//aoslint:allow mapiter — frame delivery order across independent subscribers is unobservable
 	for ch := range b.subs {
 		select {
 		case ch <- ev:
 		default: // slow client: drop the frame, keep the stream live
+			drops++
 		}
 	}
+	b.dropped += uint64(drops)
+	onDrop := b.onDrop
+	b.mu.Unlock()
+	if onDrop != nil {
+		for i := 0; i < drops; i++ {
+			onDrop()
+		}
+	}
+}
+
+// Dropped reports frames discarded on full subscriber buffers.
+func (b *broadcaster) Dropped() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.dropped
 }
 
 // subscribe registers a new stream and returns it with the most

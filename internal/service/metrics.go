@@ -27,10 +27,16 @@ type metrics struct {
 	progressEvents   uint64 // progress frames published to job event streams
 	telemetrySamples uint64 // flight-recorder rows captured across sampled jobs
 	sseActive        int64  // live /v1/jobs/{id}/events streams
+	sseDropped       uint64 // frames dropped on full subscriber buffers
 
 	wallCounts []uint64 // len(wallBuckets)+1 slots; last is the +Inf overflow
 	wallSum    float64
 	wallTotal  uint64
+
+	// http holds the per-endpoint SLO series (slo.go); sloObjective is
+	// the availability objective burn rates are computed against.
+	http         map[string]*endpointStats
+	sloObjective float64
 }
 
 // observePanic counts a recovered run-body panic.
@@ -67,6 +73,14 @@ func (m *metrics) sseEnd() {
 	m.mu.Unlock()
 }
 
+// observeSSEDrop counts one frame dropped on a full subscriber buffer
+// (the broadcaster's keep-the-stream-live backpressure path).
+func (m *metrics) observeSSEDrop() {
+	m.mu.Lock()
+	m.sseDropped++
+	m.mu.Unlock()
+}
+
 // observeJob records one finished pool job.
 func (m *metrics) observeJob(status string, wall time.Duration, cycles uint64) {
 	m.mu.Lock()
@@ -93,15 +107,18 @@ func (m *metrics) observeJob(status string, wall time.Duration, cycles uint64) {
 	m.wallTotal++
 }
 
-// render writes the Prometheus text exposition. queued/inFlight and cs are
-// the live gauges sampled by the caller.
-func (m *metrics) render(w io.Writer, queued, inFlight int, cs CacheStats) {
+// render writes the Prometheus text exposition. queued/queueCap/inFlight
+// and cs are the live gauges sampled by the caller.
+func (m *metrics) render(w io.Writer, queued, queueCap, inFlight int, cs CacheStats) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 
 	fmt.Fprintf(w, "# HELP aosd_queue_depth Simulation jobs waiting for a worker.\n")
 	fmt.Fprintf(w, "# TYPE aosd_queue_depth gauge\n")
 	fmt.Fprintf(w, "aosd_queue_depth %d\n", queued)
+	fmt.Fprintf(w, "# HELP aosd_queue_capacity Configured pending-job queue bound.\n")
+	fmt.Fprintf(w, "# TYPE aosd_queue_capacity gauge\n")
+	fmt.Fprintf(w, "aosd_queue_capacity %d\n", queueCap)
 	fmt.Fprintf(w, "# HELP aosd_inflight_jobs Simulation jobs currently executing.\n")
 	fmt.Fprintf(w, "# TYPE aosd_inflight_jobs gauge\n")
 	fmt.Fprintf(w, "aosd_inflight_jobs %d\n", inFlight)
@@ -130,6 +147,9 @@ func (m *metrics) render(w io.Writer, queued, inFlight int, cs CacheStats) {
 	fmt.Fprintf(w, "# HELP aosd_cache_bytes Bytes resident in memory.\n")
 	fmt.Fprintf(w, "# TYPE aosd_cache_bytes gauge\n")
 	fmt.Fprintf(w, "aosd_cache_bytes %d\n", cs.Bytes)
+	fmt.Fprintf(w, "# HELP aosd_cache_budget_bytes Configured in-memory LRU byte budget.\n")
+	fmt.Fprintf(w, "# TYPE aosd_cache_budget_bytes gauge\n")
+	fmt.Fprintf(w, "aosd_cache_budget_bytes %d\n", cs.BudgetBytes)
 	fmt.Fprintf(w, "# HELP aosd_cache_hit_rate Hits over lookups since start.\n")
 	fmt.Fprintf(w, "# TYPE aosd_cache_hit_rate gauge\n")
 	fmt.Fprintf(w, "aosd_cache_hit_rate %g\n", cs.HitRate())
@@ -150,6 +170,9 @@ func (m *metrics) render(w io.Writer, queued, inFlight int, cs CacheStats) {
 	fmt.Fprintf(w, "# HELP aosd_sse_streams Live job event streams.\n")
 	fmt.Fprintf(w, "# TYPE aosd_sse_streams gauge\n")
 	fmt.Fprintf(w, "aosd_sse_streams %d\n", m.sseActive)
+	fmt.Fprintf(w, "# HELP aosd_sse_dropped_frames_total Frames dropped on full subscriber buffers.\n")
+	fmt.Fprintf(w, "# TYPE aosd_sse_dropped_frames_total counter\n")
+	fmt.Fprintf(w, "aosd_sse_dropped_frames_total %d\n", m.sseDropped)
 
 	fmt.Fprintf(w, "# HELP aosd_job_wall_seconds Wall time of finished jobs.\n")
 	fmt.Fprintf(w, "# TYPE aosd_job_wall_seconds histogram\n")
@@ -166,4 +189,6 @@ func (m *metrics) render(w io.Writer, queued, inFlight int, cs CacheStats) {
 	fmt.Fprintf(w, "aosd_job_wall_seconds_bucket{le=\"+Inf\"} %d\n", cum)
 	fmt.Fprintf(w, "aosd_job_wall_seconds_sum %g\n", m.wallSum)
 	fmt.Fprintf(w, "aosd_job_wall_seconds_count %d\n", m.wallTotal)
+
+	m.renderSLO(w)
 }

@@ -135,6 +135,60 @@ func TestJobEventsSSE(t *testing.T) {
 	}
 }
 
+// TestSSEDropOnFullKeepsStreamLive pins the backpressure contract of the
+// event fan-out: a subscriber that never drains its 16-frame buffer loses
+// intermediate progress frames (counted on Dropped() and the
+// aosd_sse_dropped_frames_total metric) but the stream stays live — a
+// healthy HTTP subscriber still receives the terminal done frame. Run
+// with -race this also exercises concurrent publish/subscribe/drain.
+func TestSSEDropOnFullKeepsStreamLive(t *testing.T) {
+	const frames = 100
+	attached := make(chan struct{})
+	stubRunSpecFull(t, func(ctx context.Context, spec experiments.SimSpec, cfg experiments.RunConfig) (*experiments.SimResult, *telemetry.Timeline, error) {
+		<-attached
+		for i := 1; i <= frames; i++ {
+			cfg.OnProgress(uint64(i*100), frames*100)
+		}
+		return fakeResult(spec), nil, nil
+	})
+	svc, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 8})
+
+	_, doc := postJob(t, ts, `{"benchmark": "mcf", "scheme": "AOS", "instructions": 10000}`)
+	svc.mu.Lock()
+	j := svc.jobs[doc.ID]
+	svc.mu.Unlock()
+	if j == nil || j.events == nil {
+		t.Fatal("job has no broadcaster")
+	}
+	// The slow client: subscribes, never reads. Its buffer fills after 16
+	// frames and every further publish must drop rather than block.
+	slow, _ := j.events.subscribe()
+	defer j.events.unsubscribe(slow)
+
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + doc.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	close(attached)
+
+	got := readSSE(t, bufio.NewReader(resp.Body))
+	if len(got) == 0 || got[len(got)-1].Event != "done" {
+		t.Fatalf("healthy subscriber lost the terminal frame: %+v", got)
+	}
+	if got[len(got)-1].Data["status"] != statusDone {
+		t.Fatalf("done frame status = %v", got[len(got)-1].Data["status"])
+	}
+
+	dropped := j.events.Dropped()
+	if want := uint64(frames - 16); dropped < want {
+		t.Fatalf("Dropped() = %d, want >= %d (slow subscriber holds 16 frames)", dropped, want)
+	}
+	if v := metricValue(t, getMetrics(t, ts), "aosd_sse_dropped_frames_total"); uint64(v) != dropped {
+		t.Errorf("aosd_sse_dropped_frames_total = %g, want %d", v, dropped)
+	}
+}
+
 // TestJobPanicFinalize pins the crash contract: a run body that panics
 // mid-flight (an in-progress telemetry flush, say) must finish as a
 // failed job — SSE subscribers get the done frame, pollers see the
@@ -227,7 +281,9 @@ func TestHealthzBuildInfo(t *testing.T) {
 // for a fixed sequence of observations, so accidental format or series
 // drift (which breaks scrapers and dashboards) fails loudly.
 func TestMetricsGolden(t *testing.T) {
-	m := &metrics{}
+	// The 0.5 objective keeps the burn gauge an exact binary fraction
+	// (error budget 0.5), so the golden text stays platform-independent.
+	m := &metrics{sloObjective: 0.5}
 	m.observeJob(statusDone, 30*time.Millisecond, 1_000_000)
 	m.observeJob(statusDone, 700*time.Millisecond, 2_500_000)
 	m.observeJob(statusFailed, 10*time.Millisecond, 0)
@@ -238,13 +294,26 @@ func TestMetricsGolden(t *testing.T) {
 	m.observeProgress()
 	m.observeTelemetry(120)
 	m.sseStart()
+	m.observeSSEDrop()
+	m.observeSSEDrop()
+	// SLO traffic: the vocabulary-unknown endpoint folds into "other", the
+	// 500 burns the submit error budget, the 429 does not count against it.
+	m.observeHTTP("submit", 202, 2*time.Millisecond)
+	m.observeHTTP("submit", 200, 40*time.Millisecond)
+	m.observeHTTP("submit", 500, 100*time.Millisecond)
+	m.observeHTTP("submit", 429, 4*time.Millisecond)
+	m.observeHTTP("metrics", 200, 500*time.Microsecond)
+	m.observeHTTP("bogus", 404, time.Millisecond)
 
 	var buf bytes.Buffer
-	m.render(&buf, 3, 2, CacheStats{Hits: 7, DiskHits: 2, Misses: 5, Evictions: 1, Entries: 4, Bytes: 2048})
+	m.render(&buf, 3, 8, 2, CacheStats{Hits: 7, DiskHits: 2, Misses: 5, Evictions: 1, Entries: 4, Bytes: 2048, BudgetBytes: 1 << 20})
 
 	const golden = `# HELP aosd_queue_depth Simulation jobs waiting for a worker.
 # TYPE aosd_queue_depth gauge
 aosd_queue_depth 3
+# HELP aosd_queue_capacity Configured pending-job queue bound.
+# TYPE aosd_queue_capacity gauge
+aosd_queue_capacity 8
 # HELP aosd_inflight_jobs Simulation jobs currently executing.
 # TYPE aosd_inflight_jobs gauge
 aosd_inflight_jobs 2
@@ -271,6 +340,9 @@ aosd_cache_entries 4
 # HELP aosd_cache_bytes Bytes resident in memory.
 # TYPE aosd_cache_bytes gauge
 aosd_cache_bytes 2048
+# HELP aosd_cache_budget_bytes Configured in-memory LRU byte budget.
+# TYPE aosd_cache_budget_bytes gauge
+aosd_cache_budget_bytes 1048576
 # HELP aosd_cache_hit_rate Hits over lookups since start.
 # TYPE aosd_cache_hit_rate gauge
 aosd_cache_hit_rate 0.5833333333333334
@@ -289,6 +361,9 @@ aosd_telemetry_samples_total 120
 # HELP aosd_sse_streams Live job event streams.
 # TYPE aosd_sse_streams gauge
 aosd_sse_streams 1
+# HELP aosd_sse_dropped_frames_total Frames dropped on full subscriber buffers.
+# TYPE aosd_sse_dropped_frames_total counter
+aosd_sse_dropped_frames_total 2
 # HELP aosd_job_wall_seconds Wall time of finished jobs.
 # TYPE aosd_job_wall_seconds histogram
 aosd_job_wall_seconds_bucket{le="0.005"} 0
@@ -308,6 +383,83 @@ aosd_job_wall_seconds_bucket{le="120"} 4
 aosd_job_wall_seconds_bucket{le="+Inf"} 4
 aosd_job_wall_seconds_sum 2.74
 aosd_job_wall_seconds_count 4
+# HELP aosd_http_requests_total HTTP requests by endpoint and status class.
+# TYPE aosd_http_requests_total counter
+aosd_http_requests_total{endpoint="submit",class="2xx"} 2
+aosd_http_requests_total{endpoint="submit",class="3xx"} 0
+aosd_http_requests_total{endpoint="submit",class="4xx"} 1
+aosd_http_requests_total{endpoint="submit",class="5xx"} 1
+aosd_http_requests_total{endpoint="metrics",class="2xx"} 1
+aosd_http_requests_total{endpoint="metrics",class="3xx"} 0
+aosd_http_requests_total{endpoint="metrics",class="4xx"} 0
+aosd_http_requests_total{endpoint="metrics",class="5xx"} 0
+aosd_http_requests_total{endpoint="other",class="2xx"} 0
+aosd_http_requests_total{endpoint="other",class="3xx"} 0
+aosd_http_requests_total{endpoint="other",class="4xx"} 1
+aosd_http_requests_total{endpoint="other",class="5xx"} 0
+# HELP aosd_http_request_seconds Request latency by endpoint (pinned buckets).
+# TYPE aosd_http_request_seconds histogram
+aosd_http_request_seconds_bucket{endpoint="submit",le="0.001"} 0
+aosd_http_request_seconds_bucket{endpoint="submit",le="0.0025"} 1
+aosd_http_request_seconds_bucket{endpoint="submit",le="0.005"} 2
+aosd_http_request_seconds_bucket{endpoint="submit",le="0.01"} 2
+aosd_http_request_seconds_bucket{endpoint="submit",le="0.025"} 2
+aosd_http_request_seconds_bucket{endpoint="submit",le="0.05"} 3
+aosd_http_request_seconds_bucket{endpoint="submit",le="0.1"} 4
+aosd_http_request_seconds_bucket{endpoint="submit",le="0.25"} 4
+aosd_http_request_seconds_bucket{endpoint="submit",le="0.5"} 4
+aosd_http_request_seconds_bucket{endpoint="submit",le="1"} 4
+aosd_http_request_seconds_bucket{endpoint="submit",le="2.5"} 4
+aosd_http_request_seconds_bucket{endpoint="submit",le="5"} 4
+aosd_http_request_seconds_bucket{endpoint="submit",le="10"} 4
+aosd_http_request_seconds_bucket{endpoint="submit",le="30"} 4
+aosd_http_request_seconds_bucket{endpoint="submit",le="+Inf"} 4
+aosd_http_request_seconds_sum{endpoint="submit"} 0.14600000000000002
+aosd_http_request_seconds_count{endpoint="submit"} 4
+aosd_http_request_seconds_bucket{endpoint="metrics",le="0.001"} 1
+aosd_http_request_seconds_bucket{endpoint="metrics",le="0.0025"} 1
+aosd_http_request_seconds_bucket{endpoint="metrics",le="0.005"} 1
+aosd_http_request_seconds_bucket{endpoint="metrics",le="0.01"} 1
+aosd_http_request_seconds_bucket{endpoint="metrics",le="0.025"} 1
+aosd_http_request_seconds_bucket{endpoint="metrics",le="0.05"} 1
+aosd_http_request_seconds_bucket{endpoint="metrics",le="0.1"} 1
+aosd_http_request_seconds_bucket{endpoint="metrics",le="0.25"} 1
+aosd_http_request_seconds_bucket{endpoint="metrics",le="0.5"} 1
+aosd_http_request_seconds_bucket{endpoint="metrics",le="1"} 1
+aosd_http_request_seconds_bucket{endpoint="metrics",le="2.5"} 1
+aosd_http_request_seconds_bucket{endpoint="metrics",le="5"} 1
+aosd_http_request_seconds_bucket{endpoint="metrics",le="10"} 1
+aosd_http_request_seconds_bucket{endpoint="metrics",le="30"} 1
+aosd_http_request_seconds_bucket{endpoint="metrics",le="+Inf"} 1
+aosd_http_request_seconds_sum{endpoint="metrics"} 0.0005
+aosd_http_request_seconds_count{endpoint="metrics"} 1
+aosd_http_request_seconds_bucket{endpoint="other",le="0.001"} 1
+aosd_http_request_seconds_bucket{endpoint="other",le="0.0025"} 1
+aosd_http_request_seconds_bucket{endpoint="other",le="0.005"} 1
+aosd_http_request_seconds_bucket{endpoint="other",le="0.01"} 1
+aosd_http_request_seconds_bucket{endpoint="other",le="0.025"} 1
+aosd_http_request_seconds_bucket{endpoint="other",le="0.05"} 1
+aosd_http_request_seconds_bucket{endpoint="other",le="0.1"} 1
+aosd_http_request_seconds_bucket{endpoint="other",le="0.25"} 1
+aosd_http_request_seconds_bucket{endpoint="other",le="0.5"} 1
+aosd_http_request_seconds_bucket{endpoint="other",le="1"} 1
+aosd_http_request_seconds_bucket{endpoint="other",le="2.5"} 1
+aosd_http_request_seconds_bucket{endpoint="other",le="5"} 1
+aosd_http_request_seconds_bucket{endpoint="other",le="10"} 1
+aosd_http_request_seconds_bucket{endpoint="other",le="30"} 1
+aosd_http_request_seconds_bucket{endpoint="other",le="+Inf"} 1
+aosd_http_request_seconds_sum{endpoint="other"} 0.001
+aosd_http_request_seconds_count{endpoint="other"} 1
+# HELP aosd_http_availability Fraction of requests answered without a 5xx, since start.
+# TYPE aosd_http_availability gauge
+aosd_http_availability{endpoint="submit"} 0.75
+aosd_http_availability{endpoint="metrics"} 1
+aosd_http_availability{endpoint="other"} 1
+# HELP aosd_slo_error_budget_burn Error rate over the availability error budget (1.0 = burning exactly the budget).
+# TYPE aosd_slo_error_budget_burn gauge
+aosd_slo_error_budget_burn{endpoint="submit"} 0.5
+aosd_slo_error_budget_burn{endpoint="metrics"} 0
+aosd_slo_error_budget_burn{endpoint="other"} 0
 `
 	if got := buf.String(); got != golden {
 		t.Fatalf("metrics exposition drifted.\n--- got ---\n%s\n--- want ---\n%s", got, golden)

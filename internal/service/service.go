@@ -13,11 +13,14 @@
 //
 //	POST /v1/jobs                  submit a spec; 202 while scheduled, 200 from cache
 //	GET  /v1/jobs/{id}             poll a job (id = spec hash)
+//	GET  /v1/jobs/{id}/events      SSE progress stream
+//	GET  /v1/jobs/{id}/trace       merged Perfetto doc: job spans + sim timeline
+//	GET  /v1/traces/{id}           span tree of any recent trace
 //	GET  /v1/results?...           synchronous cached lookup (runs on miss)
 //	GET  /v1/experiments/fig14     figure composed from per-cell cached results
 //	GET  /v1/experiments/fig18     traffic figure, same cells
 //	GET  /healthz                  liveness
-//	GET  /metrics                  Prometheus text exposition
+//	GET  /metrics                  Prometheus text exposition (incl. per-endpoint SLO series)
 package service
 
 import (
@@ -39,6 +42,7 @@ import (
 	"aos/internal/sampling"
 	"aos/internal/stats"
 	"aos/internal/telemetry"
+	"aos/internal/tracespan"
 )
 
 // Job lifecycle states.
@@ -84,6 +88,17 @@ type Config struct {
 	// Logger receives the service's structured logs; every job-scoped
 	// record carries the job's correlation ID. Nil discards.
 	Logger *slog.Logger
+	// Tracing enables the distributed-tracing layer: W3C traceparent
+	// propagation at the HTTP edge and per-job span trees (queue wait,
+	// cache lookup, execution, composition) served as Perfetto documents
+	// from /v1/jobs/{id}/trace and /v1/traces/{id}. Disabled (false),
+	// the instrumentation is a nil-pointer no-op: results are
+	// byte-identical and the span call sites never allocate.
+	Tracing bool
+	// SLOAvailability is the availability objective the error-budget
+	// burn gauges are computed against (0 uses 0.99). Availability
+	// counts 5xx responses as errors; shed load (429) is not an error.
+	SLOAvailability float64
 }
 
 // job is one scheduled simulation, identified by its spec hash. Fields
@@ -109,6 +124,15 @@ type job struct {
 	// path can never double-close.
 	events *broadcaster
 	finish sync.Once
+
+	// trace is the job's span tree (nil with tracing off — every span
+	// call site is then a no-op); queueSpan is the admission-to-worker
+	// wait span, open from submission until runJob starts. timeline is
+	// the run's flight-recorder timeline when telemetry was on, kept so
+	// /v1/jobs/{id}/trace can merge spans and sim slices.
+	trace     *tracespan.Trace
+	queueSpan *tracespan.Span
+	timeline  *telemetry.Timeline
 }
 
 // Server is the aosd daemon core, embeddable in tests via Handler.
@@ -131,6 +155,10 @@ type Server struct {
 
 	mu   sync.Mutex
 	jobs map[string]*job
+	// traces is the recent-trace ring (trace.go): traceIDs keeps FIFO
+	// order for eviction at maxTraces.
+	traces   map[string]*tracespan.Trace
+	traceIDs []string
 }
 
 // New builds a Server (starting its worker pool) from cfg.
@@ -155,7 +183,7 @@ func New(cfg Config) (*Server, error) {
 		cfg:         cfg,
 		pool:        runner.NewPool(cfg.Workers, cfg.QueueDepth),
 		cache:       cache,
-		metrics:     &metrics{},
+		metrics:     &metrics{sloObjective: cfg.SLOAvailability},
 		baseCtx:     baseCtx,
 		baseCancel:  baseCancel,
 		log:         logger,
@@ -163,14 +191,19 @@ func New(cfg Config) (*Server, error) {
 		jobs:        make(map[string]*job),
 		checkpoints: sampling.NewStore(),
 	}
+	// Pool workers bracket every task with records carrying the job's
+	// correlation id, continuing the trail the service layer starts.
+	s.pool.SetLogger(logger)
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
-	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
-	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
-	mux.HandleFunc("GET /v1/results", s.handleResults)
-	mux.HandleFunc("GET /v1/experiments/{fig}", s.handleExperiment)
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("POST /v1/jobs", s.route("submit", s.handleSubmit))
+	mux.HandleFunc("GET /v1/jobs/{id}", s.route("job", s.handleJob))
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.route("events", s.handleJobEvents))
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.route("job_trace", s.handleJobTrace))
+	mux.HandleFunc("GET /v1/traces/{id}", s.route("trace", s.handleTraceByID))
+	mux.HandleFunc("GET /v1/results", s.route("results", s.handleResults))
+	mux.HandleFunc("GET /v1/experiments/{fig}", s.route("experiment", s.handleExperiment))
+	mux.HandleFunc("GET /healthz", s.route("healthz", s.handleHealthz))
+	mux.HandleFunc("GET /metrics", s.route("metrics", s.handleMetrics))
 	s.mux = mux
 	return s, nil
 }
@@ -218,10 +251,18 @@ func (s *Server) normalize(spec experiments.SimSpec) (experiments.SimSpec, error
 // into an already-done job. Failed or canceled jobs are replaced on
 // resubmission (retry semantics). The caller must pair a non-pinned
 // acquisition with release().
-func (s *Server) getOrSubmit(spec experiments.SimSpec, pinned bool) (j *job, fresh bool, err error) {
+//
+// tr, when non-nil, is the submitting request's trace: the admission
+// decision is recorded as a cache-lookup span (hit attribute included),
+// and a freshly scheduled job adopts the trace — its queue wait and
+// execution spans then land in the same tree. The first submitter's
+// trace wins; joins of a live job only record their lookup span.
+func (s *Server) getOrSubmit(spec experiments.SimSpec, pinned bool, tr *tracespan.Trace) (j *job, fresh bool, err error) {
 	id := spec.Hash()
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	lookup := tr.StartSpan("service_cache_lookup")
+	defer lookup.End()
 	if j, ok := s.jobs[id]; ok && j.status != statusFailed && j.status != statusCanceled {
 		if j.status == statusDone {
 			// Route the lookup through the cache so the hit is counted
@@ -232,6 +273,8 @@ func (s *Server) getOrSubmit(spec experiments.SimSpec, pinned bool) (j *job, fre
 				j.result = b
 			}
 		}
+		lookup.SetAttr("hit", 1)
+		lookup.SetAttrStr("job", id)
 		if pinned {
 			j.pinned = true
 		} else {
@@ -240,11 +283,15 @@ func (s *Server) getOrSubmit(spec experiments.SimSpec, pinned bool) (j *job, fre
 		return j, false, nil
 	}
 	if b, ok := s.cache.Get(id); ok {
+		lookup.SetAttr("hit", 1)
+		lookup.SetAttrStr("job", id)
 		j := &job{id: id, spec: spec, status: statusDone, result: b, done: make(chan struct{})}
 		close(j.done)
 		s.jobs[id] = j
 		return j, false, nil
 	}
+	lookup.SetAttr("hit", 0)
+	lookup.SetAttrStr("job", id)
 	ctx, cancel := context.WithCancel(s.baseCtx)
 	if s.cfg.JobTimeout > 0 {
 		inner := ctx
@@ -254,16 +301,20 @@ func (s *Server) getOrSubmit(spec experiments.SimSpec, pinned bool) (j *job, fre
 		cancel = func() { tcancel(); prev() }
 		ctx = inner
 	}
-	j = &job{id: id, spec: spec, status: statusQueued, done: make(chan struct{}), cancel: cancel, pinned: pinned, events: newBroadcaster()}
+	j = &job{id: id, spec: spec, status: statusQueued, done: make(chan struct{}), cancel: cancel, pinned: pinned,
+		events: newBroadcaster(s.metrics.observeSSEDrop), trace: tr}
+	j.queueSpan = tr.StartSpan("service_queue_wait")
 	if !pinned {
 		j.refs = 1
 	}
 	if err := s.pool.Submit(runner.Task{
+		ID:    id,
 		Label: spec.Benchmark + "/" + spec.Scheme,
 		Ctx:   ctx,
 		Run:   func(ctx context.Context) { s.runJob(ctx, j) },
 	}); err != nil {
 		cancel()
+		j.queueSpan.End()
 		return nil, false, err
 	}
 	s.jobs[id] = j
@@ -299,9 +350,15 @@ func (s *Server) runJob(ctx context.Context, j *job) {
 	log := s.jobLogger(j)
 	s.mu.Lock()
 	j.status = statusRunning
+	queueSpan := j.queueSpan
 	s.mu.Unlock()
+	queueSpan.End() // admission-to-worker wait is over
 	j.events.publish(jobEvent{Type: "status", Status: statusRunning})
 	log.Info("job started", "instructions", j.spec.Instructions, "seed", j.spec.Seed)
+
+	execSpan := j.trace.StartSpan("runner_execute")
+	execSpan.SetAttrStr("benchmark", j.spec.Benchmark)
+	execSpan.SetAttrStr("scheme", j.spec.Scheme)
 
 	start := time.Now()
 	defer func() {
@@ -309,13 +366,15 @@ func (s *Server) runJob(ctx context.Context, j *job) {
 			s.metrics.observePanic()
 			log.Error("job panicked", "panic", fmt.Sprint(v))
 			s.finishJob(j, statusFailed, fmt.Sprintf("internal error: job panicked: %v", v),
-				nil, time.Since(start), 0, nil)
+				nil, time.Since(start), 0, nil, nil)
 		}
 	}()
 
+	runSpan := j.trace.StartSpan("experiments_run")
 	res, tl, err := runSpecFull(ctx, j.spec, experiments.RunConfig{
 		TelemetryInterval: s.cfg.TelemetryInterval,
 		Checkpoints:       s.checkpoints,
+		JobID:             j.id,
 		OnProgress: func(done, total uint64) {
 			ev := jobEvent{Type: "progress", Done: done, Total: total}
 			if total > 0 {
@@ -325,6 +384,7 @@ func (s *Server) runJob(ctx context.Context, j *job) {
 			s.metrics.observeProgress()
 		},
 	})
+	runSpan.End()
 	wall := time.Since(start)
 
 	status := statusDone
@@ -344,11 +404,16 @@ func (s *Server) runJob(ctx context.Context, j *job) {
 		s.cache.Put(j.id, body)
 		cycles = res.Cycles
 	}
+	execSpan.SetAttrStr("status", status)
+	execSpan.SetAttr("cycles", cycles)
 	sum := tl.Summarize()
 	if sum != nil {
 		s.metrics.observeTelemetry(sum.Samples)
 	}
-	s.finishJob(j, status, msg, body, wall, cycles, sum)
+	s.finishJob(j, status, msg, body, wall, cycles, sum, tl)
+	if j.trace != nil {
+		log = log.With("trace", j.trace.TraceID().String())
+	}
 	switch status {
 	case statusDone:
 		log.Info("job finished", "wall", wall, "cycles", cycles)
@@ -361,17 +426,23 @@ func (s *Server) runJob(ctx context.Context, j *job) {
 // once: sync waiters via the done channel, SSE subscribers via the
 // terminal event frame. Safe to reach from both the normal path and
 // the panic recovery path.
-func (s *Server) finishJob(j *job, status, msg string, body []byte, wall time.Duration, cycles uint64, sum *telemetry.Summary) {
+func (s *Server) finishJob(j *job, status, msg string, body []byte, wall time.Duration, cycles uint64, sum *telemetry.Summary, tl *telemetry.Timeline) {
 	s.mu.Lock()
 	j.status = status
 	j.errMsg = msg
 	j.result = body
 	j.wall = wall
 	j.summary = sum
+	if tl != nil {
+		j.timeline = tl
+	}
 	if j.cancel != nil {
 		j.cancel() // release the timeout timer
 	}
 	s.mu.Unlock()
+	// Sweep open spans (panic and cancellation paths cannot be trusted
+	// to End cleanly) so the exported tree never carries open spans.
+	j.trace.EndOpen()
 	s.metrics.observeJob(status, wall, cycles)
 	j.finish.Do(func() {
 		j.events.publish(jobEvent{Type: "done", Status: status, Error: msg, WallSeconds: wall.Seconds()})
@@ -400,6 +471,19 @@ type jobDoc struct {
 	// Telemetry is the flight-recorder digest for sampled fresh runs
 	// (absent when telemetry is off or the result came from cache).
 	Telemetry *telemetry.Summary `json:"telemetry,omitempty"`
+	// TraceID identifies the job's span tree when tracing is on; fetch
+	// the merged Perfetto document from /v1/jobs/{id}/trace.
+	TraceID string `json:"trace_id,omitempty"`
+}
+
+// jobTraceID snapshots the job's trace id, "" when untraced.
+func (s *Server) jobTraceID(j *job) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j.trace == nil {
+		return ""
+	}
+	return j.trace.TraceID().String()
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -465,7 +549,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	s.metrics.render(w, s.pool.Queued(), s.pool.InFlight(), s.cache.Stats())
+	s.metrics.render(w, s.pool.Queued(), s.cfg.QueueDepth, s.pool.InFlight(), s.cache.Stats())
 }
 
 // handleSubmit accepts a job spec and schedules it (or answers from
@@ -483,7 +567,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	j, fresh, err := s.getOrSubmit(spec, true)
+	tr := s.traceFor(r)
+	ingress := tr.StartSpan("service_ingress")
+	ingress.SetAttrStr("endpoint", "submit")
+	defer ingress.End()
+	echoTraceparent(w, tr)
+	j, fresh, err := s.getOrSubmit(spec, true, tr)
 	if errors.Is(err, runner.ErrQueueFull) || errors.Is(err, runner.ErrPoolClosed) {
 		s.writeBackpressure(w)
 		return
@@ -493,7 +582,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	status, errMsg, result, wall, sum := s.snapshot(j)
-	doc := jobDoc{ID: j.id, Spec: j.spec, Status: status, Error: errMsg, WallSeconds: wall.Seconds(), Telemetry: sum}
+	doc := jobDoc{ID: j.id, Spec: j.spec, Status: status, Error: errMsg, WallSeconds: wall.Seconds(),
+		Telemetry: sum, TraceID: s.jobTraceID(j)}
 	code := http.StatusAccepted
 	if status == statusDone {
 		code = http.StatusOK
@@ -517,6 +607,7 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, jobDoc{
 		ID: j.id, Spec: j.spec, Status: status, Error: errMsg,
 		WallSeconds: wall.Seconds(), Result: result, Telemetry: sum,
+		TraceID: s.jobTraceID(j),
 	})
 }
 
@@ -682,14 +773,23 @@ func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	tr := s.traceFor(r)
+	ingress := tr.StartSpan("service_ingress")
+	ingress.SetAttrStr("endpoint", "results")
+	defer ingress.End()
+	echoTraceparent(w, tr)
 	id := spec.Hash()
 	if b, ok := s.cache.Get(id); ok {
+		lookup := tr.StartSpan("service_cache_lookup")
+		lookup.SetAttr("hit", 1)
+		lookup.SetAttrStr("job", id)
+		lookup.End()
 		w.Header().Set("Content-Type", "application/json")
 		w.Header().Set("X-Cache", "hit")
 		_, _ = w.Write(b)
 		return
 	}
-	j, _, err := s.getOrSubmit(spec, false)
+	j, _, err := s.getOrSubmit(spec, false, tr)
 	if errors.Is(err, runner.ErrQueueFull) || errors.Is(err, runner.ErrPoolClosed) {
 		s.writeBackpressure(w)
 		return
@@ -729,6 +829,9 @@ type figDoc struct {
 	CachedCells  int                `json:"cached_cells"`
 	Rows         []figRow           `json:"rows"`
 	Geomean      map[string]float64 `json:"geomean"`
+	// TraceID names the composition's span tree when tracing is on
+	// (GET /v1/traces/{trace_id} serves it).
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 type figRow struct {
@@ -765,6 +868,12 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "experiments take insts/seed/sanitize only; benchmark and scheme are fixed by the matrix")
 		return
 	}
+	tr := s.traceFor(r)
+	ingress := tr.StartSpan("service_ingress")
+	ingress.SetAttrStr("endpoint", "experiment")
+	ingress.SetAttrStr("fig", fig)
+	defer ingress.End()
+	echoTraceparent(w, tr)
 
 	var specs []experiments.SimSpec
 	for _, p := range experiments.MatrixBenchmarks() {
@@ -780,15 +889,22 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 			specs = append(specs, spec)
 		}
 	}
+	compose := tr.StartSpan("experiments_compose")
+	compose.SetAttrStr("fig", fig)
+	compose.SetAttr("cells", uint64(len(specs)))
 	cells, cachedCells, err := s.collect(r.Context(), specs)
 	if errors.Is(err, runner.ErrQueueFull) || errors.Is(err, runner.ErrPoolClosed) {
+		compose.End()
 		s.writeBackpressure(w)
 		return
 	}
 	if err != nil {
+		compose.End()
 		writeError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
+	compose.SetAttr("cached_cells", uint64(cachedCells))
+	compose.End()
 
 	doc := figDoc{
 		Schema:       "aosd/" + fig + "/v1",
@@ -797,6 +913,9 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 		Cells:        len(specs),
 		CachedCells:  cachedCells,
 		Geomean:      map[string]float64{},
+	}
+	if tr != nil {
+		doc.TraceID = tr.TraceID().String()
 	}
 	series := map[string][]float64{}
 	baselineName := instrument.Baseline.String()
@@ -860,7 +979,10 @@ func (s *Server) collect(ctx context.Context, specs []experiments.SimSpec) (map[
 			continue
 		}
 		for {
-			j, _, err := s.getOrSubmit(spec, false)
+			// Cell jobs run untraced: a 16x5 composition would blow the
+			// request trace's span budget; the compose span carries the
+			// aggregate instead.
+			j, _, err := s.getOrSubmit(spec, false, nil)
 			if err == nil {
 				pending = append(pending, j)
 				break

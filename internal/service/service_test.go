@@ -649,7 +649,7 @@ func TestCloseDrains(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if _, _, err := svc.getOrSubmit(spec, true); err != nil {
+		if _, _, err := svc.getOrSubmit(spec, true, nil); err != nil {
 			t.Fatal(err)
 		}
 	}

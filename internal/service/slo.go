@@ -1,0 +1,188 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// sloBuckets are the per-endpoint request-latency histogram bounds in
+// seconds. Pinned: dashboards and the aosload SLO verdict interpolate
+// percentiles from these exact boundaries, so changing them is a
+// breaking change to every recorded burn-rate panel (the golden metrics
+// test will fail loudly if they drift).
+var sloBuckets = []float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30}
+
+// defaultSLOAvailability is the availability objective used when the
+// config leaves it zero: 99% of requests answered without a 5xx.
+const defaultSLOAvailability = 0.99
+
+// sloEndpoints is the fixed endpoint vocabulary, in exposition order.
+// Every routed handler observes under exactly one of these labels; an
+// unknown label is a programming error and is folded into "other" so a
+// typo cannot grow unbounded series.
+var sloEndpoints = []string{
+	"submit", "job", "events", "job_trace", "trace",
+	"results", "experiment", "healthz", "metrics", "other",
+}
+
+// statusClasses label HTTP status families on aosd_http_requests_total.
+var statusClasses = []string{"2xx", "3xx", "4xx", "5xx"}
+
+// endpointStats accumulates one endpoint's SLO series. Guarded by the
+// owning metrics mutex.
+type endpointStats struct {
+	classes [4]uint64 // index (code/100)-2, clamped
+	buckets []uint64  // len(sloBuckets)+1, last is +Inf overflow
+	sum     float64
+	count   uint64
+}
+
+func (e *endpointStats) observe(code int, seconds float64) {
+	cls := code/100 - 2
+	if cls < 0 {
+		cls = 0
+	}
+	if cls > 3 {
+		cls = 3
+	}
+	e.classes[cls]++
+	if e.buckets == nil {
+		e.buckets = make([]uint64, len(sloBuckets)+1)
+	}
+	i := 0
+	for i < len(sloBuckets) && seconds > sloBuckets[i] {
+		i++
+	}
+	e.buckets[i]++
+	e.sum += seconds
+	e.count++
+}
+
+// errorRate is the 5xx fraction (0 for an untouched endpoint).
+func (e *endpointStats) errorRate() float64 {
+	if e.count == 0 {
+		return 0
+	}
+	return float64(e.classes[3]) / float64(e.count)
+}
+
+// observeHTTP records one finished request for the SLO layer.
+func (m *metrics) observeHTTP(endpoint string, code int, elapsed time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.http == nil {
+		m.http = make(map[string]*endpointStats, len(sloEndpoints))
+	}
+	known := false
+	for _, ep := range sloEndpoints {
+		if ep == endpoint {
+			known = true
+			break
+		}
+	}
+	if !known {
+		endpoint = "other"
+	}
+	e := m.http[endpoint]
+	if e == nil {
+		e = &endpointStats{}
+		m.http[endpoint] = e
+	}
+	e.observe(code, elapsed.Seconds())
+}
+
+// renderSLO writes the per-endpoint request series: status-class
+// counters, the pinned-bucket latency histogram, and the availability /
+// error-budget-burn gauges the soak job gates on. Only endpoints that
+// have seen traffic are emitted (in fixed vocabulary order), so the
+// exposition stays deterministic without carrying ~200 zero lines on an
+// idle daemon. Caller holds m.mu.
+func (m *metrics) renderSLO(w io.Writer) {
+	objective := m.sloObjective
+	if objective <= 0 || objective >= 1 {
+		objective = defaultSLOAvailability
+	}
+	var active []string
+	for _, ep := range sloEndpoints {
+		if e := m.http[ep]; e != nil && e.count > 0 {
+			active = append(active, ep)
+		}
+	}
+	if len(active) == 0 {
+		return
+	}
+
+	fmt.Fprintf(w, "# HELP aosd_http_requests_total HTTP requests by endpoint and status class.\n")
+	fmt.Fprintf(w, "# TYPE aosd_http_requests_total counter\n")
+	for _, ep := range active {
+		for i, cls := range statusClasses {
+			fmt.Fprintf(w, "aosd_http_requests_total{endpoint=%q,class=%q} %d\n", ep, cls, m.http[ep].classes[i])
+		}
+	}
+
+	fmt.Fprintf(w, "# HELP aosd_http_request_seconds Request latency by endpoint (pinned buckets).\n")
+	fmt.Fprintf(w, "# TYPE aosd_http_request_seconds histogram\n")
+	for _, ep := range active {
+		e := m.http[ep]
+		cum := uint64(0)
+		for i, le := range sloBuckets {
+			cum += e.buckets[i]
+			fmt.Fprintf(w, "aosd_http_request_seconds_bucket{endpoint=%q,le=\"%g\"} %d\n", ep, le, cum)
+		}
+		cum += e.buckets[len(sloBuckets)]
+		fmt.Fprintf(w, "aosd_http_request_seconds_bucket{endpoint=%q,le=\"+Inf\"} %d\n", ep, cum)
+		fmt.Fprintf(w, "aosd_http_request_seconds_sum{endpoint=%q} %g\n", ep, e.sum)
+		fmt.Fprintf(w, "aosd_http_request_seconds_count{endpoint=%q} %d\n", ep, e.count)
+	}
+
+	fmt.Fprintf(w, "# HELP aosd_http_availability Fraction of requests answered without a 5xx, since start.\n")
+	fmt.Fprintf(w, "# TYPE aosd_http_availability gauge\n")
+	for _, ep := range active {
+		fmt.Fprintf(w, "aosd_http_availability{endpoint=%q} %g\n", ep, 1-m.http[ep].errorRate())
+	}
+
+	fmt.Fprintf(w, "# HELP aosd_slo_error_budget_burn Error rate over the availability error budget (1.0 = burning exactly the budget).\n")
+	fmt.Fprintf(w, "# TYPE aosd_slo_error_budget_burn gauge\n")
+	for _, ep := range active {
+		fmt.Fprintf(w, "aosd_slo_error_budget_burn{endpoint=%q} %g\n", ep, m.http[ep].errorRate()/(1-objective))
+	}
+}
+
+// statusWriter captures the response status for SLO accounting while
+// passing streaming capabilities (http.Flusher, for SSE) through.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// Flush forwards to the underlying writer when it streams; the SSE
+// handler asserts for http.Flusher, so the wrapper must expose it.
+func (w *statusWriter) Flush() {
+	if fl, ok := w.ResponseWriter.(http.Flusher); ok {
+		fl.Flush()
+	}
+}
+
+// status returns the recorded code (200 when the handler never wrote).
+func (w *statusWriter) status() int {
+	if w.code == 0 {
+		return http.StatusOK
+	}
+	return w.code
+}

@@ -1,0 +1,136 @@
+package service
+
+import (
+	"context"
+	"net/http"
+	"time"
+
+	"aos/internal/telemetry"
+	"aos/internal/tracespan"
+)
+
+// maxTraces bounds the server's completed-trace ring: the most recent
+// traces stay retrievable through GET /v1/traces/{id}, older ones are
+// evicted FIFO. Job-attached traces additionally live as long as their
+// job does (GET /v1/jobs/{id}/trace reads the job, not the ring).
+const maxTraces = 256
+
+// parentKey carries the parsed incoming traceparent from the routing
+// middleware to the handler that decides to start a trace.
+type parentKey struct{}
+
+// route wraps an endpoint handler with the serving path's edge
+// instrumentation: per-endpoint SLO accounting (latency histogram,
+// status-class counters) and W3C trace-context extraction. The endpoint
+// label must come from the sloEndpoints vocabulary.
+func (s *Server) route(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		if s.cfg.Tracing {
+			if tp := r.Header.Get(tracespan.Header); tp != "" {
+				if sc, err := tracespan.ParseTraceparent(tp); err == nil {
+					r = r.WithContext(context.WithValue(r.Context(), parentKey{}, sc))
+				}
+			}
+		}
+		sw := &statusWriter{ResponseWriter: w}
+		h(sw, r)
+		s.metrics.observeHTTP(endpoint, sw.status(), time.Since(start))
+	}
+}
+
+// traceFor starts (and registers) a trace for the request, joining the
+// incoming traceparent when the middleware parsed one. With tracing
+// disabled it returns nil — the nil *Trace/*Span no-op contract makes
+// every downstream instrumentation site free in that case.
+func (s *Server) traceFor(r *http.Request) *tracespan.Trace {
+	if !s.cfg.Tracing {
+		return nil
+	}
+	var parent tracespan.SpanContext
+	if sc, ok := r.Context().Value(parentKey{}).(tracespan.SpanContext); ok {
+		parent = sc
+	}
+	tr := tracespan.New(parent)
+	s.mu.Lock()
+	if s.traces == nil {
+		s.traces = make(map[string]*tracespan.Trace, maxTraces)
+	}
+	id := tr.TraceID().String()
+	if _, dup := s.traces[id]; !dup {
+		s.traces[id] = tr
+		s.traceIDs = append(s.traceIDs, id)
+		if len(s.traceIDs) > maxTraces {
+			delete(s.traces, s.traceIDs[0])
+			s.traceIDs = s.traceIDs[1:]
+		}
+	}
+	s.mu.Unlock()
+	return tr
+}
+
+// echoTraceparent advertises the request's root span in the response,
+// so a client can follow its request into GET /v1/traces/{id} (and
+// chain further spans under it). Must run before the first write.
+func echoTraceparent(w http.ResponseWriter, tr *tracespan.Trace) {
+	if tr == nil {
+		return
+	}
+	w.Header().Set(tracespan.Header, tr.Context().Traceparent())
+}
+
+// handleJobTrace serves the merged Perfetto timeline for one job: the
+// serving-path span tree (queue wait, cache lookup, execution) on the
+// jobs thread plus the flight recorder's counter tracks and sim slices
+// when the run recorded telemetry. The document passes
+// telemetry.ValidateTraceJSON — the same validator CI runs on
+// simulator timelines.
+func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	var tr *tracespan.Trace
+	var tl *telemetry.Timeline
+	if ok {
+		tr = j.trace
+		tl = j.timeline
+	}
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job %q", id)
+		return
+	}
+	spans := tr.PerfettoSpans()
+	if tl == nil && len(spans) == 0 {
+		writeError(w, http.StatusNotFound,
+			"no trace recorded for job %q (enable tracing and/or telemetry and resubmit)", id)
+		return
+	}
+	short := id
+	if len(short) > 12 {
+		short = short[:12]
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = telemetry.WriteMergedTrace(w, "aosd job "+short, tl, spans)
+}
+
+// handleTraceByID serves the span tree of any recent trace (job-bound
+// or not — cache hits and figure compositions trace too) as a Perfetto
+// document.
+func (s *Server) handleTraceByID(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	tr := s.traces[id]
+	s.mu.Unlock()
+	if tr == nil {
+		writeError(w, http.StatusNotFound, "no such trace %q (tracing off, or evicted past the %d-trace ring)", id, maxTraces)
+		return
+	}
+	spans := tr.PerfettoSpans()
+	if len(spans) == 0 {
+		writeError(w, http.StatusNotFound, "trace %q recorded no spans", id)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = telemetry.WriteMergedTrace(w, "aosd trace "+id, nil, spans)
+}

@@ -1,0 +1,182 @@
+package service
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"aos/internal/telemetry"
+	"aos/internal/tracespan"
+)
+
+// getBody fetches a URL and returns status plus body bytes.
+func getBody(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, b
+}
+
+// TestTracingOffIsInert pins the zero-cost contract from the outside:
+// a daemon with tracing disabled serves results byte-identical to a
+// traced daemon (instrumentation never leaks into simulation output),
+// echoes no traceparent, and puts no trace_id in job documents. Real
+// simulations, no stubs — the comparison covers the whole pipeline.
+func TestTracingOffIsInert(t *testing.T) {
+	_, plain := newTestServer(t, Config{Workers: 2, QueueDepth: 8})
+	_, traced := newTestServer(t, Config{Workers: 2, QueueDepth: 8, Tracing: true})
+
+	const q = "/v1/results?benchmark=mcf&scheme=AOS&insts=20000&seed=7"
+	codeP, bodyP := getBody(t, plain.URL+q)
+	codeT, bodyT := getBody(t, traced.URL+q)
+	if codeP != http.StatusOK || codeT != http.StatusOK {
+		t.Fatalf("results status = %d (plain), %d (traced)", codeP, codeT)
+	}
+	if string(bodyP) != string(bodyT) {
+		t.Fatalf("tracing changed the simulation result:\nplain:  %s\ntraced: %s", bodyP, bodyT)
+	}
+
+	resp, doc := postJob(t, plain, `{"benchmark": "mcf", "scheme": "AOS", "instructions": 20000, "seed": 7}`)
+	if got := resp.Header.Get(tracespan.Header); got != "" {
+		t.Errorf("untraced daemon echoed traceparent %q", got)
+	}
+	if doc.TraceID != "" {
+		t.Errorf("untraced job doc carries trace_id %q", doc.TraceID)
+	}
+}
+
+// TestTraceparentPropagation drives a traced submission end to end: the
+// client's traceparent is joined (same trace id echoed back and recorded
+// in the job document), and the span tree is retrievable from
+// /v1/traces/{id} as a valid Perfetto document carrying the serving-path
+// span names.
+func TestTraceparentPropagation(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 8, Tracing: true})
+
+	const parent = "00-11223344556677889900aabbccddeeff-aaaaaaaaaaaaaaaa-01"
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/jobs",
+		strings.NewReader(`{"benchmark": "mcf", "scheme": "AOS", "instructions": 20000}`))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(tracespan.Header, parent)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+
+	echo := resp.Header.Get(tracespan.Header)
+	sc, err := tracespan.ParseTraceparent(echo)
+	if err != nil {
+		t.Fatalf("bad echoed traceparent %q: %v", echo, err)
+	}
+	if got := sc.TraceID.String(); got != "11223344556677889900aabbccddeeff" {
+		t.Fatalf("echoed trace id = %s, want the client's", got)
+	}
+	if sc.SpanID.String() == "aaaaaaaaaaaaaaaa" {
+		t.Fatal("echo repeats the client's span id; want the server's root span")
+	}
+	var doc jobDoc
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("bad job doc %s: %v", raw, err)
+	}
+	if doc.TraceID != "11223344556677889900aabbccddeeff" {
+		t.Fatalf("job doc trace_id = %q, want the joined trace", doc.TraceID)
+	}
+	pollJob(t, ts, doc.ID)
+
+	code, body := getBody(t, ts.URL+"/v1/traces/"+doc.TraceID)
+	if code != http.StatusOK {
+		t.Fatalf("GET /v1/traces/%s = %d: %s", doc.TraceID, code, body)
+	}
+	st, err := telemetry.ValidateTraceJSON(body)
+	if err != nil {
+		t.Fatalf("trace document invalid: %v", err)
+	}
+	for _, name := range []string{"service_ingress", "service_cache_lookup", "service_queue_wait", "runner_execute", "experiments_run"} {
+		found := false
+		for _, s := range st.SliceNames {
+			if s == name {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("span %q missing from trace (have %v)", name, st.SliceNames)
+		}
+	}
+}
+
+// TestJobTraceMergesSpansAndTimeline is the tentpole acceptance check: a
+// sampled, telemetry-recording job served by a traced daemon exposes ONE
+// Perfetto document at /v1/jobs/{id}/trace that carries both the job's
+// span tree and the flight recorder's counter tracks plus sim/* mode
+// slices — and that document passes the in-tree validator CI uses.
+func TestJobTraceMergesSpansAndTimeline(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 8, Tracing: true, TelemetryInterval: 2000})
+
+	_, doc := postJob(t, ts, `{"benchmark": "mcf", "scheme": "AOS", "instructions": 40000,
+		"sampling": {"windows": 4, "detail": 4000, "window": 2000, "gap": 4000}}`)
+	final := pollJob(t, ts, doc.ID)
+	if final.Status != statusDone {
+		t.Fatalf("job = %s (%s)", final.Status, final.Error)
+	}
+
+	code, body := getBody(t, ts.URL+"/v1/jobs/"+doc.ID+"/trace")
+	if code != http.StatusOK {
+		t.Fatalf("GET /v1/jobs/{id}/trace = %d: %s", code, body)
+	}
+	st, err := telemetry.ValidateTraceJSON(body)
+	if err != nil {
+		t.Fatalf("merged document invalid: %v", err)
+	}
+	if st.SimSlices == 0 {
+		t.Error("merged document has no sim/* mode slices")
+	}
+	if len(st.CounterTracks) == 0 {
+		t.Error("merged document has no counter tracks")
+	}
+	have := map[string]bool{}
+	for _, s := range st.SliceNames {
+		have[s] = true
+	}
+	for _, name := range []string{"service_queue_wait", "runner_execute", "experiments_run"} {
+		if !have[name] {
+			t.Errorf("job span %q missing from merged document (have %v)", name, st.SliceNames)
+		}
+	}
+	if !strings.Contains(string(body), `"jobs"`) {
+		t.Error("merged document missing the jobs thread metadata")
+	}
+}
+
+// TestMetricsExposesSLOSeries checks the live endpoint: after a handful
+// of requests the per-endpoint SLO series (status-class counters, pinned
+// latency histogram, availability and burn gauges) are scraped from
+// /metrics.
+func TestMetricsExposesSLOSeries(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 8})
+	if code, _ := getBody(t, ts.URL+"/healthz"); code != http.StatusOK {
+		t.Fatal("healthz failed")
+	}
+	text := getMetrics(t, ts) // observes healthz; the second scrape below sees metrics itself too
+	if !strings.Contains(text, `aosd_http_requests_total{endpoint="healthz",class="2xx"} 1`) {
+		t.Errorf("missing healthz request counter:\n%s", text)
+	}
+	text = getMetrics(t, ts)
+	for _, want := range []string{
+		`aosd_http_request_seconds_bucket{endpoint="metrics",le="+Inf"}`,
+		`aosd_http_availability{endpoint="healthz"} 1`,
+		`aosd_slo_error_budget_burn{endpoint="healthz"} 0`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("missing %q in /metrics", want)
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package telemetry
+
+import (
+	"bytes"
+	"testing"
+)
+
+// mergeFixture builds a tiny timeline: one counter probe, two sample
+// rows, one sim-mode slice.
+func mergeFixture(t *testing.T) *Timeline {
+	t.Helper()
+	reg := NewRegistry()
+	c := reg.Counter("cpu_test_events")
+	tl := NewTimeline(reg, 100)
+	c.Add(3)
+	tl.Sample(100, 50)
+	c.Add(4)
+	tl.Sample(200, 120)
+	tl.AddSlice("sim/detailed", 0, 200, map[string]uint64{"mode": 1, "insts": 120})
+	return tl
+}
+
+// TestWriteTraceEventsUnchangedBySpanSupport pins the refactor: with no
+// spans the merged writer must produce byte-identical output to the
+// original WriteTraceEvents path, so every existing timeline consumer
+// (CI greps, goldens, viewers) is untouched.
+func TestWriteTraceEventsUnchangedBySpanSupport(t *testing.T) {
+	tl := mergeFixture(t)
+	var legacy, merged bytes.Buffer
+	if err := tl.WriteTraceEvents(&legacy, "proc"); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteMergedTrace(&merged, "proc", tl, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(legacy.Bytes(), merged.Bytes()) {
+		t.Fatalf("span-less merged output diverged from WriteTraceEvents:\n%s\nvs\n%s",
+			legacy.String(), merged.String())
+	}
+	if bytes.Contains(legacy.Bytes(), []byte(`"jobs"`)) {
+		t.Fatal("span-less document must not declare a jobs thread")
+	}
+}
+
+// TestMergedTimelineAndSpansValidate checks the tentpole's merge
+// contract: sim slices and job spans land in one document that the
+// in-tree validator accepts, on separate threads.
+func TestMergedTimelineAndSpansValidate(t *testing.T) {
+	tl := mergeFixture(t)
+	spans := []SpanEvent{
+		{Name: "service_ingress", TsMicros: 0, Dur: 900,
+			Args: map[string]any{"span_id": "00f067aa0ba902b7"}},
+		{Name: "runner_execute", TsMicros: 40, Dur: 700,
+			Args: map[string]any{"parent_id": "00f067aa0ba902b7", "scheme": "aos"}},
+	}
+	var buf bytes.Buffer
+	if err := WriteMergedTrace(&buf, "aosd job abc", tl, spans); err != nil {
+		t.Fatal(err)
+	}
+	st, err := ValidateTraceJSON(buf.Bytes())
+	if err != nil {
+		t.Fatalf("validator rejected merged doc: %v\n%s", err, buf.String())
+	}
+	if st.SimSlices != 1 {
+		t.Fatalf("sim slices = %d, want 1", st.SimSlices)
+	}
+	if st.Slices != 3 {
+		t.Fatalf("slices = %d, want 3 (1 sim + 2 spans)", st.Slices)
+	}
+	if len(st.CounterTracks) != 1 || st.CounterTracks[0] != "cpu_test_events" {
+		t.Fatalf("counter tracks = %v", st.CounterTracks)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte(`"name": "jobs"`)) {
+		t.Fatal("jobs thread metadata missing from merged doc")
+	}
+}
+
+// TestMergedRejectsNothing ensures the degenerate call errors instead
+// of emitting an empty document.
+func TestMergedRejectsNothing(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteMergedTrace(&buf, "p", nil, nil); err == nil {
+		t.Fatal("want error for nil timeline + no spans")
+	}
+}

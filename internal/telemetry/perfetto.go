@@ -30,6 +30,7 @@ const (
 	tracePID        = 1
 	traceTIDCounter = 1 // counter tracks
 	traceTIDEpisode = 2 // duration slices (resize/drain episodes)
+	traceTIDJobs    = 3 // serving-path job spans (tracespan export)
 )
 
 // traceEvent is one entry of traceEvents. Field order here fixes
@@ -49,13 +50,41 @@ type traceDoc struct {
 	TraceEvents     []traceEvent `json:"traceEvents"`
 }
 
+// SpanEvent is one serving-path span, pre-rendered for the Perfetto
+// document: name, start and duration in trace microseconds, and the
+// span's attributes. tracespan produces these; this package only draws
+// them so job spans and simulator slices share one validated timeline.
+type SpanEvent struct {
+	Name     string
+	TsMicros uint64
+	Dur      uint64 // must be positive; the validator rejects dur <= 0
+	Args     map[string]any
+}
+
 // WriteTraceEvents writes the timeline as a Perfetto-loadable JSON
 // document. proc names the traced "process" (e.g. "aossim gcc/AOS").
 func (t *Timeline) WriteTraceEvents(w io.Writer, proc string) error {
 	if t == nil {
 		return fmt.Errorf("telemetry: nil timeline")
 	}
-	evs := make([]traceEvent, 0, 3+len(t.samples)*t.reg.Len()+len(t.slices))
+	return WriteMergedTrace(w, proc, t, nil)
+}
+
+// WriteMergedTrace writes one trace_event document holding both the
+// flight recorder's timeline (counter tracks on the probes thread,
+// sim/resize slices on the episodes thread) and the serving path's job
+// spans (a "jobs" thread). Either half may be absent: tl may be nil
+// when a job produced no telemetry, spans may be empty when tracing is
+// off — with no spans the output is byte-identical to WriteTraceEvents.
+func WriteMergedTrace(w io.Writer, proc string, tl *Timeline, spans []SpanEvent) error {
+	if tl == nil && len(spans) == 0 {
+		return fmt.Errorf("telemetry: nothing to write (nil timeline, no spans)")
+	}
+	n := 3 + len(spans)
+	if tl != nil {
+		n += len(tl.samples)*tl.reg.Len() + len(tl.slices)
+	}
+	evs := make([]traceEvent, 0, n)
 	evs = append(evs,
 		traceEvent{Name: "process_name", Ph: "M", PID: tracePID, TID: traceTIDCounter,
 			Args: map[string]any{"name": proc}},
@@ -64,41 +93,60 @@ func (t *Timeline) WriteTraceEvents(w io.Writer, proc string) error {
 		traceEvent{Name: "thread_name", Ph: "M", PID: tracePID, TID: traceTIDEpisode,
 			Args: map[string]any{"name": "episodes"}},
 	)
-	prev := make([]uint64, t.reg.Len())
-	for _, row := range t.samples {
-		for i, p := range t.reg.probes {
-			v := row.Values[i]
-			if p.kind != KindGauge {
-				v, prev[i] = v-prev[i], v
+	if len(spans) > 0 {
+		evs = append(evs, traceEvent{Name: "thread_name", Ph: "M", PID: tracePID,
+			TID: traceTIDJobs, Args: map[string]any{"name": "jobs"}})
+	}
+	if tl != nil {
+		prev := make([]uint64, tl.reg.Len())
+		for _, row := range tl.samples {
+			for i, p := range tl.reg.probes {
+				v := row.Values[i]
+				if p.kind != KindGauge {
+					v, prev[i] = v-prev[i], v
+				}
+				evs = append(evs, traceEvent{
+					Name: p.name, Ph: "C", Ts: row.Cycle,
+					PID: tracePID, TID: traceTIDCounter,
+					Args: map[string]any{"value": v},
+				})
 			}
+		}
+		for _, s := range tl.slices {
 			evs = append(evs, traceEvent{
-				Name: p.name, Ph: "C", Ts: row.Cycle,
-				PID: tracePID, TID: traceTIDCounter,
-				Args: map[string]any{"value": v},
+				Name: s.Name, Ph: "X", Ts: s.Start, Dur: s.Dur,
+				PID: tracePID, TID: traceTIDEpisode,
+				Args: sortedArgs(s.Args),
 			})
 		}
 	}
-	for _, s := range t.slices {
-		ev := traceEvent{
-			Name: s.Name, Ph: "X", Ts: s.Start, Dur: s.Dur,
-			PID: tracePID, TID: traceTIDEpisode,
-		}
-		if len(s.Args) > 0 {
-			// Sorted copy: deterministic bytes despite map args.
-			keys := make([]string, 0, len(s.Args))
-			for k := range s.Args { //aoslint:allow mapiter — keys are sorted before use
-				keys = append(keys, k)
-			}
-			sort.Strings(keys)
-			args := make(map[string]any, len(keys))
-			for _, k := range keys {
-				args[k] = s.Args[k]
-			}
-			ev.Args = args
-		}
-		evs = append(evs, ev)
+	for _, s := range spans {
+		evs = append(evs, traceEvent{
+			Name: s.Name, Ph: "X", Ts: s.TsMicros, Dur: s.Dur,
+			PID: tracePID, TID: traceTIDJobs,
+			Args: sortedArgs(s.Args),
+		})
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")
 	return enc.Encode(traceDoc{DisplayTimeUnit: "ms", TraceEvents: evs})
+}
+
+// sortedArgs copies args with keys in sorted insertion order so the
+// marshaled bytes are deterministic despite the map. Empty maps render
+// as an omitted args field.
+func sortedArgs[V any](in map[string]V) map[string]any {
+	if len(in) == 0 {
+		return nil
+	}
+	keys := make([]string, 0, len(in))
+	for k := range in { //aoslint:allow mapiter — keys are sorted before use
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	args := make(map[string]any, len(keys))
+	for _, k := range keys {
+		args[k] = in[k]
+	}
+	return args
 }

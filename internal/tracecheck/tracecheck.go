@@ -111,6 +111,11 @@ func (v Violation) String() string {
 type Error struct {
 	// Scheme is the protection scheme the stream was checked against.
 	Scheme instrument.Scheme
+	// Job is the serving layer's correlation id for the checked run
+	// (empty for batch runs). When set, every rendered message carries
+	// it so a violation in a daemon log can be joined back to the job's
+	// trace and event stream.
+	Job string
 	// Violations holds the recorded violations (capped; Total has the
 	// uncapped count).
 	Violations []Violation
@@ -119,23 +124,33 @@ type Error struct {
 	Total int
 }
 
+// jobTag renders the correlation prefix ("job <id> " or "").
+func (e *Error) jobTag() string {
+	if e.Job == "" {
+		return ""
+	}
+	return "job " + e.Job + " "
+}
+
 // Error implements error.
 func (e *Error) Error() string {
 	if len(e.Violations) == 0 {
-		return fmt.Sprintf("tracecheck: %d protocol violations under %s", e.Total, e.Scheme)
+		return fmt.Sprintf("tracecheck: %s%d protocol violations under %s", e.jobTag(), e.Total, e.Scheme)
 	}
-	s := fmt.Sprintf("tracecheck: %d protocol violation(s) under %s; first: %s",
-		e.Total, e.Scheme, e.Violations[0])
+	s := fmt.Sprintf("tracecheck: %s%d protocol violation(s) under %s; first: %s",
+		e.jobTag(), e.Total, e.Scheme, e.Violations[0])
 	if e.Total > 1 {
 		s += fmt.Sprintf(" (+%d more)", e.Total-1)
 	}
 	return s
 }
 
-// Report renders every recorded violation, one per line.
+// Report renders every recorded violation, one per line (each line
+// prefixed with the job correlation id when one is set).
 func (e *Error) Report() string {
 	var b strings.Builder
 	for _, v := range e.Violations {
+		b.WriteString(e.jobTag())
 		b.WriteString(v.String())
 		b.WriteByte('\n')
 	}
@@ -161,10 +176,10 @@ type shadowEntry struct {
 
 // pendingAlloc tracks a pacma awaiting its bndstr.
 type pendingAlloc struct {
-	pac  uint16
-	va   uint64
-	ahc  uint8
-	idx  uint64
+	pac uint16
+	va  uint64
+	ahc uint8
+	idx uint64
 }
 
 // freePhase is the position inside the Fig 7b free sequence.
@@ -185,6 +200,7 @@ const (
 // isa.Sink. Not safe for concurrent use; tee one Checker per stream.
 type Checker struct {
 	scheme instrument.Scheme
+	job    string // serving-layer correlation id; "" for batch runs
 	ct     *Contract
 	maxRec int
 
@@ -236,6 +252,11 @@ func New(scheme instrument.Scheme) *Checker {
 // ContractOf exposes the scheme's registered contract (its whitelist and
 // rule count), mainly for tests and tooling.
 func ContractOf(scheme instrument.Scheme) *Contract { return contractFor(scheme) }
+
+// SetJob attaches the serving layer's correlation id to the checker:
+// the Error it reports (and every Report line) then carries the id, so
+// sanitizer verdicts in daemon logs join the job's trail. Empty resets.
+func (c *Checker) SetJob(id string) { c.job = id }
 
 // SetMaxViolations adjusts the recording cap (minimum 1).
 func (c *Checker) SetMaxViolations(n int) {
@@ -310,7 +331,7 @@ func (c *Checker) Err() error {
 	if c.total == 0 {
 		return nil
 	}
-	return &Error{Scheme: c.scheme, Violations: c.violations, Total: c.total}
+	return &Error{Scheme: c.scheme, Job: c.job, Violations: c.violations, Total: c.total}
 }
 
 // Finish runs the contract's end-of-stream checks and returns all

@@ -1,6 +1,7 @@
 package tracecheck_test
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 	"testing"
@@ -433,5 +434,42 @@ func TestSchemeWorkloadSweep(t *testing.T) {
 				}
 			})
 		}
+	}
+}
+
+// TestJobCorrelationInMessages: a checker stamped with the serving
+// layer's job id renders it in its error and every report line, so a
+// violation in a daemon log joins the job's trace/event trail.
+func TestJobCorrelationInMessages(t *testing.T) {
+	c := tracecheck.New(instrument.Baseline)
+	c.SetJob("deadbeef01")
+	c.Emit(&isa.Inst{Op: isa.OpWDCheck, Dest: isa.RegNone, Src1: isa.RegNone, Src2: isa.RegNone})
+	c.Finish()
+	err := c.Err()
+	if err == nil {
+		t.Fatal("want a whitelist violation")
+	}
+	if msg := err.Error(); !strings.Contains(msg, "job deadbeef01") {
+		t.Fatalf("error message lacks job id: %q", msg)
+	}
+	var te *tracecheck.Error
+	if !errors.As(err, &te) {
+		t.Fatalf("err is %T, want *tracecheck.Error", err)
+	}
+	if te.Job != "deadbeef01" {
+		t.Fatalf("Error.Job = %q", te.Job)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(te.Report()), "\n") {
+		if !strings.Contains(line, "job deadbeef01") {
+			t.Fatalf("report line lacks job id: %q", line)
+		}
+	}
+
+	// Batch runs (no job id) keep the original message shape.
+	c2 := tracecheck.New(instrument.Baseline)
+	c2.Emit(&isa.Inst{Op: isa.OpWDCheck, Dest: isa.RegNone, Src1: isa.RegNone, Src2: isa.RegNone})
+	c2.Finish()
+	if msg := c2.Err().Error(); strings.Contains(msg, "job ") {
+		t.Fatalf("jobless error mentions a job: %q", msg)
 	}
 }

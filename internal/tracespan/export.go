@@ -1,0 +1,65 @@
+package tracespan
+
+import (
+	"time"
+
+	"aos/internal/telemetry"
+)
+
+// PerfettoSpans renders the trace's spans as telemetry span events,
+// ready for telemetry.WriteMergedTrace. Timestamps are wall-clock
+// microseconds relative to the earliest span start, so a job's span
+// tree starts at ts 0 like the simulator timeline it is merged with
+// (sim slices tick in cycle-time on their own threads; the jobs thread
+// ticks in wall time — the merge is by document, not by clock).
+//
+// Open spans are exported with their duration so far; zero-length
+// spans are widened to 1µs because the trace validator (and Perfetto
+// itself) rejects non-positive slice durations. Nil traces export nil.
+func (t *Trace) PerfettoSpans() []telemetry.SpanEvent {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.spans) == 0 {
+		return nil
+	}
+	epoch := t.spans[0].start
+	for _, s := range t.spans {
+		if s.start.Before(epoch) {
+			epoch = s.start
+		}
+	}
+	now := t.clock()
+	evs := make([]telemetry.SpanEvent, 0, len(t.spans))
+	for _, s := range t.spans {
+		end := s.end
+		if end.IsZero() {
+			end = now
+		}
+		dur := uint64(end.Sub(s.start) / time.Microsecond)
+		if dur == 0 {
+			dur = 1
+		}
+		args := make(map[string]any, len(s.attrs)+2)
+		args["span_id"] = s.id.String()
+		if s.parent.IsValid() {
+			args["parent_id"] = s.parent.String()
+		}
+		for _, a := range s.attrs {
+			if a.isNum {
+				args[a.key] = a.num
+			} else {
+				args[a.key] = a.str
+			}
+		}
+		evs = append(evs, telemetry.SpanEvent{
+			Name:     s.name,
+			TsMicros: uint64(s.start.Sub(epoch) / time.Microsecond),
+			Dur:      dur,
+			Args:     args,
+		})
+	}
+	return evs
+}

@@ -1,0 +1,192 @@
+package tracespan
+
+import (
+	"sync"
+	"time"
+)
+
+// maxSpans bounds a single trace's span storage. Serving-path traces
+// are a handful of spans (ingress, queue wait, cache lookup, execute,
+// compose); the cap only matters if instrumentation regresses into a
+// loop, and then losing spans beats losing the daemon.
+const maxSpans = 256
+
+// attr is one span attribute. Attributes keep insertion order so the
+// exported document is deterministic for a deterministic caller.
+type attr struct {
+	key   string
+	str   string
+	num   uint64
+	isNum bool
+}
+
+// Trace collects the spans of one traced request or job. The zero
+// pointer is the disabled tracer: every method on a nil *Trace (and on
+// the nil *Span StartSpan then returns) is an allocation-free no-op.
+type Trace struct {
+	mu      sync.Mutex
+	traceID TraceID
+	flags   byte
+	remote  SpanContext // incoming traceparent; zero when locally rooted
+	root    *Span
+	spans   []*Span
+	dropped int
+	now     func() time.Time // test hook; time.Now when nil
+}
+
+// New starts a trace. A valid parent (from an incoming traceparent
+// header) is joined: its trace id is reused and the first span started
+// on the trace becomes a child of the remote span. An invalid parent
+// starts a fresh locally-rooted trace.
+func New(parent SpanContext) *Trace {
+	t := &Trace{}
+	if parent.IsValid() {
+		t.traceID = parent.TraceID
+		t.remote = parent
+		t.flags = parent.Flags
+	} else {
+		t.traceID = newTraceID()
+		t.flags = FlagSampled
+	}
+	return t
+}
+
+// TraceID returns the trace's id; zero on a nil (disabled) trace.
+func (t *Trace) TraceID() TraceID {
+	if t == nil {
+		return TraceID{}
+	}
+	return t.traceID
+}
+
+// Context returns the propagation context callers should hand
+// downstream (and echo in response traceparent headers): the root
+// span's context once one exists, otherwise the bare trace identity.
+func (t *Trace) Context() SpanContext {
+	if t == nil {
+		return SpanContext{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	c := SpanContext{TraceID: t.traceID, Flags: t.flags}
+	if t.root != nil {
+		c.SpanID = t.root.id
+	}
+	return c
+}
+
+// StartSpan opens a span. The first span started becomes the trace's
+// root (child of the remote parent when the trace was joined); every
+// later span is a child of the root. On a nil trace it returns a nil
+// span without allocating.
+func (t *Trace) StartSpan(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := &Span{tr: t, name: name, id: newSpanID(), start: t.clock()}
+	if t.root == nil {
+		t.root = s
+		s.parent = t.remote.SpanID
+	} else {
+		s.parent = t.root.id
+	}
+	if len(t.spans) >= maxSpans {
+		t.dropped++
+		return s // still usable, just not exported
+	}
+	t.spans = append(t.spans, s)
+	return s
+}
+
+// Dropped reports spans discarded over the maxSpans cap.
+func (t *Trace) Dropped() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// EndOpen closes every span that is still open, stamping them with the
+// current time. The service calls it when a job finishes so panic or
+// cancellation paths cannot leak unfinished spans into the export.
+func (t *Trace) EndOpen() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := t.clock()
+	for _, s := range t.spans {
+		if s.end.IsZero() {
+			s.end = now
+		}
+	}
+}
+
+// clock must be called with t.mu held.
+func (t *Trace) clock() time.Time {
+	if t.now != nil {
+		return t.now()
+	}
+	return time.Now()
+}
+
+// Span is one timed operation inside a trace. All mutation goes through
+// the owning trace's lock, so a span may be ended by one goroutine
+// while another renders the trace.
+type Span struct {
+	tr     *Trace
+	name   string
+	id     SpanID
+	parent SpanID
+	start  time.Time
+	end    time.Time // zero while open
+	attrs  []attr
+}
+
+// Context returns the span's propagation context; zero on nil.
+func (s *Span) Context() SpanContext {
+	if s == nil {
+		return SpanContext{}
+	}
+	s.tr.mu.Lock()
+	defer s.tr.mu.Unlock()
+	return SpanContext{TraceID: s.tr.traceID, SpanID: s.id, Flags: s.tr.flags}
+}
+
+// SetAttr records a numeric attribute. No-op on nil.
+func (s *Span) SetAttr(key string, v uint64) {
+	if s == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	defer s.tr.mu.Unlock()
+	s.attrs = append(s.attrs, attr{key: key, num: v, isNum: true})
+}
+
+// SetAttrStr records a string attribute. No-op on nil.
+func (s *Span) SetAttrStr(key, v string) {
+	if s == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	defer s.tr.mu.Unlock()
+	s.attrs = append(s.attrs, attr{key: key, str: v})
+}
+
+// End closes the span. The first End wins; later calls (including the
+// trace-level EndOpen sweep) are no-ops, as is End on nil.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	defer s.tr.mu.Unlock()
+	if s.end.IsZero() {
+		s.end = s.tr.clock()
+	}
+}

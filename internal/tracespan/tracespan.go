@@ -1,0 +1,163 @@
+// Package tracespan is a stdlib-only distributed-tracing layer for the
+// serving path: W3C trace-context (traceparent) propagation at the HTTP
+// edge, per-job span trees through admission, queue wait, cache lookup,
+// pool execution and experiment composition, and a Perfetto export that
+// merges job spans with the flight recorder's microarchitectural
+// timeline (see telemetry.WriteMergedTrace).
+//
+// The layer is built to be free when disabled: a nil *Trace is a valid
+// receiver for every method, StartSpan on it returns a nil *Span whose
+// methods are likewise no-ops, and none of those paths allocate. The
+// service keeps a single nil Trace pointer when tracing is off, so the
+// instrumented code is identical either way and the disabled cost is a
+// handful of predictable nil checks.
+package tracespan
+
+import (
+	cryptorand "crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"sync/atomic"
+)
+
+// Header is the W3C trace-context request/response header name.
+const Header = "traceparent"
+
+// TraceID is the 16-byte trace identifier (32 lowercase hex digits on
+// the wire). The all-zero value is invalid per the W3C spec.
+type TraceID [16]byte
+
+// SpanID is the 8-byte span identifier (16 lowercase hex digits on the
+// wire). The all-zero value is invalid.
+type SpanID [8]byte
+
+// FlagSampled is the only trace-flag bit the spec defines.
+const FlagSampled = 0x01
+
+func (t TraceID) String() string { return hex.EncodeToString(t[:]) }
+func (s SpanID) String() string  { return hex.EncodeToString(s[:]) }
+
+// IsValid reports whether the id is non-zero.
+func (t TraceID) IsValid() bool { return t != TraceID{} }
+
+// IsValid reports whether the id is non-zero.
+func (s SpanID) IsValid() bool { return s != SpanID{} }
+
+// SpanContext is the propagated identity of one span: which trace it
+// belongs to, which span is the remote parent, and the trace flags.
+type SpanContext struct {
+	TraceID TraceID
+	SpanID  SpanID
+	Flags   byte
+}
+
+// IsValid reports whether both ids are non-zero, the W3C condition for
+// honoring an incoming traceparent.
+func (c SpanContext) IsValid() bool { return c.TraceID.IsValid() && c.SpanID.IsValid() }
+
+// Traceparent renders the context in W3C version-00 form:
+//
+//	00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01
+func (c SpanContext) Traceparent() string {
+	return fmt.Sprintf("00-%s-%s-%02x", c.TraceID, c.SpanID, c.Flags)
+}
+
+// ParseTraceparent parses a W3C traceparent header. Per the spec,
+// version ff is rejected, unknown versions are accepted if the
+// version-00 prefix parses, and all-zero trace or span ids are invalid.
+func ParseTraceparent(s string) (SpanContext, error) {
+	var c SpanContext
+	// version "-" traceid "-" spanid "-" flags, each field fixed width.
+	if len(s) < 55 {
+		return c, fmt.Errorf("tracespan: traceparent too short (%d bytes)", len(s))
+	}
+	if s[2] != '-' || s[35] != '-' || s[52] != '-' {
+		return c, fmt.Errorf("tracespan: traceparent has misplaced separators")
+	}
+	ver, err := hexField(s[0:2])
+	if err != nil {
+		return c, fmt.Errorf("tracespan: bad traceparent version: %w", err)
+	}
+	if ver[0] == 0xff {
+		return c, fmt.Errorf("tracespan: traceparent version ff is invalid")
+	}
+	if ver[0] == 0 && len(s) != 55 {
+		return c, fmt.Errorf("tracespan: version-00 traceparent must be 55 bytes, got %d", len(s))
+	}
+	tid, err := hexField(s[3:35])
+	if err != nil {
+		return c, fmt.Errorf("tracespan: bad trace-id: %w", err)
+	}
+	sid, err := hexField(s[36:52])
+	if err != nil {
+		return c, fmt.Errorf("tracespan: bad span-id: %w", err)
+	}
+	flags, err := hexField(s[53:55])
+	if err != nil {
+		return c, fmt.Errorf("tracespan: bad trace-flags: %w", err)
+	}
+	copy(c.TraceID[:], tid)
+	copy(c.SpanID[:], sid)
+	c.Flags = flags[0]
+	if !c.IsValid() {
+		return SpanContext{}, fmt.Errorf("tracespan: traceparent carries an all-zero trace or span id")
+	}
+	return c, nil
+}
+
+// hexField decodes a fixed-width lowercase-hex field. Uppercase is
+// rejected, as the spec requires.
+func hexField(s string) ([]byte, error) {
+	for i := 0; i < len(s); i++ {
+		ch := s[i]
+		if (ch < '0' || ch > '9') && (ch < 'a' || ch > 'f') {
+			return nil, fmt.Errorf("non-lowercase-hex byte %q", ch)
+		}
+	}
+	return hex.DecodeString(s)
+}
+
+// idState seeds span/trace id generation once from the OS entropy pool;
+// subsequent ids are drawn with a splitmix64 walk, which is cheap,
+// lock-free and collision-free within a process.
+var idState atomic.Uint64
+
+func init() {
+	var b [8]byte
+	if _, err := cryptorand.Read(b[:]); err == nil {
+		idState.Store(binary.LittleEndian.Uint64(b[:]))
+	} else {
+		// Entropy exhaustion is not worth failing startup for: ids only
+		// need process-local uniqueness, which the counter walk provides.
+		idState.Store(0x9e3779b97f4a7c15)
+	}
+}
+
+// nextID returns a non-zero pseudo-random 64-bit id.
+func nextID() uint64 {
+	for {
+		x := idState.Add(0x9e3779b97f4a7c15)
+		x ^= x >> 30
+		x *= 0xbf58476d1ce4e5b9
+		x ^= x >> 27
+		x *= 0x94d049bb133111eb
+		x ^= x >> 31
+		if x != 0 {
+			return x
+		}
+	}
+}
+
+func newTraceID() TraceID {
+	var t TraceID
+	binary.BigEndian.PutUint64(t[0:8], nextID())
+	binary.BigEndian.PutUint64(t[8:16], nextID())
+	return t
+}
+
+func newSpanID() SpanID {
+	var s SpanID
+	binary.BigEndian.PutUint64(s[:], nextID())
+	return s
+}

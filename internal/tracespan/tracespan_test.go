@@ -1,0 +1,220 @@
+package tracespan
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"aos/internal/telemetry"
+)
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	const hdr = "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	c, err := ParseTraceparent(hdr)
+	if err != nil {
+		t.Fatalf("ParseTraceparent: %v", err)
+	}
+	if got := c.Traceparent(); got != hdr {
+		t.Fatalf("round trip: got %q want %q", got, hdr)
+	}
+	if c.TraceID.String() != "4bf92f3577b34da6a3ce929d0e0e4736" {
+		t.Fatalf("trace id = %s", c.TraceID)
+	}
+	if c.SpanID.String() != "00f067aa0ba902b7" {
+		t.Fatalf("span id = %s", c.SpanID)
+	}
+	if c.Flags != FlagSampled {
+		t.Fatalf("flags = %#x", c.Flags)
+	}
+	if !c.IsValid() {
+		t.Fatal("context should be valid")
+	}
+}
+
+func TestTraceparentRejects(t *testing.T) {
+	cases := map[string]string{
+		"empty":            "",
+		"short":            "00-4bf92f",
+		"version ff":       "ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",
+		"uppercase hex":    "00-4BF92F3577B34DA6A3CE929D0E0E4736-00f067aa0ba902b7-01",
+		"zero trace id":    "00-00000000000000000000000000000000-00f067aa0ba902b7-01",
+		"zero span id":     "00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01",
+		"bad separators":   "00_4bf92f3577b34da6a3ce929d0e0e4736_00f067aa0ba902b7_01",
+		"v00 with trailer": "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-extra",
+	}
+	for name, hdr := range cases {
+		if _, err := ParseTraceparent(hdr); err == nil {
+			t.Errorf("%s: ParseTraceparent(%q) accepted, want error", name, hdr)
+		}
+	}
+	// Unknown (non-ff) versions are accepted if the 00-shaped prefix
+	// parses, per the W3C forward-compatibility rule.
+	future := "cc-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-what-ever"
+	if _, err := ParseTraceparent(future); err != nil {
+		t.Errorf("future version rejected: %v", err)
+	}
+}
+
+func TestSpanTree(t *testing.T) {
+	parent, err := ParseTraceparent("00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := New(parent)
+	if tr.TraceID() != parent.TraceID {
+		t.Fatalf("joined trace did not keep trace id: %s", tr.TraceID())
+	}
+	root := tr.StartSpan("service_ingress")
+	child := tr.StartSpan("service_cache_lookup")
+	child.SetAttr("hit", 1)
+	child.End()
+	root.End()
+
+	if root.Context().TraceID != parent.TraceID {
+		t.Fatal("root span in wrong trace")
+	}
+	if rc := tr.Context(); rc.SpanID != root.Context().SpanID {
+		t.Fatalf("trace context should carry the root span id, got %s", rc.SpanID)
+	}
+	evs := tr.PerfettoSpans()
+	if len(evs) != 2 {
+		t.Fatalf("got %d span events, want 2", len(evs))
+	}
+	if evs[0].Name != "service_ingress" || evs[1].Name != "service_cache_lookup" {
+		t.Fatalf("span order: %q, %q", evs[0].Name, evs[1].Name)
+	}
+	// The root joins the remote parent; the child parents to the root.
+	if evs[0].Args["parent_id"] != parent.SpanID.String() {
+		t.Fatalf("root parent_id = %v, want remote span id", evs[0].Args["parent_id"])
+	}
+	if evs[1].Args["parent_id"] != root.Context().SpanID.String() {
+		t.Fatalf("child parent_id = %v, want root span id", evs[1].Args["parent_id"])
+	}
+	if evs[1].Args["hit"] != uint64(1) {
+		t.Fatalf("attr hit = %v", evs[1].Args["hit"])
+	}
+}
+
+func TestLocalRootAndFreshIDs(t *testing.T) {
+	a, b := New(SpanContext{}), New(SpanContext{})
+	if !a.TraceID().IsValid() || !b.TraceID().IsValid() {
+		t.Fatal("fresh traces must have valid ids")
+	}
+	if a.TraceID() == b.TraceID() {
+		t.Fatal("two fresh traces share a trace id")
+	}
+	root := a.StartSpan("service_ingress")
+	if !root.Context().IsValid() {
+		t.Fatal("root span context must be valid")
+	}
+	evs := a.PerfettoSpans()
+	if _, has := evs[0].Args["parent_id"]; has {
+		t.Fatal("locally-rooted span must not carry a parent_id")
+	}
+}
+
+func TestEndSemantics(t *testing.T) {
+	now := time.Unix(0, 0)
+	tr := New(SpanContext{})
+	tr.now = func() time.Time { return now }
+
+	sp := tr.StartSpan("service_ingress")
+	now = now.Add(5 * time.Millisecond)
+	sp.End()
+	now = now.Add(time.Hour)
+	sp.End() // second End must not move the stamp
+	open := tr.StartSpan("runner_execute")
+	_ = open
+	now = now.Add(3 * time.Millisecond)
+	tr.EndOpen()
+
+	evs := tr.PerfettoSpans()
+	if evs[0].Dur != 5000 {
+		t.Fatalf("ended span dur = %dµs, want 5000", evs[0].Dur)
+	}
+	if evs[1].Dur != 3000 {
+		t.Fatalf("EndOpen span dur = %dµs, want 3000", evs[1].Dur)
+	}
+	if evs[0].TsMicros != 0 {
+		t.Fatalf("epoch-relative ts = %d, want 0", evs[0].TsMicros)
+	}
+}
+
+func TestZeroDurationWidened(t *testing.T) {
+	now := time.Unix(42, 0)
+	tr := New(SpanContext{})
+	tr.now = func() time.Time { return now }
+	tr.StartSpan("service_ingress").End()
+	if d := tr.PerfettoSpans()[0].Dur; d != 1 {
+		t.Fatalf("zero-length span exported dur %d, want 1 (validator floor)", d)
+	}
+}
+
+func TestSpanCap(t *testing.T) {
+	tr := New(SpanContext{})
+	for i := 0; i < maxSpans+10; i++ {
+		tr.StartSpan("service_ingress").End()
+	}
+	if got := len(tr.PerfettoSpans()); got != maxSpans {
+		t.Fatalf("exported %d spans, want cap %d", got, maxSpans)
+	}
+	if tr.Dropped() != 10 {
+		t.Fatalf("dropped = %d, want 10", tr.Dropped())
+	}
+}
+
+// TestDisabledTraceIsFree pins the tentpole's zero-cost contract: with
+// tracing off the service holds a nil *Trace, and every instrumentation
+// call on it must not allocate.
+func TestDisabledTraceIsFree(t *testing.T) {
+	var tr *Trace
+	allocs := testing.AllocsPerRun(1000, func() {
+		sp := tr.StartSpan("service_ingress")
+		sp.SetAttr("hit", 1)
+		sp.SetAttrStr("scheme", "aos")
+		_ = sp.Context()
+		sp.End()
+		tr.EndOpen()
+		_ = tr.TraceID()
+		_ = tr.Context()
+		if tr.PerfettoSpans() != nil {
+			t.Fatal("nil trace exported spans")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled tracing allocates %.1f per op, want 0", allocs)
+	}
+}
+
+// TestMergedDocumentValidates renders spans through the telemetry
+// writer with no timeline and checks the in-tree validator accepts the
+// document (the with-timeline merge is exercised end-to-end in the
+// service tests).
+func TestMergedDocumentValidates(t *testing.T) {
+	now := time.Unix(0, 0)
+	tr := New(SpanContext{})
+	tr.now = func() time.Time { return now }
+	root := tr.StartSpan("service_ingress")
+	now = now.Add(2 * time.Millisecond)
+	sp := tr.StartSpan("experiments_run")
+	sp.SetAttrStr("benchmark", "mcf")
+	now = now.Add(8 * time.Millisecond)
+	tr.EndOpen()
+	_ = root
+
+	var buf bytes.Buffer
+	if err := telemetry.WriteMergedTrace(&buf, "aosd job test", nil, tr.PerfettoSpans()); err != nil {
+		t.Fatalf("WriteMergedTrace: %v", err)
+	}
+	st, err := telemetry.ValidateTraceJSON(buf.Bytes())
+	if err != nil {
+		t.Fatalf("validator rejected merged doc: %v\n%s", err, buf.String())
+	}
+	if st.Slices != 2 {
+		t.Fatalf("slices = %d, want 2", st.Slices)
+	}
+	if !strings.Contains(buf.String(), `"name": "jobs"`) {
+		t.Fatal("jobs thread metadata missing")
+	}
+}
